@@ -1,0 +1,488 @@
+// Benchmarks, one family per experiment of DESIGN.md's index (E1–E10).
+// The corresponding parameter-sweep tables are produced by cmd/lbbench;
+// these testing.B entry points measure the steady-state cost of each
+// mechanism in isolation.
+package histanon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"histanon/internal/baseline"
+	"histanon/internal/deploy"
+	"histanon/internal/generalize"
+	"histanon/internal/geo"
+	"histanon/internal/lbqid"
+	"histanon/internal/link"
+	"histanon/internal/mine"
+	"histanon/internal/mobility"
+	"histanon/internal/phl"
+	"histanon/internal/sp"
+	"histanon/internal/stindex"
+	"histanon/internal/tgran"
+	"histanon/internal/ts"
+	"histanon/internal/wire"
+)
+
+func fillIndex(idx stindex.Index, n, users int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		idx.Insert(phl.UserID(rng.Intn(users)), geo.STPoint{
+			P: geo.Point{X: rng.Float64() * 8000, Y: rng.Float64() * 8000},
+			T: int64(rng.Intn(14 * 24 * 3600)),
+		})
+	}
+}
+
+func randQuery(rng *rand.Rand) geo.STPoint {
+	return geo.STPoint{
+		P: geo.Point{X: rng.Float64() * 8000, Y: rng.Float64() * 8000},
+		T: int64(rng.Intn(14 * 24 * 3600)),
+	}
+}
+
+// BenchmarkE1_FirstElementQuery measures the Algorithm-1 line-5 query
+// ("smallest box around q crossed by k user trajectories") per index.
+func BenchmarkE1_FirstElementQuery(b *testing.B) {
+	m := geo.STMetric{TimeScale: 1}
+	for _, n := range []int{10000, 50000} {
+		indexes := map[string]stindex.Index{
+			"brute": stindex.NewBrute(),
+			"grid":  stindex.NewGrid(500, 1800),
+			"kd":    stindex.NewKDTree(),
+			"rtree": stindex.NewRTree(),
+		}
+		for _, idx := range indexes {
+			fillIndex(idx, n, n/50, 42)
+		}
+		for _, k := range []int{2, 10} {
+			for name, idx := range indexes {
+				b.Run(fmt.Sprintf("idx=%s/n=%d/k=%d", name, n, k), func(b *testing.B) {
+					rng := rand.New(rand.NewSource(7))
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						stindex.SmallestEnclosingBox(idx, randQuery(rng), k, m, nil)
+					}
+				})
+			}
+		}
+	}
+}
+
+// benchGeneralizer builds a populated generalizer for the session
+// benches.
+func benchGeneralizer(users int) (*generalize.Generalizer, []geo.STPoint) {
+	cfg := mobility.DefaultConfig()
+	cfg.Users = users
+	cfg.Days = 5
+	world := mobility.Generate(cfg)
+	store := phl.NewStore()
+	idx := stindex.NewGrid(500, 1800)
+	for _, ev := range world.Events {
+		store.Record(ev.User, ev.Point)
+		idx.Insert(ev.User, ev.Point)
+	}
+	var trace []geo.STPoint
+	for _, ev := range world.Requests() {
+		if ev.User == world.Agents[0].User {
+			trace = append(trace, ev.Point)
+		}
+	}
+	return &generalize.Generalizer{Index: idx, Store: store, Metric: geo.STMetric{TimeScale: 1}}, trace
+}
+
+// BenchmarkE2_GeneralizeFirstElement is the per-request cost of
+// Algorithm 1's initial-element branch at several k.
+func BenchmarkE2_GeneralizeFirstElement(b *testing.B) {
+	g, trace := benchGeneralizer(150)
+	if len(trace) == 0 {
+		b.Fatal("no trace")
+	}
+	for _, k := range []int{2, 5, 10, 20} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := trace[i%len(trace)]
+				if _, ok := g.FirstElement(q, 0, k, generalize.Unlimited); !ok {
+					b.Fatal("generalization failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3_SessionTrace runs whole trace sessions under the two
+// witness strategies of §6.2.
+func BenchmarkE3_SessionTrace(b *testing.B) {
+	g, trace := benchGeneralizer(150)
+	if len(trace) < 8 {
+		b.Fatal("trace too short")
+	}
+	for _, strat := range []struct {
+		name  string
+		sched generalize.DecaySchedule
+	}{
+		{"fixed-k", generalize.DecaySchedule{Target: 5}},
+		{"decay", generalize.DecaySchedule{Target: 5, Initial: 10, Step: 1}},
+	} {
+		b.Run(strat.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sess := generalize.NewSession(g, 0, strat.sched)
+				for _, q := range trace[:8] {
+					sess.Generalize(q, generalize.Unlimited)
+				}
+			}
+		})
+	}
+}
+
+// benchServer builds a TS preloaded with crowd trajectories and an
+// LBQID for user 0.
+func benchServer(tol generalize.Tolerance) *ts.Server {
+	server := ts.New(ts.Config{
+		DefaultPolicy: ts.Policy{K: 5},
+		Services: map[string]ts.ServiceSpec{
+			"navigation": {Name: "navigation", Tolerance: tol},
+		},
+	}, ts.OutboxFunc(func(*wire.Request) {}))
+	err := server.AddLBQIDSpec(0, `
+lbqid "commute" {
+    element area [0,400]x[0,400] time [06:00,10:00]
+    recurrence 1.Days
+}`)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for u := phl.UserID(1); u <= 60; u++ {
+		for d := int64(0); d < 5; d++ {
+			server.RecordLocation(u, geo.STPoint{
+				P: geo.Point{X: rng.Float64() * 400, Y: rng.Float64() * 400},
+				T: d*tgran.Day + 7*tgran.Hour + int64(rng.Intn(7200)),
+			})
+		}
+	}
+	return server
+}
+
+// BenchmarkE4_RequestPath measures the full TS request pipeline
+// (matching + generalization + forwarding) for matching and
+// non-matching requests.
+func BenchmarkE4_RequestPath(b *testing.B) {
+	b.Run("matching", func(b *testing.B) {
+		server := benchServer(generalize.Unlimited)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := int64(i%5)*tgran.Day + 7*tgran.Hour + int64(i%3600)
+			server.Request(0, geo.STPoint{P: geo.Point{X: 200, Y: 200}, T: t}, "navigation", nil)
+		}
+	})
+	b.Run("non-matching", func(b *testing.B) {
+		server := benchServer(generalize.Unlimited)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := int64(i%5)*tgran.Day + 14*tgran.Hour + int64(i%3600)
+			server.Request(0, geo.STPoint{P: geo.Point{X: 5000, Y: 5000}, T: t}, "navigation", nil)
+		}
+	})
+}
+
+// BenchmarkE5_UnlinkPath measures the failure path: tight tolerance
+// forcing generalization failure and an unlinking attempt per request.
+func BenchmarkE5_UnlinkPath(b *testing.B) {
+	const resetEvery = 20000
+	server := benchServer(generalize.Tolerance{MaxWidth: 5, MaxHeight: 5, MaxDuration: 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%resetEvery == 0 && i > 0 {
+			b.StopTimer()
+			server = benchServer(generalize.Tolerance{MaxWidth: 5, MaxHeight: 5, MaxDuration: 5})
+			b.StartTimer()
+		}
+		j := i % resetEvery
+		t := int64(j/3600)*tgran.Day + 7*tgran.Hour + int64(j%3600)
+		server.Request(0, geo.STPoint{P: geo.Point{X: 200, Y: 200}, T: t}, "navigation", nil)
+	}
+}
+
+// BenchmarkE6_AttackSeries measures the adversary's LT-consistency
+// intersection over a growing series.
+func BenchmarkE6_AttackSeries(b *testing.B) {
+	store := phl.NewStore()
+	rng := rand.New(rand.NewSource(3))
+	for u := phl.UserID(0); u < 200; u++ {
+		for i := 0; i < 50; i++ {
+			store.Record(u, geo.STPoint{
+				P: geo.Point{X: rng.Float64() * 8000, Y: rng.Float64() * 8000},
+				T: int64(rng.Intn(14 * 24 * 3600)),
+			})
+		}
+	}
+	attacker := &sp.Attacker{Knowledge: store}
+	for _, series := range []int{4, 16, 64} {
+		reqs := make([]*wire.Request, series)
+		for i := range reqs {
+			c := geo.Point{X: rng.Float64() * 8000, Y: rng.Float64() * 8000}
+			ct := int64(rng.Intn(14 * 24 * 3600))
+			reqs[i] = &wire.Request{
+				Pseudonym: "p",
+				Context: geo.STBox{
+					Area: geo.Rect{MinX: c.X - 1000, MinY: c.Y - 1000, MaxX: c.X + 1000, MaxY: c.Y + 1000},
+					Time: geo.Interval{Start: ct - 1800, End: ct + 1800},
+				},
+			}
+		}
+		b.Run(fmt.Sprintf("series=%d", series), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				attacker.AttackSeries(reqs)
+			}
+		})
+	}
+}
+
+// BenchmarkE7_Baselines measures the per-request cloaking cost of every
+// baseline on an identical batch.
+func BenchmarkE7_Baselines(b *testing.B) {
+	cfg := mobility.DefaultConfig()
+	cfg.Users = 100
+	cfg.Days = 3
+	world := mobility.Generate(cfg)
+	store := phl.NewStore()
+	for _, ev := range world.Events {
+		store.Record(ev.User, ev.Point)
+	}
+	var reqs []baseline.Request
+	for _, ev := range world.Requests() {
+		reqs = append(reqs, baseline.Request{User: ev.User, Point: ev.Point})
+		if len(reqs) == 500 {
+			break
+		}
+	}
+	city := geo.Rect{MinX: 0, MinY: 0, MaxX: cfg.Width, MaxY: cfg.Height}
+	for _, a := range []baseline.Anonymizer{
+		baseline.NoOp{},
+		baseline.FixedGrid{Cell: 1000, Window: 900},
+		baseline.GruteserGrunwald{Store: store, City: city, Window: 450},
+		baseline.GedikLiu{MaxRadius: 1500, MaxDefer: 900},
+	} {
+		b.Run(a.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.CloakAll(reqs, 5)
+			}
+		})
+	}
+}
+
+// BenchmarkE8_TrackingLikelihood measures the tracking linker and the
+// link-connected component computation.
+func BenchmarkE8_TrackingLikelihood(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(n int) []*wire.Request {
+		out := make([]*wire.Request, n)
+		for i := range out {
+			out[i] = &wire.Request{
+				Pseudonym: wire.Pseudonym(fmt.Sprintf("p%d", i%10)),
+				Context: geo.STBox{
+					Area: geo.RectAround(geo.Point{X: rng.Float64() * 5000, Y: rng.Float64() * 5000}),
+					Time: geo.IntervalAround(int64(rng.Intn(86400))),
+				},
+			}
+		}
+		return out
+	}
+	tr := link.Tracking{MaxSpeed: 17, HalfLife: 900}
+	b.Run("likelihood", func(b *testing.B) {
+		reqs := mk(2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Likelihood(reqs[0], reqs[1])
+		}
+	})
+	b.Run("components-200", func(b *testing.B) {
+		reqs := mk(200)
+		f := link.Max{link.Pseudonym{}, tr}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			link.Components(reqs, f, 0.6)
+		}
+	})
+}
+
+// BenchmarkE9_MatcherOffer measures the continuous LBQID monitoring
+// cost per request.
+func BenchmarkE9_MatcherOffer(b *testing.B) {
+	def := `
+lbqid "p%d" {
+    element area [%d,%d]x[0,200] time [06:30,09:00]
+    element area [%d,%d]x[0,200] time [15:30,19:00]
+    recurrence 3.Weekdays * 2.Weeks
+}`
+	for _, n := range []int{1, 8, 32} {
+		var matchers []*lbqid.Matcher
+		for i := 0; i < n; i++ {
+			q, err := lbqid.ParseOne(fmt.Sprintf(def, i, i*300, i*300+200, i*300+2000, i*300+2200))
+			if err != nil {
+				b.Fatal(err)
+			}
+			matchers = append(matchers, lbqid.NewMatcher(q))
+		}
+		b.Run(fmt.Sprintf("patterns=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := geo.STPoint{
+					P: geo.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 200},
+					T: int64(i) * 60,
+				}
+				for _, m := range matchers {
+					m.Offer(lbqid.RequestID(i), p)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10_IndexQueries is the index ablation on both primitives.
+func BenchmarkE10_IndexQueries(b *testing.B) {
+	const n = 50000
+	m := geo.STMetric{TimeScale: 1}
+	indexes := map[string]stindex.Index{
+		"brute": stindex.NewBrute(),
+		"grid":  stindex.NewGrid(500, 1800),
+		"kd":    stindex.NewKDTree(),
+		"rtree": stindex.NewRTree(),
+	}
+	for _, idx := range indexes {
+		fillIndex(idx, n, 1000, 11)
+	}
+	for name, idx := range indexes {
+		b.Run("box/"+name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := geo.Point{X: rng.Float64() * 8000, Y: rng.Float64() * 8000}
+				ct := int64(rng.Intn(14 * 24 * 3600))
+				idx.UsersInBox(geo.STBox{
+					Area: geo.Rect{MinX: c.X - 500, MinY: c.Y - 500, MaxX: c.X + 500, MaxY: c.Y + 500},
+					Time: geo.Interval{Start: ct - 1800, End: ct + 1800},
+				})
+			}
+		})
+		b.Run("knn/"+name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				idx.KNearestUsers(randQuery(rng), 5, m, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkE11_DeployAnalyze measures the deployment-area analyzer on a
+// mid-size city.
+func BenchmarkE11_DeployAnalyze(b *testing.B) {
+	cfg := mobility.DefaultConfig()
+	cfg.Users = 80
+	cfg.Days = 3
+	world := mobility.Generate(cfg)
+	store := phl.NewStore()
+	for _, ev := range world.Events {
+		store.Record(ev.User, ev.Point)
+	}
+	idx := deploy.BuildIndex(store)
+	in := deploy.Input{
+		Store: store, Index: idx, Metric: geo.STMetric{TimeScale: 1},
+		K: 5, Tolerance: generalize.Tolerance{MaxWidth: 1000, MaxHeight: 1000, MaxDuration: 900},
+		SampleEvery: 200,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := deploy.Analyze(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12_Perturb measures the randomization defense per box.
+func BenchmarkE12_Perturb(b *testing.B) {
+	r := generalize.NewRandomizer(7)
+	box := geo.STBox{
+		Area: geo.Rect{MinX: 0, MinY: 0, MaxX: 1500, MaxY: 900},
+		Time: geo.Interval{Start: 1000, End: 2200},
+	}
+	tol := generalize.Tolerance{MaxWidth: 4000, MaxHeight: 4000, MaxDuration: 3600}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Perturb(box, tol)
+	}
+}
+
+// BenchmarkE13_GedikLiuEngine measures the online deferral engine per
+// submitted request.
+func BenchmarkE13_GedikLiuEngine(b *testing.B) {
+	cfg := mobility.DefaultConfig()
+	cfg.Users = 80
+	cfg.Days = 2
+	stream := mobility.Generate(cfg).Requests()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := baseline.NewGedikLiuEngine(5, 1500, 900)
+		for _, ev := range stream {
+			e.Submit(baseline.Request{User: ev.User, Point: ev.Point})
+		}
+		e.Flush()
+	}
+}
+
+// BenchmarkMine measures LBQID derivation over a two-week city.
+func BenchmarkMine(b *testing.B) {
+	cfg := mobility.DefaultConfig()
+	cfg.Users = 60
+	cfg.Days = 14
+	world := mobility.Generate(cfg)
+	store := phl.NewStore()
+	for _, ev := range world.Events {
+		store.Record(ev.User, ev.Point)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mine.Mine(store, mine.Config{WeekdaysOnly: true})
+	}
+}
+
+// BenchmarkHauntLinker measures profile building and pairwise queries.
+func BenchmarkHauntLinker(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var reqs []*wire.Request
+	for i := 0; i < 5000; i++ {
+		reqs = append(reqs, &wire.Request{
+			Pseudonym: wire.Pseudonym(fmt.Sprintf("p%d", i%50)),
+			Context: geo.STBox{
+				Area: geo.RectAround(geo.Point{X: rng.Float64() * 8000, Y: rng.Float64() * 8000}).Expand(200),
+				Time: geo.IntervalAround(int64(rng.Intn(14 * 86400))),
+			},
+		})
+	}
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			link.NewHaunt(reqs, 750, 7200, 2)
+		}
+	})
+	b.Run("likelihood", func(b *testing.B) {
+		h := link.NewHaunt(reqs, 750, 7200, 2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Likelihood(reqs[i%len(reqs)], reqs[(i*7+1)%len(reqs)])
+		}
+	})
+}

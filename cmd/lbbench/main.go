@@ -1,0 +1,66 @@
+// Command lbbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lbbench             # run the whole suite (E1..E10)
+//	lbbench -e E2,E6    # run selected experiments
+//	lbbench -md         # emit GitHub-flavored markdown instead of text
+//	lbbench -list       # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"histanon/internal/sim"
+)
+
+func main() {
+	var (
+		ids      = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		markdown = flag.Bool("md", false, "render markdown tables")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range sim.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []sim.Experiment
+	if *ids == "" {
+		selected = sim.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := sim.ByID(strings.ToUpper(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lbbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run()
+		var err error
+		if *markdown {
+			err = table.Markdown(os.Stdout)
+		} else {
+			err = table.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s took %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+}

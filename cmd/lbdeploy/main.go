@@ -1,0 +1,97 @@
+// Command lbdeploy answers the paper's deployment question (§7,
+// direction (b)): is a service with the given tolerance constraints and
+// anonymity demand deployable in an area, given the area's typical
+// movement patterns?
+//
+// Movement data comes either from a trace CSV (tracegen / real data in
+// the same format) or from a synthetic city generated on the fly.
+//
+// Usage:
+//
+//	lbdeploy -trace city.csv -k 5 -tolerance 1000 -window 900
+//	lbdeploy -users 200 -days 7 -k 10 -tolerance 500 -window 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"histanon/internal/deploy"
+	"histanon/internal/generalize"
+	"histanon/internal/geo"
+	"histanon/internal/mixzone"
+	"histanon/internal/mobility"
+	"histanon/internal/phl"
+)
+
+func main() {
+	var (
+		trace     = flag.String("trace", "", "trace CSV with the area's movement data")
+		users     = flag.Int("users", 150, "synthetic population (when no trace is given)")
+		days      = flag.Int("days", 7, "synthetic days")
+		seed      = flag.Int64("seed", 1, "synthetic seed")
+		k         = flag.Int("k", 5, "anonymity value users will demand")
+		tolerance = flag.Float64("tolerance", 1000, "service tolerance: max cloak side (m), 0 = unlimited")
+		window    = flag.Int64("window", 900, "service tolerance: max cloak window (s), 0 = unlimited")
+		target    = flag.Float64("target", 0.9, "required feasibility fraction")
+	)
+	flag.Parse()
+
+	store := phl.NewStore()
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fail(err)
+		}
+		events, err := mobility.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		for _, ev := range events {
+			store.Record(ev.User, ev.Point)
+		}
+		fmt.Printf("loaded %d events for %d users from %s\n", len(events), store.NumUsers(), *trace)
+	} else {
+		cfg := mobility.DefaultConfig()
+		cfg.Users = *users
+		cfg.Days = *days
+		cfg.Seed = *seed
+		world := mobility.Generate(cfg)
+		for _, ev := range world.Events {
+			store.Record(ev.User, ev.Point)
+		}
+		fmt.Printf("generated %d users over %d days (seed %d)\n", *users, *days, *seed)
+	}
+
+	tol := generalize.Tolerance{}
+	if *tolerance > 0 {
+		tol.MaxWidth, tol.MaxHeight = *tolerance, *tolerance
+	}
+	if *window > 0 {
+		tol.MaxDuration = *window
+	}
+	rep, err := deploy.Analyze(deploy.Input{
+		Store:          store,
+		Metric:         geo.STMetric{TimeScale: 1},
+		K:              *k,
+		Tolerance:      tol,
+		Divergence:     mixzone.Divergence{MinAngle: 0.3},
+		FeasibleTarget: *target,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nservice: tolerance %gx%g m, %d s window; k=%d; target %.0f%%\n\n",
+		tol.MaxWidth, tol.MaxHeight, tol.MaxDuration, *k, 100**target)
+	fmt.Println(rep.Format())
+	if rep.Verdict == deploy.NotDeployable {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "lbdeploy: %v\n", err)
+	os.Exit(1)
+}

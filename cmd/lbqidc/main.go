@@ -1,0 +1,152 @@
+// Command lbqidc is the LBQID compiler: it parses quasi-identifier
+// definitions, validates and explains them, and optionally replays a
+// trace file against them to report matches.
+//
+// Usage:
+//
+//	lbqidc patterns.lbqid                     # parse + explain
+//	lbqidc -trace trace.csv -user 3 patterns.lbqid
+//	lbqidc -mine -trace trace.csv             # derive candidate LBQIDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"histanon/internal/lbqid"
+	"histanon/internal/mine"
+	"histanon/internal/mobility"
+	"histanon/internal/phl"
+	"histanon/internal/tgran"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace CSV (from tracegen) to replay against the patterns")
+		user      = flag.Int64("user", -1, "user id whose events are replayed (default: all users, separately)")
+		doMine    = flag.Bool("mine", false, "derive candidate LBQIDs from the trace instead of matching")
+		minDays   = flag.Int("min-days", 3, "mining: minimum recurring days per haunt")
+		maxShare  = flag.Int("max-sharers", 2, "mining: maximum users sharing a pattern before it is non-identifying")
+	)
+	flag.Parse()
+	if *doMine {
+		if *tracePath == "" {
+			fmt.Fprintln(os.Stderr, "usage: lbqidc -mine -trace file.csv")
+			os.Exit(2)
+		}
+		runMine(*tracePath, *minDays, *maxShare)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lbqidc [-trace file.csv [-user N]] patterns.lbqid")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	patterns, err := lbqid.Parse(f)
+	if err != nil {
+		fail(err)
+	}
+	for _, q := range patterns {
+		explain(q)
+	}
+	if *tracePath == "" {
+		return
+	}
+
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		fail(err)
+	}
+	defer tf.Close()
+	events, err := mobility.ReadCSV(tf)
+	if err != nil {
+		fail(err)
+	}
+
+	byUser := map[phl.UserID][]mobility.Event{}
+	for _, ev := range events {
+		if *user >= 0 && int64(ev.User) != *user {
+			continue
+		}
+		byUser[ev.User] = append(byUser[ev.User], ev)
+	}
+	for u, evs := range byUser {
+		for _, q := range patterns {
+			m := lbqid.NewMatcher(q)
+			var id lbqid.RequestID
+			satisfiedAt := int64(-1)
+			for _, ev := range evs {
+				id++
+				out := m.Offer(id, ev.Point)
+				if out.Satisfied && satisfiedAt < 0 {
+					satisfiedAt = ev.Point.T
+				}
+			}
+			status := "no match"
+			if satisfiedAt >= 0 {
+				status = fmt.Sprintf("MATCHED at t=%d (%s)", satisfiedAt, tgran.ToCivil(satisfiedAt).Format("2006-01-02 15:04"))
+			} else if m.Observations() > 0 {
+				status = fmt.Sprintf("partial: %d observations, recurrence progress %d/%d",
+					m.Observations(), m.Progress(), len(q.Recurrence.Terms))
+			}
+			fmt.Printf("user %d vs %q: %s\n", u, q.Name, status)
+		}
+	}
+}
+
+func explain(q *lbqid.LBQID) {
+	fmt.Printf("lbqid %q: %d elements, recurrence %s\n", q.Name, len(q.Elements), q.Recurrence)
+	for i, e := range q.Elements {
+		name := e.Name
+		if name == "" {
+			name = fmt.Sprintf("element %d", i)
+		}
+		fmt.Printf("  %d. %-20s area %.0fx%.0f m at %s, window %s\n",
+			i, name, e.Area.Width(), e.Area.Height(), e.Area.Center(), e.Window)
+	}
+}
+
+// runMine derives candidate quasi-identifiers from a trace (§4: "the
+// derivation process will have to be based on statistical analysis of
+// the data about users movement history").
+func runMine(tracePath string, minDays, maxSharers int) {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	events, err := mobility.ReadCSV(f)
+	if err != nil {
+		fail(err)
+	}
+	store := phl.NewStore()
+	for _, ev := range events {
+		store.Record(ev.User, ev.Point)
+	}
+	cands := mine.Mine(store, mine.Config{
+		WeekdaysOnly: true,
+		MinDays:      minDays,
+		MaxSharers:   maxSharers,
+	})
+	if len(cands) == 0 {
+		fmt.Println("# no distinctive recurring patterns found")
+		return
+	}
+	fmt.Printf("# %d candidate LBQIDs mined from %d users\n", len(cands), store.NumUsers())
+	for _, c := range cands {
+		fmt.Printf("\n# user %d: %d supporting days, shared by %d other users\n",
+			int64(c.User), c.SupportDays, c.Sharers)
+		fmt.Print(c.Pattern.Spec())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "lbqidc: %v\n", err)
+	os.Exit(1)
+}

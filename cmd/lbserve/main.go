@@ -1,0 +1,130 @@
+// Command lbserve runs the trusted server as an HTTP daemon — the
+// deployable form of the paper's Fig. 1. Devices POST location updates
+// and service requests; forwarded requests are printed (or discarded)
+// on the SP side.
+//
+// Usage:
+//
+//	lbserve -addr :7408 -k 5 -print-forwarded
+//	curl -s localhost:7408/healthz
+//	curl -s -XPOST localhost:7408/v1/request -d '{"user":1,"x":10,"y":10,"t":25500,"service":"navigation"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"histanon/internal/httpapi"
+	"histanon/internal/mixzone"
+	"histanon/internal/policy"
+	"histanon/internal/ts"
+	"histanon/internal/wire"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7408", "listen address")
+		k          = flag.Int("k", 5, "default historical anonymity value")
+		randomize  = flag.Int64("randomize", 0, "seed for the randomization defense (0 = off)")
+		policyFile = flag.String("policies", "", "rule-based policy file (see internal/policy)")
+		printFwd   = flag.Bool("print-forwarded", false, "log every request forwarded to the SP side")
+		snapshot   = flag.String("snapshot", "", "PHL snapshot file: loaded at boot, written on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	cfg := ts.Config{
+		DefaultPolicy: ts.Policy{K: *k},
+		OnDemand: mixzone.OnDemand{
+			Quiet:          600,
+			Divergence:     mixzone.Divergence{MinAngle: 0.3},
+			FallbackRadius: 800,
+		},
+		RandomizeSeed: *randomize,
+	}
+	if *policyFile != "" {
+		f, err := os.Open(*policyFile)
+		if err != nil {
+			log.Fatalf("lbserve: %v", err)
+		}
+		set, err := policy.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("lbserve: parsing policies: %v", err)
+		}
+		cfg.Policies = set
+		log.Printf("loaded %d policy rules", len(set.Rules))
+	}
+
+	out := ts.OutboxFunc(func(req *wire.Request) {
+		if *printFwd {
+			log.Printf("SP <- %s", req)
+		}
+	})
+	srv := ts.New(cfg, out)
+
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := srv.RestorePHL(f); err != nil {
+				f.Close()
+				log.Fatalf("lbserve: restoring %s: %v", *snapshot, err)
+			}
+			f.Close()
+			log.Printf("restored %d users / %d samples from %s",
+				srv.Store().NumUsers(), srv.Store().NumSamples(), *snapshot)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("lbserve: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      httpapi.New(srv),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+
+	if *snapshot != "" {
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigCh
+			if err := saveSnapshot(srv, *snapshot); err != nil {
+				log.Printf("lbserve: saving snapshot: %v", err)
+			} else {
+				log.Printf("snapshot written to %s", *snapshot)
+			}
+			httpSrv.Close()
+		}()
+	}
+
+	fmt.Printf("lbserve: trusted server listening on %s (k=%d)\n", *addr, *k)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("lbserve: %v", err)
+	}
+}
+
+// saveSnapshot writes atomically: temp file then rename, so a crash
+// mid-write never clobbers the previous snapshot.
+func saveSnapshot(srv *ts.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.WritePHLSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,62 @@
+// Package histanon is a Go implementation of the location-privacy
+// framework of Bettini, Wang and Jajodia, "Protecting Privacy Against
+// Location-based Personal Identification" (Secure Data Management
+// workshop at VLDB, 2005): location-based quasi-identifiers (LBQIDs),
+// historical k-anonymity, spatio-temporal generalization (the paper's
+// Algorithm 1), and unlinking through mix zones.
+//
+// # Model
+//
+// Users invoke location-based services through a Trusted Server (TS).
+// The TS knows each user's exact positions over time (the Personal
+// History of Locations) and forwards requests to service providers in
+// the generalized form
+//
+//	(msgid, UserPseudonym, Area, TimeInterval, Data)
+//
+// A request stream becomes dangerous when it matches one of the user's
+// LBQIDs — recurring spatio-temporal patterns such as "home [7am,8am] →
+// office [8am,9am] → office [4pm,6pm] → home [5pm,7pm], 3 weekdays a
+// week for 2 weeks" — because an attacker with external knowledge can
+// map the pattern back to an identity. The TS therefore generalizes
+// every request matching an LBQID element so that at least k−1 other
+// users' histories remain consistent with the whole forwarded series
+// (historical k-anonymity), and rotates pseudonyms inside mix zones when
+// generalization can no longer keep up.
+//
+// # Quick start
+//
+//	provider := histanon.NewProvider()                    // a recording SP
+//	server := histanon.NewTrustedServer(histanon.Config{}, provider)
+//	server.RegisterUser(1, histanon.PolicyForLevel(histanon.Medium))
+//	err := server.AddLBQIDSpec(1, `
+//	lbqid "commute" {
+//	    element "Home"   area [0,200]x[0,200]     time [07:00,08:00]
+//	    element "Office" area [1800,2200]x[0,200] time [08:00,09:00]
+//	    recurrence 3.Weekdays * 2.Weeks
+//	}`)
+//	// feed location updates and requests:
+//	server.RecordLocation(1, histanon.STPoint{P: histanon.Point{X: 10, Y: 10}, T: 0})
+//	dec := server.Request(1, histanon.STPoint{P: histanon.Point{X: 12, Y: 9}, T: 25500}, "navigation", nil)
+//	_ = dec.HKAnonymity
+//	_ = err
+//
+// The runnable programs under examples/ and cmd/ exercise the full
+// pipeline, including the adversarial service provider and the
+// experiment suite of EXPERIMENTS.md.
+//
+// # Package layout
+//
+// The root package is a facade over the internal engine:
+//
+//   - internal/geo, internal/tgran — spatio-temporal and time-granularity
+//     primitives
+//   - internal/lbqid — LBQID model, parser, timed-automaton matcher
+//   - internal/phl, internal/stindex — location histories and indexes
+//   - internal/anon, internal/link — historical k-anonymity, linkability
+//   - internal/generalize — Algorithm 1 and the k′-decay strategy
+//   - internal/mixzone, internal/pseudonym — unlinking machinery
+//   - internal/ts, internal/sp — trusted server and (adversarial) provider
+//   - internal/mobility, internal/baseline, internal/sim — synthetic
+//     workloads, prior-art cloaking baselines, experiment harness
+package histanon

@@ -1,0 +1,85 @@
+// Adversary: the service-provider-side view. Runs the same commuter
+// workload twice — once through a naive passthrough, once through the
+// histanon trusted server — and attacks both logs with the paper's
+// threat model (pseudonym linking + LT-consistency against the true
+// location database).
+//
+// Run with:
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+
+	"histanon/internal/anon"
+	"histanon/internal/geo"
+	"histanon/internal/sim"
+	"histanon/internal/ts"
+)
+
+func main() {
+	const k = 5
+	fmt.Println("workload: 80 users, 14 days, commuters with Example-2 LBQIDs")
+	fmt.Printf("policy: historical k-anonymity with k=%d\n\n", k)
+
+	cfg := sim.DefaultScenario()
+	cfg.Mobility.Users = 80
+	cfg.Policy = ts.Policy{K: k}
+	res := sim.Run(cfg)
+
+	// The attacker's external knowledge: who was where (worst case, the
+	// full location database — think surveillance cameras, phone books,
+	// employer records).
+	knowledge := res.Server.Store()
+
+	fmt.Println("=== attack 1: naive SP, exact locations (no trusted server) ===")
+	naiveIdentified := 0
+	commuters := 0
+	for _, a := range res.World.Agents {
+		if !a.Commuter {
+			continue
+		}
+		commuters++
+		// The naive SP sees every commute request at exact resolution.
+		var boxes []geo.STBox
+		for _, ev := range res.World.Requests() {
+			if ev.User == a.User && ev.Service != "poi-finder" && ev.Service != "localized-news" {
+				boxes = append(boxes, geo.STBoxAround(ev.Point))
+			}
+		}
+		if len(boxes) == 0 {
+			continue
+		}
+		if len(anon.HistoricalAnonymitySet(knowledge, boxes)) == 1 {
+			naiveIdentified++
+		}
+	}
+	fmt.Printf("commuters identified from exact request series: %d of %d\n\n",
+		naiveIdentified, commuters)
+
+	fmt.Println("=== attack 2: same knowledge vs the trusted server's output ===")
+	series := res.ExposedSeries()
+	fmt.Printf("fully exposed LBQID series: %d\n", len(series))
+	identified, minAS := 0, -1
+	for u, reqs := range series {
+		boxes := make([]geo.STBox, len(reqs))
+		for i, r := range reqs {
+			boxes[i] = r.Context
+		}
+		as := anon.HistoricalAnonymitySet(knowledge, boxes)
+		if minAS < 0 || len(as) < minAS {
+			minAS = len(as)
+		}
+		if len(as) == 1 {
+			identified++
+			fmt.Printf("  user %v IDENTIFIED (should not happen)\n", u)
+		}
+	}
+	fmt.Printf("identified: %d, smallest candidate set: %d (Theorem 1: >= k=%d)\n",
+		identified, minAS, k)
+	if identified == 0 && minAS >= k {
+		fmt.Println("\n✓ the generalized series never collapses below k candidates:")
+		fmt.Println("  the quasi-identifier was released, but it points at k people, not one.")
+	}
+}

@@ -1,0 +1,58 @@
+// Commute: the paper's running example end to end. A city of commuters,
+// the Example-2 LBQID ("home [7-8am] → office [8-9am] → office [4-6pm]
+// → home [5-7pm], 3 weekdays a week for 2 weeks"), and a trusted server
+// that keeps the pattern historically k-anonymous over two simulated
+// weeks.
+//
+// Run with:
+//
+//	go run ./examples/commute
+package main
+
+import (
+	"fmt"
+
+	"histanon/internal/anon"
+	"histanon/internal/geo"
+	"histanon/internal/sim"
+	"histanon/internal/ts"
+)
+
+func main() {
+	cfg := sim.DefaultScenario()
+	cfg.Mobility.Users = 100
+	cfg.Mobility.Days = 14
+	cfg.Policy = ts.Policy{K: 5}
+
+	fmt.Println("simulating 100 users for 14 days; commuters carry the Example-2 LBQID...")
+	res := sim.Run(cfg)
+
+	fmt.Printf("events: %d, service requests: %d\n", len(res.World.Events), len(res.Requests))
+	fmt.Printf("TS counters: %s\n", res.Server.Counters)
+
+	// Pick one commuter whose quasi-identifier was fully matched.
+	series := res.ExposedSeries()
+	fmt.Printf("\n%d users completed their LBQID (2 weeks x 3 weekdays of commuting)\n", len(series))
+
+	for u, reqs := range series {
+		boxes := make([]geo.STBox, len(reqs))
+		for i, r := range reqs {
+			boxes[i] = r.Context
+		}
+		level := anon.HistoricalLevel(res.Server.Store(), u, boxes)
+		fmt.Printf("\nuser %v: %d generalized requests under pseudonym %s\n",
+			u, len(reqs), reqs[0].Pseudonym)
+		fmt.Printf("  first forwarded context: %s\n", reqs[0].Context)
+		fmt.Printf("  historical anonymity level of the whole series: %d (policy k=%d)\n",
+			level, cfg.Policy.K)
+		if level >= cfg.Policy.K {
+			fmt.Println("  ✓ even knowing everyone's true movements, the service provider")
+			fmt.Printf("    cannot narrow this commute pattern below %d candidates\n", level)
+		}
+		break // one user suffices for the demo
+	}
+
+	area, interval := res.GeneralizedStats()
+	fmt.Printf("\nQoS cost of k=%d: mean cloak %.2f km^2, mean window %.0f s\n",
+		cfg.Policy.K, area.Mean()/1e6, interval.Mean())
+}

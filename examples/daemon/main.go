@@ -1,0 +1,91 @@
+// Daemon: the deployment form of the paper's Fig. 1 — the trusted
+// server running as a network service, a device-side client reporting
+// locations and issuing requests over HTTP/JSON, and the service
+// provider receiving only generalized contexts.
+//
+// The example starts the server in-process on an ephemeral port; in
+// production the same wiring runs via cmd/lbserve.
+//
+// Run with:
+//
+//	go run ./examples/daemon
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"histanon"
+)
+
+func main() {
+	// --- server side -----------------------------------------------------
+	provider := histanon.NewProvider()
+	server := histanon.NewTrustedServer(histanon.Config{
+		DefaultPolicy: histanon.Policy{K: 4},
+		RandomizeSeed: 1, // §7 randomization defense on
+	}, provider)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, histanon.NewAPIHandler(server)); err != nil {
+			log.Printf("server stopped: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("trusted server listening on %s\n\n", base)
+
+	// --- device side -------------------------------------------------------
+	device := histanon.NewAPIClient(base)
+	if err := device.SetPolicyLevel(1, "medium"); err != nil {
+		log.Fatal(err)
+	}
+	if err := device.AddLBQID(1, `
+lbqid "commute" {
+    element "Home"   area [0,200]x[0,200]     time [07:00,08:00]
+    element "Office" area [1800,2200]x[0,200] time [08:00,09:00]
+    recurrence 3.Weekdays * 2.Weeks
+}`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Neighbor devices report their morning locations.
+	for u := int64(2); u <= 9; u++ {
+		if err := device.RecordLocation(u, float64(40+u*12), float64(30+u*6), 7*histanon.Hour+u*40); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// User 1 leaves home and asks for directions.
+	dec, err := device.Request(histanon.ServiceRequestJSON{
+		User: 1, X: 50, Y: 40, T: 7*histanon.Hour + 600,
+		Service: "navigation", Data: map[string]string{"dest": "office"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device got decision: generalized=%v hk-anonymity=%v pseudonym=%s\n",
+		dec.Generalized, dec.HKAnonymity, dec.Pseudonym)
+	if dec.Context != nil {
+		fmt.Printf("forwarded context: [%.0f,%.0f]x[%.0f,%.0f] over %d s\n",
+			dec.Context.MinX, dec.Context.MaxX, dec.Context.MinY, dec.Context.MaxY,
+			dec.Context.End-dec.Context.Start)
+	}
+
+	// The SP side saw only the blurred request.
+	for _, r := range provider.Requests() {
+		fmt.Printf("\nSP received: %s\n", r)
+	}
+
+	stats, err := device.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver stats: %d tracked users, counters %v\n",
+		stats.TrackedUsers, stats.Counters)
+}

@@ -1,0 +1,120 @@
+// Nearesthospital: the tolerance-constraint scenario of the paper's
+// §6.1. "Consider a service that returns information on the closest
+// hospital. For the service to be useful, it should receive as input a
+// user location that is at most in the range of a few square miles, and
+// a time-window ... of at most a few minutes."
+//
+// The service provider computes its answer from the *generalized*
+// context (the only view it has) and returns it through the trusted
+// server's msgid routing — Fig. 1's full loop. Running the same request
+// under increasingly strict tolerances shows the trade-off: a cloak
+// small enough for an accurate answer may be too small to hide the user
+// among k others.
+//
+// Run with:
+//
+//	go run ./examples/nearesthospital
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"histanon"
+)
+
+// hospital is the service-side database.
+type hospital struct {
+	name string
+	pos  histanon.Point
+}
+
+var hospitals = []hospital{
+	{"St. Mary", histanon.Point{X: 900, Y: 800}},
+	{"City General", histanon.Point{X: 3100, Y: 2900}},
+	{"Northside Clinic", histanon.Point{X: 600, Y: 3500}},
+}
+
+// nearestTo resolves the closest hospital to a point.
+func nearestTo(c histanon.Point) hospital {
+	best, bestD := hospitals[0], math.Inf(1)
+	for _, h := range hospitals {
+		if d := h.pos.Dist(c); d < bestD {
+			best, bestD = h, d
+		}
+	}
+	return best
+}
+
+func main() {
+	exact := histanon.Point{X: 1200, Y: 1100}
+	truth := nearestTo(exact)
+	fmt.Printf("user's true position: %s; true nearest hospital: %s\n\n", exact, truth.name)
+
+	for _, tol := range []struct {
+		label string
+		t     histanon.Tolerance
+	}{
+		{"unlimited resolution", histanon.Tolerance{}},
+		{"4 km x 4 km, 10 min", histanon.Tolerance{MaxWidth: 4000, MaxHeight: 4000, MaxDuration: 600}},
+		{"500 m x 500 m, 2 min", histanon.Tolerance{MaxWidth: 500, MaxHeight: 500, MaxDuration: 120}},
+	} {
+		provider := histanon.NewProvider()
+		server := histanon.NewTrustedServer(histanon.Config{
+			Services: map[string]histanon.ServiceSpec{
+				"nearest-hospital": {Name: "nearest-hospital", Tolerance: tol.t},
+			},
+		}, provider)
+
+		// The SP answers from the blurred area's center — all it knows.
+		provider.Respond(map[string]histanon.ServiceLogic{
+			"nearest-hospital": histanon.ServiceLogicFunc(func(req *histanon.Request) map[string]string {
+				return map[string]string{"hospital": nearestTo(req.Context.Area.Center()).name}
+			}),
+		}, server.DeliverResponse)
+
+		const user = histanon.UserID(0)
+		server.RegisterUser(user, histanon.Policy{K: 4})
+		var answer string
+		server.SetInbox(user, histanon.InboxFunc(func(r *histanon.Response) {
+			answer = r.Payload["hospital"]
+		}))
+		if err := server.AddLBQIDSpec(user, `
+lbqid "hospital-visits" {
+    element "Clinic block" area [1000,1400]x[900,1300] time [09:00,12:00]
+    recurrence 2.Days
+}`); err != nil {
+			panic(err)
+		}
+
+		// Neighbors spread over ~1.5 km: hiding among them needs a cloak
+		// bigger than the strictest tolerance allows.
+		for u := histanon.UserID(1); u <= 6; u++ {
+			server.RecordLocation(u, histanon.STPoint{
+				P: histanon.Point{X: 1200 + float64(u)*260, Y: 1100 + float64(u)*200},
+				T: 9*histanon.Hour + int64(u)*90,
+			})
+		}
+
+		dec := server.Request(user,
+			histanon.STPoint{P: exact, T: 9*histanon.Hour + 300},
+			"nearest-hospital", nil)
+
+		fmt.Printf("tolerance %-22s -> ", tol.label)
+		if !dec.Forwarded {
+			fmt.Println("request withheld")
+			continue
+		}
+		fmt.Printf("cloak %.2f km^2, answer %q", dec.Request.Context.Area.Area()/1e6, answer)
+		switch {
+		case dec.HKAnonymity && answer == truth.name:
+			fmt.Println("  [private AND accurate]")
+		case dec.HKAnonymity:
+			fmt.Println("  [private, answer degraded]")
+		case answer == truth.name:
+			fmt.Println("  [accurate, but k-anonymity NOT preserved -> TS unlinks next]")
+		default:
+			fmt.Println("  [neither]")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module histanon
+
+go 1.22

@@ -1,0 +1,43 @@
+package anon_test
+
+import (
+	"fmt"
+
+	"histanon/internal/anon"
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// Historical k-anonymity (paper Def. 8): a series of generalized
+// contexts is safe while at least k−1 other users' histories remain
+// consistent with every one of them. Here users 1 and 2 share the whole
+// home→office pattern; user 3 shares only the home area, so the second
+// context drops it from the anonymity set.
+func ExampleSatisfiesHistoricalK() {
+	store := phl.NewStore()
+	record := func(u phl.UserID, x, y float64, t int64) {
+		store.Record(u, geo.STPoint{P: geo.Point{X: x, Y: y}, T: t})
+	}
+	record(1, 10, 10, 100)
+	record(1, 500, 500, 200)
+	record(2, 12, 8, 105)
+	record(2, 505, 498, 210)
+	record(3, 9, 11, 95) // home only
+
+	home := geo.STBox{
+		Area: geo.Rect{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20},
+		Time: geo.Interval{Start: 90, End: 110},
+	}
+	office := geo.STBox{
+		Area: geo.Rect{MinX: 490, MinY: 490, MaxX: 510, MaxY: 510},
+		Time: geo.Interval{Start: 190, End: 215},
+	}
+
+	fmt.Println("home only, k=3:", anon.SatisfiesHistoricalK(store, 1, []geo.STBox{home}, 3))
+	fmt.Println("home+office, k=3:", anon.SatisfiesHistoricalK(store, 1, []geo.STBox{home, office}, 3))
+	fmt.Println("home+office, k=2:", anon.SatisfiesHistoricalK(store, 1, []geo.STBox{home, office}, 2))
+	// Output:
+	// home only, k=3: true
+	// home+office, k=3: false
+	// home+office, k=2: true
+}

@@ -1,0 +1,214 @@
+package baseline
+
+import (
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+func pt(x, y float64, t int64) geo.STPoint {
+	return geo.STPoint{P: geo.Point{X: x, Y: y}, T: t}
+}
+
+func req(u int64, x, y float64, t int64) Request {
+	return Request{User: phl.UserID(u), Point: pt(x, y, t)}
+}
+
+func TestNoOp(t *testing.T) {
+	out := NoOp{}.CloakAll([]Request{req(1, 10, 20, 30)}, 5)
+	if len(out) != 1 || !out[0].OK {
+		t.Fatalf("out=%v", out)
+	}
+	if out[0].Box.Area.Area() != 0 || out[0].Box.Time.Duration() != 0 {
+		t.Fatalf("noop must keep exact context: %v", out[0].Box)
+	}
+	if (NoOp{}).Name() != "noop" {
+		t.Fatal("name")
+	}
+}
+
+func TestFixedGrid(t *testing.T) {
+	g := FixedGrid{Cell: 100, Window: 60}
+	out := g.CloakAll([]Request{req(1, 150, 250, 75), req(2, 199, 299, 119)}, 5)
+	if !out[0].OK || !out[1].OK {
+		t.Fatal("fixed grid never fails")
+	}
+	want := geo.STBox{
+		Area: geo.Rect{MinX: 100, MinY: 200, MaxX: 200, MaxY: 300},
+		Time: geo.Interval{Start: 60, End: 119},
+	}
+	if out[0].Box != want || out[1].Box != want {
+		t.Fatalf("boxes: %v / %v want %v", out[0].Box, out[1].Box, want)
+	}
+	if !out[0].Box.Contains(pt(150, 250, 75)) {
+		t.Fatal("cell must contain the request point")
+	}
+	// Negative coordinates snap downward.
+	out = g.CloakAll([]Request{req(1, -50, -50, -30)}, 5)
+	if !out[0].Box.Contains(pt(-50, -50, -30)) {
+		t.Fatalf("negative snap wrong: %v", out[0].Box)
+	}
+	// Defaults kick in.
+	out = FixedGrid{}.CloakAll([]Request{req(1, 10, 10, 10)}, 5)
+	if out[0].Box.Area.Width() != 500 {
+		t.Fatalf("default cell: %v", out[0].Box)
+	}
+}
+
+func ggStore() *phl.Store {
+	s := phl.NewStore()
+	// A dense cluster in the SW corner of a 1000x1000 city and one
+	// isolated user in the NE.
+	for i := 0; i < 8; i++ {
+		s.Record(phl.UserID(i), pt(50+float64(i)*10, 50, 100))
+	}
+	s.Record(99, pt(900, 900, 100))
+	return s
+}
+
+func TestGruteserGrunwaldDescends(t *testing.T) {
+	g := GruteserGrunwald{
+		Store:  ggStore(),
+		City:   geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		Window: 50,
+	}
+	out := g.CloakAll([]Request{req(0, 60, 50, 100)}, 4)
+	if !out[0].OK {
+		t.Fatal("dense corner must cloak")
+	}
+	box := out[0].Box
+	if !box.Area.Contains(geo.Point{X: 60, Y: 50}) {
+		t.Fatalf("box %v misses requester", box)
+	}
+	if box.Area.Width() >= 1000 {
+		t.Fatalf("must descend below the city root: %v", box)
+	}
+	if g.Store.CountUsersIn(box) < 4 {
+		t.Fatalf("cloak covers %d users", g.Store.CountUsersIn(box))
+	}
+}
+
+func TestGruteserGrunwaldIsolatedUserGetsBigBox(t *testing.T) {
+	g := GruteserGrunwald{
+		Store:  ggStore(),
+		City:   geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		Window: 50,
+	}
+	dense := g.CloakAll([]Request{req(0, 60, 50, 100)}, 4)[0]
+	lonely := g.CloakAll([]Request{req(99, 900, 900, 100)}, 4)[0]
+	if !lonely.OK {
+		t.Fatal("whole city covers 9 users; k=4 must succeed at the root")
+	}
+	if lonely.Box.Area.Area() <= dense.Box.Area.Area() {
+		t.Fatalf("isolated user must get a larger cloak: %v vs %v",
+			lonely.Box.Area, dense.Box.Area)
+	}
+}
+
+func TestGruteserGrunwaldFailures(t *testing.T) {
+	g := GruteserGrunwald{
+		Store: ggStore(),
+		City:  geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+	}
+	// k exceeds the whole population in the window.
+	if out := g.CloakAll([]Request{req(0, 60, 50, 100)}, 50); out[0].OK {
+		t.Fatal("k=50 with 9 users must fail")
+	}
+	// Request outside the city.
+	if out := g.CloakAll([]Request{req(0, -10, -10, 100)}, 2); out[0].OK {
+		t.Fatal("outside the city must fail")
+	}
+}
+
+func TestGedikLiuNeedsActualSenders(t *testing.T) {
+	g := GedikLiu{MaxRadius: 500, MaxDefer: 300}
+	// Three users requesting near each other in time and space, one far.
+	reqs := []Request{
+		req(1, 0, 0, 0),
+		req(2, 100, 0, 60),
+		req(3, 0, 100, 120),
+		req(4, 5000, 5000, 60),
+	}
+	out := g.CloakAll(reqs, 3)
+	for i := 0; i < 3; i++ {
+		if !out[i].OK {
+			t.Fatalf("request %d must cloak: %v", i, out[i])
+		}
+		if !out[i].Box.Contains(reqs[i].Point) {
+			t.Fatalf("request %d box misses its point", i)
+		}
+	}
+	if out[3].OK {
+		t.Fatal("isolated requester must be dropped")
+	}
+	// With k=4, nobody has enough companions.
+	out = g.CloakAll(reqs, 4)
+	for i, c := range out {
+		if c.OK {
+			t.Fatalf("request %d must fail at k=4", i)
+		}
+	}
+}
+
+func TestGedikLiuSameUserRequestsDontCount(t *testing.T) {
+	g := GedikLiu{MaxRadius: 500, MaxDefer: 300}
+	reqs := []Request{
+		req(1, 0, 0, 0),
+		req(1, 10, 0, 30), // same user again
+		req(2, 20, 0, 60),
+	}
+	out := g.CloakAll(reqs, 3)
+	if out[0].OK {
+		t.Fatal("two distinct users only; k=3 must fail")
+	}
+	out = g.CloakAll(reqs, 2)
+	if !out[0].OK {
+		t.Fatal("k=2 must succeed")
+	}
+}
+
+func TestAnonymizerNames(t *testing.T) {
+	for _, a := range []Anonymizer{NoOp{}, FixedGrid{}, GruteserGrunwald{}, GedikLiu{}} {
+		if a.Name() == "" {
+			t.Fatalf("%T has no name", a)
+		}
+	}
+}
+
+func TestGruteserGrunwaldTemporalCloaking(t *testing.T) {
+	// Users visit the area at spread-out times: the 50s window covers too
+	// few, but widening (temporal cloaking) finds them.
+	s := phl.NewStore()
+	for i := 0; i < 5; i++ {
+		s.Record(phl.UserID(i), pt(100, 100, int64(i)*1000))
+	}
+	g := GruteserGrunwald{
+		Store:  s,
+		City:   geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000},
+		Window: 50,
+	}
+	// Without adaptation: fail.
+	out := g.CloakAll([]Request{req(0, 100, 100, 0)}, 4)
+	if out[0].OK {
+		t.Fatal("narrow window must fail without MaxWindow")
+	}
+	// With adaptation: the window doubles until it covers 4 users.
+	g.MaxWindow = 10000
+	out = g.CloakAll([]Request{req(0, 100, 100, 0)}, 4)
+	if !out[0].OK {
+		t.Fatal("temporal cloaking must succeed")
+	}
+	if d := out[0].Box.Time.Duration(); d < 3000 {
+		t.Fatalf("window too small to cover 4 users: %d", d)
+	}
+	if n := s.CountUsersIn(out[0].Box); n < 4 {
+		t.Fatalf("cloak covers %d users", n)
+	}
+	// A bound below what is needed still fails.
+	g.MaxWindow = 500
+	out = g.CloakAll([]Request{req(0, 100, 100, 0)}, 4)
+	if out[0].OK {
+		t.Fatal("MaxWindow=500 cannot reach users 3000s away")
+	}
+}

@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"sort"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// GedikLiuEngine is the online form of the Gedik–Liu model (paper
+// ref. [9]): requests are *deferred* while the engine waits for k−1
+// companion requests from other users in the spatio-temporal vicinity.
+// When a clique forms, all its members are released together under one
+// cloak; a request whose deadline passes without a clique is dropped.
+// (The batch GedikLiu type answers the same question retrospectively;
+// the engine reproduces the deferral dynamics — latency and drops — of
+// the real middleware.)
+//
+// The engine is event-time driven: Submit buffers a request, Advance
+// moves the clock forward and returns everything that resolved. It is
+// not safe for concurrent use.
+type GedikLiuEngine struct {
+	// MaxRadius bounds the spatial distance between clique members.
+	// Zero means 1000 m.
+	MaxRadius float64
+	// MaxDefer is each request's deadline after its issue time.
+	// Zero means 600 s.
+	MaxDefer int64
+	// K is the required clique size (distinct users).
+	K int
+
+	pending []*pendingReq
+	nextSeq int64
+}
+
+type pendingReq struct {
+	seq      int64
+	req      Request
+	deadline int64
+}
+
+// Outcome is one resolved request.
+type Outcome struct {
+	// Request is the original request.
+	Request Request
+	// Cloaked is true when a clique formed; Box is then the clique's
+	// joint cloak. False means the deadline passed: the message is
+	// dropped.
+	Cloaked bool
+	Box     geo.STBox
+	// Deferral is how long the request waited (seconds).
+	Deferral int64
+}
+
+// NewGedikLiuEngine returns an engine requiring cliques of k users.
+func NewGedikLiuEngine(k int, maxRadius float64, maxDefer int64) *GedikLiuEngine {
+	return &GedikLiuEngine{K: k, MaxRadius: maxRadius, MaxDefer: maxDefer}
+}
+
+func (e *GedikLiuEngine) maxRadius() float64 {
+	if e.MaxRadius <= 0 {
+		return 1000
+	}
+	return e.MaxRadius
+}
+
+func (e *GedikLiuEngine) maxDefer() int64 {
+	if e.MaxDefer <= 0 {
+		return 600
+	}
+	return e.MaxDefer
+}
+
+// Pending returns how many requests are currently deferred.
+func (e *GedikLiuEngine) Pending() int { return len(e.pending) }
+
+// Submit buffers a request and returns any outcomes it resolves
+// immediately (it may complete a clique). Submissions must be in
+// non-decreasing time order; Advance(r.Point.T) is applied first, so
+// overdue older requests resolve before the new one is considered.
+func (e *GedikLiuEngine) Submit(r Request) []Outcome {
+	out := e.Advance(r.Point.T)
+	e.nextSeq++
+	e.pending = append(e.pending, &pendingReq{
+		seq:      e.nextSeq,
+		req:      r,
+		deadline: r.Point.T + e.maxDefer(),
+	})
+	if res := e.tryClique(r.Point.T); res != nil {
+		out = append(out, res...)
+	}
+	return out
+}
+
+// Advance moves event time forward, dropping every pending request
+// whose deadline passed.
+func (e *GedikLiuEngine) Advance(now int64) []Outcome {
+	var out []Outcome
+	keep := e.pending[:0]
+	for _, p := range e.pending {
+		if p.deadline < now {
+			out = append(out, Outcome{
+				Request:  p.req,
+				Cloaked:  false,
+				Deferral: p.deadline - p.req.Point.T,
+			})
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	e.pending = keep
+	return out
+}
+
+// Flush drops everything still pending (end of stream).
+func (e *GedikLiuEngine) Flush() []Outcome {
+	var out []Outcome
+	for _, p := range e.pending {
+		out = append(out, Outcome{Request: p.req, Cloaked: false, Deferral: e.maxDefer()})
+	}
+	e.pending = nil
+	return out
+}
+
+// tryClique searches for a clique of K distinct users around the newest
+// request and, when found, releases all its members together.
+func (e *GedikLiuEngine) tryClique(now int64) []Outcome {
+	if e.K < 1 || len(e.pending) == 0 {
+		return nil
+	}
+	newest := e.pending[len(e.pending)-1]
+	// Candidates: pending requests of distinct users within the radius
+	// of the newest one (a star-shaped approximation of CliqueCloak's
+	// clique detection, standard in reimplementations).
+	byUser := map[phl.UserID]*pendingReq{}
+	byUser[newest.req.User] = newest
+	for _, p := range e.pending {
+		if p == newest {
+			continue
+		}
+		if _, dup := byUser[p.req.User]; dup {
+			continue
+		}
+		if p.req.Point.P.Dist(newest.req.Point.P) <= e.maxRadius() {
+			byUser[p.req.User] = p
+		}
+	}
+	if len(byUser) < e.K {
+		return nil
+	}
+	// Prefer the oldest waiting members (closest deadlines first).
+	members := make([]*pendingReq, 0, len(byUser))
+	for _, p := range byUser {
+		members = append(members, p)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].seq < members[j].seq })
+	members = members[:e.K]
+	// The clique must include the newest request to justify releasing
+	// now; if it is not among the K oldest, swap it in for the youngest.
+	hasNewest := false
+	for _, m := range members {
+		if m == newest {
+			hasNewest = true
+			break
+		}
+	}
+	if !hasNewest {
+		members[len(members)-1] = newest
+	}
+
+	box := geo.STBoxAround(members[0].req.Point)
+	for _, m := range members[1:] {
+		box = box.Extend(m.req.Point)
+	}
+	inClique := map[*pendingReq]bool{}
+	for _, m := range members {
+		inClique[m] = true
+	}
+	keep := e.pending[:0]
+	var out []Outcome
+	for _, p := range e.pending {
+		if inClique[p] {
+			out = append(out, Outcome{
+				Request:  p.req,
+				Cloaked:  true,
+				Box:      box,
+				Deferral: now - p.req.Point.T,
+			})
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	e.pending = keep
+	return out
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"testing"
+
+	"histanon/internal/mobility"
+	"histanon/internal/phl"
+)
+
+func TestEngineCliqueForms(t *testing.T) {
+	e := NewGedikLiuEngine(3, 500, 300)
+	if out := e.Submit(req(1, 0, 0, 0)); len(out) != 0 {
+		t.Fatalf("first request resolved early: %v", out)
+	}
+	if out := e.Submit(req(2, 100, 0, 60)); len(out) != 0 {
+		t.Fatalf("second request resolved early: %v", out)
+	}
+	out := e.Submit(req(3, 0, 100, 120))
+	if len(out) != 3 {
+		t.Fatalf("clique of 3 expected, got %d outcomes", len(out))
+	}
+	var box = out[0].Box
+	for _, o := range out {
+		if !o.Cloaked {
+			t.Fatalf("clique member dropped: %+v", o)
+		}
+		if o.Box != box {
+			t.Fatal("clique members must share one cloak")
+		}
+		if !o.Box.Contains(o.Request.Point) {
+			t.Fatal("cloak must contain each member")
+		}
+	}
+	// The first member waited 120 s.
+	var oldest *Outcome
+	for i := range out {
+		if out[i].Request.User == 1 {
+			oldest = &out[i]
+		}
+	}
+	if oldest == nil || oldest.Deferral != 120 {
+		t.Fatalf("oldest deferral: %+v", oldest)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending=%d after release", e.Pending())
+	}
+}
+
+func TestEngineDeadlineDrops(t *testing.T) {
+	e := NewGedikLiuEngine(3, 500, 300)
+	e.Submit(req(1, 0, 0, 0))
+	// Time passes beyond the deadline before companions appear.
+	out := e.Advance(400)
+	if len(out) != 1 || out[0].Cloaked {
+		t.Fatalf("expected one drop: %v", out)
+	}
+	if e.Pending() != 0 {
+		t.Fatal("dropped request still pending")
+	}
+	// Submission also advances time: a too-late companion triggers the
+	// drop of an expired one.
+	e.Submit(req(2, 0, 0, 0))
+	out = e.Submit(req(3, 10, 0, 1000))
+	if len(out) != 1 || out[0].Request.User != 2 || out[0].Cloaked {
+		t.Fatalf("expired request must drop on submit: %v", out)
+	}
+}
+
+func TestEngineDistantRequestsDontClique(t *testing.T) {
+	e := NewGedikLiuEngine(2, 100, 300)
+	e.Submit(req(1, 0, 0, 0))
+	if out := e.Submit(req(2, 5000, 0, 10)); len(out) != 0 {
+		t.Fatalf("distant requests must not clique: %v", out)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending=%d", e.Pending())
+	}
+}
+
+func TestEngineSameUserNoClique(t *testing.T) {
+	e := NewGedikLiuEngine(2, 500, 300)
+	e.Submit(req(1, 0, 0, 0))
+	if out := e.Submit(req(1, 10, 0, 10)); len(out) != 0 {
+		t.Fatalf("same-user requests must not clique: %v", out)
+	}
+}
+
+func TestEngineFlush(t *testing.T) {
+	e := NewGedikLiuEngine(5, 500, 300)
+	e.Submit(req(1, 0, 0, 0))
+	e.Submit(req(2, 10, 0, 10))
+	out := e.Flush()
+	if len(out) != 2 || out[0].Cloaked || out[1].Cloaked {
+		t.Fatalf("flush must drop the stragglers: %v", out)
+	}
+	if e.Pending() != 0 {
+		t.Fatal("pending after flush")
+	}
+}
+
+// TestEngineOnSyntheticStream drives the engine with a real request
+// stream and checks the release/drop accounting plus the k-anonymity of
+// every released cloak (k distinct users inside by construction).
+func TestEngineOnSyntheticStream(t *testing.T) {
+	cfg := mobility.DefaultConfig()
+	cfg.Users = 80
+	cfg.Days = 2
+	world := mobility.Generate(cfg)
+
+	const k = 3
+	e := NewGedikLiuEngine(k, 1500, 900)
+	cloaked, dropped := 0, 0
+	users := map[phl.UserID]bool{}
+	var outs []Outcome
+	for _, ev := range world.Requests() {
+		outs = append(outs, e.Submit(Request{User: ev.User, Point: ev.Point})...)
+	}
+	outs = append(outs, e.Flush()...)
+	for _, o := range outs {
+		users[o.Request.User] = true
+		if o.Cloaked {
+			cloaked++
+			if o.Deferral < 0 || o.Deferral > 900 {
+				t.Fatalf("deferral out of range: %+v", o)
+			}
+		} else {
+			dropped++
+		}
+	}
+	total := cloaked + dropped
+	if total != len(world.Requests()) {
+		t.Fatalf("accounting: %d outcomes for %d requests", total, len(world.Requests()))
+	}
+	if cloaked == 0 || dropped == 0 {
+		t.Fatalf("expected both outcomes in a city stream: cloaked=%d dropped=%d", cloaked, dropped)
+	}
+	// Every released group has exactly k members sharing a box: verify
+	// via box identity counting.
+	byBox := map[string]map[phl.UserID]bool{}
+	for _, o := range outs {
+		if !o.Cloaked {
+			continue
+		}
+		key := o.Box.String()
+		if byBox[key] == nil {
+			byBox[key] = map[phl.UserID]bool{}
+		}
+		byBox[key][o.Request.User] = true
+	}
+	for key, members := range byBox {
+		if len(members) < k {
+			t.Fatalf("cloak %s has %d distinct users, want >= %d", key, len(members), k)
+		}
+	}
+}

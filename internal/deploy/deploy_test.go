@@ -1,0 +1,147 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"histanon/internal/generalize"
+	"histanon/internal/geo"
+	"histanon/internal/mixzone"
+	"histanon/internal/mobility"
+	"histanon/internal/phl"
+)
+
+func cityStore(users, days int) *phl.Store {
+	cfg := mobility.DefaultConfig()
+	cfg.Users = users
+	cfg.Days = days
+	world := mobility.Generate(cfg)
+	store := phl.NewStore()
+	for _, ev := range world.Events {
+		store.Record(ev.User, ev.Point)
+	}
+	return store
+}
+
+func TestAnalyzeDeployableUnlimited(t *testing.T) {
+	store := cityStore(60, 5)
+	rep, err := Analyze(Input{
+		Store:     store,
+		Metric:    geo.STMetric{TimeScale: 1},
+		K:         3,
+		Tolerance: generalize.Unlimited,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	if rep.FeasibleRate < 0.99 {
+		t.Fatalf("unlimited tolerance must be ~always feasible: %.2f", rep.FeasibleRate)
+	}
+	if rep.Verdict != Deployable {
+		t.Fatalf("verdict=%v", rep.Verdict)
+	}
+	if rep.CloakArea.N() == 0 || rep.CloakArea.Mean() <= 0 {
+		t.Fatal("cloak statistics missing")
+	}
+}
+
+func TestAnalyzeNotDeployableTightTolerance(t *testing.T) {
+	store := cityStore(40, 5)
+	rep, err := Analyze(Input{
+		Store:  store,
+		Metric: geo.STMetric{TimeScale: 1},
+		K:      10,
+		Tolerance: generalize.Tolerance{
+			MaxWidth: 20, MaxHeight: 20, MaxDuration: 10,
+		},
+		// No zones and an impossible divergence bar: no unlinking cover.
+		Divergence: mixzone.Divergence{MinAngle: 3.14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FeasibleRate > 0.2 {
+		t.Fatalf("20m tolerance at k=10 should rarely be feasible: %.2f", rep.FeasibleRate)
+	}
+	if rep.Verdict != NotDeployable {
+		t.Fatalf("verdict=%v (covered=%.2f)", rep.Verdict, rep.CoveredRate)
+	}
+}
+
+func TestAnalyzeUnlinkingRescuesVerdict(t *testing.T) {
+	store := cityStore(40, 5)
+	in := Input{
+		Store:  store,
+		Metric: geo.STMetric{TimeScale: 1},
+		K:      8,
+		Tolerance: generalize.Tolerance{
+			MaxWidth: 50, MaxHeight: 50, MaxDuration: 30,
+		},
+		Divergence: mixzone.Divergence{MinAngle: 3.14},
+	}
+	base, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blanket the whole city with natural mix zones: the verdict must
+	// improve to deployable-with-unlinking.
+	in.Zones = mixzone.NewRegistry(mixzone.Zone{
+		Name: "downtown",
+		Area: geo.Rect{MinX: -1e6, MinY: -1e6, MaxX: 1e6, MaxY: 1e6},
+	})
+	rescued, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Verdict == Deployable {
+		t.Fatalf("precondition failed: base should not be plainly deployable")
+	}
+	if rescued.Verdict != DeployableWithUnlinking {
+		t.Fatalf("verdict=%v (natural=%.2f covered=%.2f)",
+			rescued.Verdict, rescued.NaturalZoneRate, rescued.CoveredRate)
+	}
+	if rescued.NaturalZoneRate < 0.99 {
+		t.Fatalf("zone rate=%.2f", rescued.NaturalZoneRate)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(Input{}); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	store := phl.NewStore()
+	store.Record(0, geo.STPoint{T: 1})
+	if _, err := Analyze(Input{Store: store, K: 1}); err == nil {
+		t.Fatal("k=1 must fail")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Deployable.String() != "deployable" ||
+		DeployableWithUnlinking.String() != "deployable-with-unlinking" ||
+		NotDeployable.String() != "not-deployable" {
+		t.Fatal("verdict names wrong")
+	}
+	if Verdict(9).String() == "" {
+		t.Fatal("unknown verdict must render")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	store := cityStore(30, 3)
+	rep, err := Analyze(Input{
+		Store: store, Metric: geo.STMetric{TimeScale: 1}, K: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Format()
+	for _, want := range []string{"samples:", "feasible", "verdict:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Format misses %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package generalize_test
+
+import (
+	"fmt"
+
+	"histanon/internal/generalize"
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+	"histanon/internal/stindex"
+)
+
+// Algorithm 1, first element: the request point is enclosed in the
+// smallest box crossed by k−1 other users' trajectories.
+func Example() {
+	store := phl.NewStore()
+	idx := stindex.NewGrid(500, 900)
+	add := func(u phl.UserID, x, y float64, t int64) {
+		p := geo.STPoint{P: geo.Point{X: x, Y: y}, T: t}
+		store.Record(u, p)
+		idx.Insert(u, p)
+	}
+	// Issuer 0 at the origin; neighbors at growing distances.
+	add(0, 0, 0, 0)
+	add(1, 40, 0, 10)
+	add(2, 0, 60, 20)
+	add(3, 90, 90, 30)
+	add(4, 2000, 2000, 40)
+
+	g := &generalize.Generalizer{Index: idx, Store: store, Metric: geo.STMetric{TimeScale: 1}}
+	res, ok := g.FirstElement(geo.STPoint{P: geo.Point{X: 0, Y: 0}, T: 0}, 0, 4, generalize.Unlimited)
+	fmt.Println("ok:", ok, "hk-anonymity:", res.HKAnonymity)
+	fmt.Println("witnesses:", len(res.Users), "box:", res.Box.Area)
+	fmt.Println("users covered by the box:", store.CountUsersIn(res.Box))
+	// Output:
+	// ok: true hk-anonymity: true
+	// witnesses: 3 box: [0.0,90.0]x[0.0,90.0]
+	// users covered by the box: 4
+}
+
+// Tolerance constraints force the HK-anonymity=false branch: the box is
+// uniformly shrunk to the service's coarsest useful resolution.
+func ExampleTolerance() {
+	store := phl.NewStore()
+	idx := stindex.NewGrid(500, 900)
+	for u := phl.UserID(1); u <= 3; u++ {
+		p := geo.STPoint{P: geo.Point{X: float64(u) * 400, Y: 0}, T: int64(u)}
+		store.Record(u, p)
+		idx.Insert(u, p)
+	}
+	g := &generalize.Generalizer{Index: idx, Store: store, Metric: geo.STMetric{TimeScale: 1}}
+	tol := generalize.Tolerance{MaxWidth: 100, MaxHeight: 100, MaxDuration: 60}
+	res, _ := g.FirstElement(geo.STPoint{}, 0, 4, tol)
+	fmt.Println("hk-anonymity:", res.HKAnonymity)
+	fmt.Println("clamped width:", res.Box.Area.Width())
+	// Output:
+	// hk-anonymity: false
+	// clamped width: 100
+}

@@ -1,0 +1,377 @@
+package generalize
+
+import (
+	"math/rand"
+	"testing"
+
+	"histanon/internal/anon"
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+	"histanon/internal/stindex"
+)
+
+func pt(x, y float64, t int64) geo.STPoint {
+	return geo.STPoint{P: geo.Point{X: x, Y: y}, T: t}
+}
+
+// buildDB returns a store+index pair filled by fn.
+func buildDB(fn func(add func(u phl.UserID, p geo.STPoint))) *Generalizer {
+	store := phl.NewStore()
+	idx := stindex.NewGrid(200, 600)
+	fn(func(u phl.UserID, p geo.STPoint) {
+		store.Record(u, p)
+		idx.Insert(u, p)
+	})
+	return &Generalizer{Index: idx, Store: store, Metric: geo.STMetric{TimeScale: 1}}
+}
+
+// clusterDB places the issuer (user 0) at the origin with n neighbors at
+// increasing distances, all near t=0.
+func clusterDB(n int) *Generalizer {
+	return buildDB(func(add func(phl.UserID, geo.STPoint)) {
+		add(0, pt(0, 0, 0))
+		for i := 1; i <= n; i++ {
+			add(phl.UserID(i), pt(float64(10*i), 0, int64(i)))
+		}
+	})
+}
+
+func TestFirstElementBasics(t *testing.T) {
+	g := clusterDB(6)
+	q := pt(0, 0, 0)
+	res, ok := g.FirstElement(q, 0, 4, Unlimited)
+	if !ok {
+		t.Fatal("expected success")
+	}
+	if !res.HKAnonymity {
+		t.Fatal("unlimited tolerance must preserve anonymity")
+	}
+	if len(res.Users) != 3 || len(res.Points) != 3 {
+		t.Fatalf("selected %d users, want k-1=3", len(res.Users))
+	}
+	if !res.Box.Contains(q) {
+		t.Fatalf("box %v must contain the request point", res.Box)
+	}
+	for i, p := range res.Points {
+		if !res.Box.Contains(p) {
+			t.Fatalf("box misses witness point %d: %v", i, p)
+		}
+		if res.Users[i] == 0 {
+			t.Fatal("issuer selected as its own witness")
+		}
+	}
+	// Nearest-first selection: users 1,2,3.
+	want := map[phl.UserID]bool{1: true, 2: true, 3: true}
+	for _, u := range res.Users {
+		if !want[u] {
+			t.Fatalf("unexpected witness %v", u)
+		}
+	}
+	// The box certifies historical k-anonymity for the single request.
+	if !anon.SatisfiesHistoricalK(g.Store, 0, []geo.STBox{res.Box}, 4) {
+		t.Fatal("box must satisfy historical 4-anonymity")
+	}
+}
+
+func TestFirstElementInsufficientUsers(t *testing.T) {
+	g := clusterDB(2)
+	if _, ok := g.FirstElement(pt(0, 0, 0), 0, 5, Unlimited); ok {
+		t.Fatal("only 2 other users exist; k=5 must fail")
+	}
+	if _, ok := g.FirstElement(pt(0, 0, 0), 0, 0, Unlimited); ok {
+		t.Fatal("k=0 is invalid")
+	}
+	// k=1 means no witnesses needed: the degenerate box around q.
+	res, ok := g.FirstElement(pt(0, 0, 0), 0, 1, Unlimited)
+	if !ok || len(res.Users) != 0 || res.Box.Area.Area() != 0 {
+		t.Fatalf("k=1: %+v ok=%v", res, ok)
+	}
+}
+
+func TestFirstElementToleranceClamp(t *testing.T) {
+	g := clusterDB(6)
+	q := pt(0, 0, 0)
+	tol := Tolerance{MaxWidth: 15, MaxHeight: 15, MaxDuration: 1}
+	res, ok := g.FirstElement(q, 0, 4, tol)
+	if !ok {
+		t.Fatal("expected a (clamped) result")
+	}
+	if res.HKAnonymity {
+		t.Fatal("witnesses span 30m; 15m tolerance must fail anonymity")
+	}
+	if !tol.Allows(res.Box) {
+		t.Fatalf("clamped box %v exceeds tolerance", res.Box)
+	}
+	if !res.Box.Contains(q) {
+		t.Fatalf("clamped box %v lost the request point", res.Box)
+	}
+}
+
+func TestNextElement(t *testing.T) {
+	g := buildDB(func(add func(phl.UserID, geo.STPoint)) {
+		// Two witnesses with samples near the evening location.
+		add(1, pt(0, 0, 0))
+		add(1, pt(1000, 0, 3600))
+		add(2, pt(5, 5, 10))
+		add(2, pt(1010, 5, 3650))
+	})
+	q := pt(1005, 0, 3620)
+	res := g.NextElement(q, []phl.UserID{1, 2}, Unlimited)
+	if !res.HKAnonymity || len(res.Users) != 2 {
+		t.Fatalf("result: %+v", res)
+	}
+	if !res.Box.Contains(q) {
+		t.Fatal("box must contain the request point")
+	}
+	// The evening samples, not the morning ones, must be selected.
+	for _, p := range res.Points {
+		if p.T < 3000 {
+			t.Fatalf("selected a morning sample %v", p)
+		}
+	}
+}
+
+func TestNextElementDropsUnknownUsers(t *testing.T) {
+	g := buildDB(func(add func(phl.UserID, geo.STPoint)) {
+		add(1, pt(0, 0, 0))
+	})
+	res := g.NextElement(pt(0, 0, 0), []phl.UserID{1, 99}, Unlimited)
+	if len(res.Users) != 1 || res.Users[0] != 1 {
+		t.Fatalf("users: %v", res.Users)
+	}
+}
+
+func TestToleranceAllows(t *testing.T) {
+	b := geo.STBox{
+		Area: geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 50},
+		Time: geo.Interval{Start: 0, End: 60},
+	}
+	cases := []struct {
+		tol  Tolerance
+		want bool
+	}{
+		{Unlimited, true},
+		{Tolerance{MaxWidth: 100, MaxHeight: 50, MaxDuration: 60}, true},
+		{Tolerance{MaxWidth: 99}, false},
+		{Tolerance{MaxHeight: 49}, false},
+		{Tolerance{MaxDuration: 59}, false},
+		{Tolerance{MaxWidth: 1000, MaxHeight: 1000, MaxDuration: 1000}, true},
+	}
+	for i, c := range cases {
+		if got := c.tol.Allows(b); got != c.want {
+			t.Errorf("case %d: Allows=%v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDecayScheduleKAt(t *testing.T) {
+	d := DecaySchedule{Target: 5, Initial: 10, Step: 2}
+	want := []int{10, 8, 6, 5, 5, 5}
+	for i, w := range want {
+		if got := d.kAt(i); got != w {
+			t.Errorf("kAt(%d)=%d want %d", i, got, w)
+		}
+	}
+	// Defaults: Initial<Target is lifted, Step 0 means 1.
+	d = DecaySchedule{Target: 5}
+	if d.kAt(0) != 5 || d.kAt(3) != 5 {
+		t.Error("default schedule must stay at Target")
+	}
+	d = DecaySchedule{Target: 3, Initial: 6}
+	if d.kAt(1) != 5 || d.kAt(2) != 4 || d.kAt(9) != 3 {
+		t.Errorf("unit-step decay wrong: %d %d %d", d.kAt(1), d.kAt(2), d.kAt(9))
+	}
+}
+
+// traceDB builds commuters: users 0..n-1 all move from a home cluster to
+// an office cluster; users n..2n-1 stay home. The issuer is user 0.
+func traceDB(n int) *Generalizer {
+	return buildDB(func(add func(phl.UserID, geo.STPoint)) {
+		for i := 0; i < n; i++ {
+			u := phl.UserID(i)
+			add(u, pt(float64(5*i), 0, int64(i)))           // home, ~t0
+			add(u, pt(2000+float64(5*i), 0, 3600+int64(i))) // office, ~t1
+			add(u, pt(float64(5*i), 0, 2*3600+int64(i)))    // home, ~t2
+		}
+		for i := n; i < 2*n; i++ {
+			add(phl.UserID(i), pt(float64(5*i), 0, int64(i))) // home only
+		}
+	})
+}
+
+func TestSessionPreservesHistoricalK(t *testing.T) {
+	g := traceDB(8)
+	const k = 4
+	s := NewSession(g, 0, DecaySchedule{Target: k})
+	trace := []geo.STPoint{pt(0, 0, 0), pt(2000, 0, 3600), pt(0, 0, 7200)}
+	var boxes []geo.STBox
+	for i, q := range trace {
+		res, ok := s.Generalize(q, Unlimited)
+		if !ok {
+			t.Fatalf("step %d failed", i)
+		}
+		if !res.HKAnonymity {
+			t.Fatalf("step %d lost anonymity: %+v", i, res)
+		}
+		boxes = append(boxes, res.Box)
+	}
+	if !anon.SatisfiesHistoricalK(g.Store, 0, boxes, k) {
+		t.Fatal("all-green session must certify historical k-anonymity")
+	}
+	if got := anon.HistoricalLevel(g.Store, 0, boxes); got < k {
+		t.Fatalf("historical level %d < k=%d", got, k)
+	}
+}
+
+func TestSessionDecayNarrowsWitnesses(t *testing.T) {
+	g := traceDB(12)
+	s := NewSession(g, 0, DecaySchedule{Target: 3, Initial: 8, Step: 2})
+	trace := []geo.STPoint{pt(0, 0, 0), pt(2000, 0, 3600), pt(0, 0, 7200), pt(2000, 0, 3605)}
+	sizes := []int{}
+	prev := map[phl.UserID]bool{}
+	for i, q := range trace {
+		res, ok := s.Generalize(q, Unlimited)
+		if !ok {
+			t.Fatalf("step %d failed", i)
+		}
+		sizes = append(sizes, len(res.Users))
+		// Witness sets must only shrink (never introduce a new user).
+		if i > 0 {
+			for _, u := range res.Users {
+				if !prev[u] {
+					t.Fatalf("step %d introduced new witness %v", i, u)
+				}
+			}
+		}
+		prev = map[phl.UserID]bool{}
+		for _, u := range res.Users {
+			prev[u] = true
+		}
+	}
+	// k'−1 = 7, then 5, then 3, floor at Target−1 = 2.
+	want := []int{7, 5, 3, 2}
+	for i, w := range want {
+		if sizes[i] != w {
+			t.Fatalf("witness sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestSessionFailsBelowTarget(t *testing.T) {
+	// Only 2 other users exist; target 4 must fail at the first step.
+	g := clusterDB(2)
+	s := NewSession(g, 0, DecaySchedule{Target: 4})
+	if _, ok := s.Generalize(pt(0, 0, 0), Unlimited); ok {
+		t.Fatal("expected first-step failure")
+	}
+}
+
+func TestSessionRandomizedInvariant(t *testing.T) {
+	// Whatever the geometry, an all-HK-true session over recorded request
+	// points must yield boxes for which Def. 8 holds.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		users := 6 + rng.Intn(10)
+		steps := 2 + rng.Intn(4)
+		store := phl.NewStore()
+		idx := stindex.NewGrid(300, 900)
+		add := func(u phl.UserID, p geo.STPoint) {
+			store.Record(u, p)
+			idx.Insert(u, p)
+		}
+		var trace []geo.STPoint
+		for s := 0; s < steps; s++ {
+			cx, cy := rng.Float64()*5000, rng.Float64()*5000
+			ct := int64(s) * 3600
+			for u := 0; u < users; u++ {
+				p := pt(cx+rng.Float64()*200, cy+rng.Float64()*200, ct+int64(rng.Intn(300)))
+				add(phl.UserID(u), p)
+				if u == 0 {
+					trace = append(trace, p)
+				}
+			}
+		}
+		g := &Generalizer{Index: idx, Store: store, Metric: geo.STMetric{TimeScale: 1}}
+		k := 2 + rng.Intn(4)
+		sess := NewSession(g, 0, DecaySchedule{Target: k, Initial: k + rng.Intn(3)})
+		var boxes []geo.STBox
+		allOK := true
+		for _, q := range trace {
+			res, ok := sess.Generalize(q, Unlimited)
+			if !ok {
+				t.Fatalf("trial %d: unexpected failure", trial)
+			}
+			allOK = allOK && res.HKAnonymity
+			boxes = append(boxes, res.Box)
+		}
+		if allOK && !anon.SatisfiesHistoricalK(store, 0, boxes, k) {
+			t.Fatalf("trial %d: invariant violated (k=%d)", trial, k)
+		}
+	}
+}
+
+func TestToleranceString(t *testing.T) {
+	got := Tolerance{MaxWidth: 100, MaxHeight: 200, MaxDuration: 60}.String()
+	if got == "" {
+		t.Fatal("empty tolerance string")
+	}
+}
+
+func TestSessionStepAndUsersAccessors(t *testing.T) {
+	g := clusterDB(5)
+	s := NewSession(g, 0, DecaySchedule{Target: 3})
+	if s.Step() != 0 || len(s.Users()) != 0 {
+		t.Fatal("fresh session state wrong")
+	}
+	if _, ok := s.Generalize(pt(0, 0, 0), Unlimited); !ok {
+		t.Fatal("generalize failed")
+	}
+	if s.Step() != 1 || len(s.Users()) != 2 {
+		t.Fatalf("after one step: step=%d users=%d", s.Step(), len(s.Users()))
+	}
+}
+
+func TestSessionZeroTargetLifted(t *testing.T) {
+	g := clusterDB(5)
+	s := NewSession(g, 0, DecaySchedule{}) // Target 0 -> lifted to 1
+	res, ok := s.Generalize(pt(0, 0, 0), Unlimited)
+	if !ok || !res.HKAnonymity {
+		t.Fatalf("k=1 session must trivially succeed: %+v ok=%v", res, ok)
+	}
+}
+
+func TestWitnessSamplesBalancesDensity(t *testing.T) {
+	// Each witness has a burst of samples near the request; with
+	// WitnessSamples on, the box must cover several samples of each
+	// witness, not only the single closest.
+	g := buildDB(func(add func(phl.UserID, geo.STPoint)) {
+		for u := 1; u <= 3; u++ {
+			for i := 0; i < 6; i++ {
+				add(phl.UserID(u), pt(float64(100*u)+float64(i)*10, float64(i)*8, int64(i*30)))
+			}
+		}
+	})
+	q := pt(0, 0, 0)
+	plain := g.FirstElementMust(t, q, 0, 4)
+	g.WitnessSamples = 4
+	balanced := g.FirstElementMust(t, q, 0, 4)
+	if !balanced.Box.ContainsBox(plain.Box) {
+		t.Fatalf("balanced box must contain the minimal one: %v vs %v", balanced.Box, plain.Box)
+	}
+	for _, u := range balanced.Users {
+		n := len(g.Store.History(u).In(balanced.Box))
+		if n < 4 {
+			t.Fatalf("witness %v has only %d samples in the balanced box", u, n)
+		}
+	}
+}
+
+// FirstElementMust is a test helper.
+func (g *Generalizer) FirstElementMust(t *testing.T, q geo.STPoint, issuer phl.UserID, k int) Result {
+	t.Helper()
+	res, ok := g.FirstElement(q, issuer, k, Unlimited)
+	if !ok {
+		t.Fatal("FirstElement failed")
+	}
+	return res
+}

@@ -1,0 +1,127 @@
+package generalize
+
+import (
+	"math/rand"
+
+	"histanon/internal/geo"
+)
+
+// Randomizer perturbs generalized boxes to blunt inference attacks, the
+// §7 recommendation ("randomization should be used as part of the TS
+// strategy to prevent inference attacks"). Algorithm 1's output is the
+// *minimal* box enclosing the request point and the witness samples, so
+// its edges betray exact sample coordinates — in the worst case the
+// issuer's own position sits on the boundary. The randomizer pads each
+// side by an independent random amount, bounded so that
+//
+//   - the original (anonymity-certifying) box stays contained, and
+//   - the service's tolerance constraints are never violated: a padded
+//     box never changes Algorithm 1's HK-anonymity verdict.
+type Randomizer struct {
+	rng *rand.Rand
+	// MaxFrac bounds each side's padding to MaxFrac×(box dimension).
+	MaxFrac float64
+	// MinPad is an absolute floor (meters / seconds) so that degenerate
+	// boxes also receive padding.
+	MinPad     float64
+	MinPadTime int64
+}
+
+// NewRandomizer returns a deterministic randomizer. With MaxFrac 0 a
+// default of 0.25 applies; MinPad defaults to 50 m and MinPadTime to
+// 60 s.
+func NewRandomizer(seed int64) *Randomizer {
+	return &Randomizer{
+		rng:        rand.New(rand.NewSource(seed)),
+		MaxFrac:    0.25,
+		MinPad:     50,
+		MinPadTime: 60,
+	}
+}
+
+func (r *Randomizer) maxFrac() float64 {
+	if r.MaxFrac == 0 {
+		return 0.25
+	}
+	return r.MaxFrac
+}
+
+func (r *Randomizer) minPad() float64 {
+	if r.MinPad == 0 {
+		return 50
+	}
+	return r.MinPad
+}
+
+func (r *Randomizer) minPadTime() int64 {
+	if r.MinPadTime == 0 {
+		return 60
+	}
+	return r.MinPadTime
+}
+
+// Perturb pads the box within the tolerance's remaining slack. The
+// result always contains box.
+func (r *Randomizer) Perturb(box geo.STBox, tol Tolerance) geo.STBox {
+	if r == nil {
+		return box
+	}
+	out := box
+
+	// Spatial padding budget per axis: tolerance slack (or unlimited),
+	// capped by MaxFrac×dimension with the MinPad floor.
+	padX := r.budget(box.Area.Width(), tol.MaxWidth)
+	padY := r.budget(box.Area.Height(), tol.MaxHeight)
+	lx := r.rng.Float64() * padX
+	rx := r.rng.Float64() * (padX - lx)
+	ly := r.rng.Float64() * padY
+	ry := r.rng.Float64() * (padY - ly)
+	out.Area.MinX -= lx
+	out.Area.MaxX += rx
+	out.Area.MinY -= ly
+	out.Area.MaxY += ry
+
+	// Temporal padding.
+	padT := r.budgetTime(box.Time.Duration(), tol.MaxDuration)
+	lt := r.rng.Int63n(padT + 1)
+	rt := r.rng.Int63n(padT - lt + 1)
+	out.Time.Start -= lt
+	out.Time.End += rt
+	return out
+}
+
+// budget returns the total spatial padding available for one axis.
+func (r *Randomizer) budget(dim, max float64) float64 {
+	pad := r.maxFrac() * dim
+	if pad < r.minPad() {
+		pad = r.minPad()
+	}
+	if max > 0 {
+		slack := max - dim
+		if slack < 0 {
+			slack = 0
+		}
+		if pad > slack {
+			pad = slack
+		}
+	}
+	return pad
+}
+
+// budgetTime returns the total temporal padding available.
+func (r *Randomizer) budgetTime(dur, max int64) int64 {
+	pad := int64(r.maxFrac() * float64(dur))
+	if pad < r.minPadTime() {
+		pad = r.minPadTime()
+	}
+	if max > 0 {
+		slack := max - dur
+		if slack < 0 {
+			slack = 0
+		}
+		if pad > slack {
+			pad = slack
+		}
+	}
+	return pad
+}

@@ -1,0 +1,172 @@
+package generalize
+
+import (
+	"math/rand"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+func stbox(x1, y1, x2, y2 float64, t1, t2 int64) geo.STBox {
+	return geo.STBox{
+		Area: geo.Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2},
+		Time: geo.Interval{Start: t1, End: t2},
+	}
+}
+
+func TestPerturbContainsOriginal(t *testing.T) {
+	r := NewRandomizer(1)
+	box := stbox(0, 0, 100, 50, 1000, 1600)
+	for i := 0; i < 500; i++ {
+		out := r.Perturb(box, Unlimited)
+		if !out.ContainsBox(box) {
+			t.Fatalf("perturbed box %v lost the original %v", out, box)
+		}
+	}
+}
+
+func TestPerturbRespectsTolerance(t *testing.T) {
+	r := NewRandomizer(2)
+	tol := Tolerance{MaxWidth: 150, MaxHeight: 80, MaxDuration: 900}
+	box := stbox(0, 0, 100, 50, 1000, 1600)
+	for i := 0; i < 500; i++ {
+		out := r.Perturb(box, tol)
+		if !tol.Allows(out) {
+			t.Fatalf("perturbed box %v violates tolerance", out)
+		}
+		if !out.ContainsBox(box) {
+			t.Fatalf("perturbed box lost the original")
+		}
+	}
+}
+
+func TestPerturbNoSlackNoGrowth(t *testing.T) {
+	r := NewRandomizer(3)
+	// The box already sits exactly at the tolerance: padding must be 0.
+	tol := Tolerance{MaxWidth: 100, MaxHeight: 50, MaxDuration: 600}
+	box := stbox(0, 0, 100, 50, 1000, 1600)
+	for i := 0; i < 100; i++ {
+		if out := r.Perturb(box, tol); out != box {
+			t.Fatalf("no-slack box changed: %v", out)
+		}
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	box := stbox(0, 0, 100, 50, 1000, 1600)
+	a := NewRandomizer(42).Perturb(box, Unlimited)
+	b := NewRandomizer(42).Perturb(box, Unlimited)
+	if a != b {
+		t.Fatalf("same seed, different boxes: %v vs %v", a, b)
+	}
+	c := NewRandomizer(43).Perturb(box, Unlimited)
+	if a == c {
+		t.Fatal("different seeds produced identical boxes (unlikely)")
+	}
+}
+
+func TestPerturbActuallyPads(t *testing.T) {
+	r := NewRandomizer(4)
+	box := stbox(0, 0, 100, 50, 1000, 1600)
+	grew := 0
+	for i := 0; i < 200; i++ {
+		if out := r.Perturb(box, Unlimited); out != box {
+			grew++
+		}
+	}
+	if grew < 150 {
+		t.Fatalf("padding almost never applied: %d/200", grew)
+	}
+}
+
+func TestPerturbDegenerateBox(t *testing.T) {
+	r := NewRandomizer(5)
+	box := geo.STBoxAround(geo.STPoint{P: geo.Point{X: 10, Y: 10}, T: 100})
+	out := r.Perturb(box, Unlimited)
+	if !out.ContainsBox(box) || !out.Valid() {
+		t.Fatalf("degenerate box perturbation broken: %v", out)
+	}
+}
+
+func TestNilRandomizerIsIdentity(t *testing.T) {
+	var r *Randomizer
+	box := stbox(0, 0, 10, 10, 0, 10)
+	if out := r.Perturb(box, Unlimited); out != box {
+		t.Fatal("nil randomizer must be the identity")
+	}
+}
+
+// TestRandomizationBluntsBoundaryInference reproduces the inference
+// attack the §7 recommendation targets: with deterministic minimal
+// boxes the issuer's exact position frequently lies on the box
+// boundary; randomized padding pushes it inside.
+func TestRandomizationBluntsBoundaryInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	onBoundary := func(g *Generalizer) int {
+		count := 0
+		for trial := 0; trial < 200; trial++ {
+			// Witnesses all north-east of the issuer: the issuer's exact
+			// point is the box's south-west corner.
+			q := geo.STPoint{
+				P: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+				T: int64(rng.Intn(3600)),
+			}
+			res := g.NextElement(q, g.Store.Users(), Unlimited)
+			b := res.Box
+			if b.Area.MinX == q.P.X || b.Area.MinY == q.P.Y ||
+				b.Area.MaxX == q.P.X || b.Area.MaxY == q.P.Y {
+				count++
+			}
+		}
+		return count
+	}
+
+	mk := func(r *Randomizer) *Generalizer {
+		g := buildDB(func(add func(u phl.UserID, p geo.STPoint)) {
+			for u := 1; u <= 4; u++ {
+				add(phl.UserID(u), geo.STPoint{
+					P: geo.Point{X: 1500 + float64(u)*50, Y: 1500 + float64(u)*50},
+					T: int64(1800 + u),
+				})
+			}
+		})
+		g.Randomize = r
+		return g
+	}
+
+	bare := onBoundary(mk(nil))
+	padded := onBoundary(mk(NewRandomizer(7)))
+	if bare < 190 {
+		t.Fatalf("deterministic boxes should pin the issuer to the boundary: %d/200", bare)
+	}
+	if padded > 10 {
+		t.Fatalf("randomized boxes should hide the issuer: %d/200 on boundary", padded)
+	}
+}
+
+// TestSessionWithRandomizerKeepsInvariant: padding only grows boxes, so
+// the historical-k invariant is untouched.
+func TestSessionWithRandomizerKeepsInvariant(t *testing.T) {
+	g := traceDB(8)
+	g.Randomize = NewRandomizer(11)
+	const k = 4
+	s := NewSession(g, 0, DecaySchedule{Target: k})
+	trace := []geo.STPoint{
+		{P: geo.Point{X: 0, Y: 0}, T: 0},
+		{P: geo.Point{X: 2000, Y: 0}, T: 3600},
+		{P: geo.Point{X: 0, Y: 0}, T: 7200},
+	}
+	var boxes []geo.STBox
+	for _, q := range trace {
+		res, ok := s.Generalize(q, Unlimited)
+		if !ok || !res.HKAnonymity {
+			t.Fatalf("generalization failed: %+v ok=%v", res, ok)
+		}
+		boxes = append(boxes, res.Box)
+	}
+	users := g.Store.LTConsistentUsers(boxes)
+	if len(users) < k {
+		t.Fatalf("only %d LT-consistent users, want >= %d", len(users), k)
+	}
+}

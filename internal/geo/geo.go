@@ -1,0 +1,314 @@
+// Package geo provides the planar spatio-temporal primitives used across
+// the library: points, axis-aligned rectangles, anchored and unanchored
+// time intervals, and 3D (2D-space + time) boxes.
+//
+// Coordinates are float64 meters in an arbitrary planar frame (the paper
+// assumes two-dimensional positions; city-scale distances make geodesy
+// unnecessary). Time is int64 seconds since an arbitrary epoch so that
+// granularity arithmetic stays exact.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the planar frame.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by the vector q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Norm returns the Euclidean norm of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Heading returns the angle of p viewed as a direction vector, in
+// radians in (-pi, pi]. The zero vector has heading 0.
+func (p Point) Heading() float64 {
+	if p.X == 0 && p.Y == 0 {
+		return 0
+	}
+	return math.Atan2(p.Y, p.X)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Rect is a closed axis-aligned rectangle [MinX,MaxX]×[MinY,MaxY].
+// A Rect is valid when MinX<=MaxX and MinY<=MaxY; a degenerate rectangle
+// (a point or segment) is valid and has zero area.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// RectAround returns the degenerate rectangle containing only p.
+func RectAround(p Point) Rect { return Rect{p.X, p.Y, p.X, p.Y} }
+
+// NewRect returns the rectangle spanned by two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		MinX: math.Min(a.X, b.X), MinY: math.Min(a.Y, b.Y),
+		MaxX: math.Max(a.X, b.X), MaxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// Valid reports whether r is a well-formed (possibly degenerate) rectangle.
+func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// Width returns the X extent.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the Y extent.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r; zero for degenerate rectangles.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether p lies in the closed rectangle r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Intersect returns the intersection of r and s. The second result is
+// false when the rectangles are disjoint.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{
+		MinX: math.Max(r.MinX, s.MinX), MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX), MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+	if !out.Valid() {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX), MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX), MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Extend returns the smallest rectangle containing r and p.
+func (r Rect) Extend(p Point) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, p.X), MinY: math.Min(r.MinY, p.Y),
+		MaxX: math.Max(r.MaxX, p.X), MaxY: math.Max(r.MaxY, p.Y),
+	}
+}
+
+// Expand returns r grown by d on every side. A negative d shrinks r; the
+// result collapses to the center line/point rather than inverting.
+func (r Rect) Expand(d float64) Rect {
+	out := Rect{r.MinX - d, r.MinY - d, r.MaxX + d, r.MaxY + d}
+	if out.MinX > out.MaxX {
+		c := (r.MinX + r.MaxX) / 2
+		out.MinX, out.MaxX = c, c
+	}
+	if out.MinY > out.MaxY {
+		c := (r.MinY + r.MaxY) / 2
+		out.MinY, out.MaxY = c, c
+	}
+	return out
+}
+
+// ShrinkToward uniformly scales r about the anchor point p (which should
+// lie inside r) so that the result has width<=maxW and height<=maxH while
+// still containing p. This implements the "uniformly reduced to satisfy
+// the tolerance constraints" step of Algorithm 1 (line 12).
+func (r Rect) ShrinkToward(p Point, maxW, maxH float64) Rect {
+	f := 1.0
+	if w := r.Width(); w > maxW && w > 0 {
+		f = math.Min(f, maxW/w)
+	}
+	if h := r.Height(); h > maxH && h > 0 {
+		f = math.Min(f, maxH/h)
+	}
+	if f >= 1 {
+		return r
+	}
+	out := Rect{
+		MinX: p.X - (p.X-r.MinX)*f, MinY: p.Y - (p.Y-r.MinY)*f,
+		MaxX: p.X + (r.MaxX-p.X)*f, MaxY: p.Y + (r.MaxY-p.Y)*f,
+	}
+	return out
+}
+
+// DistToPoint returns the minimum distance from p to the rectangle
+// (zero when p is inside).
+func (r Rect) DistToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(r.MinX-p.X, p.X-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-p.Y, p.Y-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f]x[%.1f,%.1f]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Interval is a closed anchored time interval [Start,End] in seconds
+// since the epoch. It is valid when Start<=End; an instant is valid.
+type Interval struct {
+	Start, End int64
+}
+
+// IntervalAround returns the degenerate interval containing only t.
+func IntervalAround(t int64) Interval { return Interval{t, t} }
+
+// Valid reports whether i is well formed.
+func (i Interval) Valid() bool { return i.Start <= i.End }
+
+// Duration returns End-Start in seconds.
+func (i Interval) Duration() int64 { return i.End - i.Start }
+
+// Contains reports whether t lies in the closed interval.
+func (i Interval) Contains(t int64) bool { return t >= i.Start && t <= i.End }
+
+// ContainsInterval reports whether j lies entirely inside i.
+func (i Interval) ContainsInterval(j Interval) bool {
+	return j.Start >= i.Start && j.End <= i.End
+}
+
+// Intersects reports whether i and j share at least one instant.
+func (i Interval) Intersects(j Interval) bool {
+	return i.Start <= j.End && j.Start <= i.End
+}
+
+// Union returns the smallest interval containing both i and j.
+func (i Interval) Union(j Interval) Interval {
+	return Interval{Start: min64(i.Start, j.Start), End: max64(i.End, j.End)}
+}
+
+// Extend returns the smallest interval containing i and the instant t.
+func (i Interval) Extend(t int64) Interval {
+	return Interval{Start: min64(i.Start, t), End: max64(i.End, t)}
+}
+
+// ShrinkToward reduces the interval symmetrically about the anchor t
+// (which should lie inside it) so that its duration does not exceed max.
+func (i Interval) ShrinkToward(t, max int64) Interval {
+	if i.Duration() <= max {
+		return i
+	}
+	// Distribute the allowed duration proportionally to the two sides so
+	// that the anchor keeps its relative position, mirroring the uniform
+	// spatial shrink.
+	left := t - i.Start
+	right := i.End - t
+	total := left + right
+	if total == 0 {
+		return Interval{t, t}
+	}
+	nl := left * max / total
+	nr := max - nl
+	return Interval{Start: t - nl, End: t + nr}
+}
+
+func (i Interval) String() string { return fmt.Sprintf("[%d,%d]", i.Start, i.End) }
+
+// STPoint is a spatio-temporal point: a position at an instant. It is the
+// element type of a Personal History of Locations (paper Def. 6).
+type STPoint struct {
+	P Point
+	T int64
+}
+
+func (p STPoint) String() string { return fmt.Sprintf("<%s@%d>", p.P, p.T) }
+
+// STBox is a spatio-temporal box: the generalized context
+// ⟨Area, TimeInterval⟩ attached to every request forwarded to a service
+// provider (paper §3).
+type STBox struct {
+	Area Rect
+	Time Interval
+}
+
+// STBoxAround returns the degenerate box containing only p.
+func STBoxAround(p STPoint) STBox {
+	return STBox{Area: RectAround(p.P), Time: IntervalAround(p.T)}
+}
+
+// Valid reports whether both components are well formed.
+func (b STBox) Valid() bool { return b.Area.Valid() && b.Time.Valid() }
+
+// Contains reports whether the spatio-temporal point p lies in b.
+func (b STBox) Contains(p STPoint) bool {
+	return b.Area.Contains(p.P) && b.Time.Contains(p.T)
+}
+
+// ContainsBox reports whether c lies entirely inside b.
+func (b STBox) ContainsBox(c STBox) bool {
+	return b.Area.ContainsRect(c.Area) && b.Time.ContainsInterval(c.Time)
+}
+
+// Intersects reports whether b and c overlap in space and time.
+func (b STBox) Intersects(c STBox) bool {
+	return b.Area.Intersects(c.Area) && b.Time.Intersects(c.Time)
+}
+
+// Union returns the smallest box containing both b and c.
+func (b STBox) Union(c STBox) STBox {
+	return STBox{Area: b.Area.Union(c.Area), Time: b.Time.Union(c.Time)}
+}
+
+// Extend returns the smallest box containing b and p.
+func (b STBox) Extend(p STPoint) STBox {
+	return STBox{Area: b.Area.Extend(p.P), Time: b.Time.Extend(p.T)}
+}
+
+// EnclosingSTBox returns the smallest box containing all the given
+// points. It panics when pts is empty.
+func EnclosingSTBox(pts []STPoint) STBox {
+	if len(pts) == 0 {
+		panic("geo: EnclosingSTBox of empty point set")
+	}
+	b := STBoxAround(pts[0])
+	for _, p := range pts[1:] {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+func (b STBox) String() string { return fmt.Sprintf("{%s %s}", b.Area, b.Time) }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

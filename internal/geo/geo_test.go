@@ -1,0 +1,322 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{1.5, 2.5}, Point{1.5, 2.5}, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v)=%g want %g", c.p, c.q, got, c.want)
+		}
+		if got := c.q.Dist(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist not symmetric for %v,%v", c.p, c.q)
+		}
+	}
+}
+
+func TestPointVectorOps(t *testing.T) {
+	p := Point{3, 4}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm=%g want 5", got)
+	}
+	if got := p.Add(Point{1, -1}); got != (Point{4, 3}) {
+		t.Errorf("Add=%v", got)
+	}
+	if got := p.Sub(Point{1, 1}); got != (Point{2, 3}) {
+		t.Errorf("Sub=%v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Errorf("Scale=%v", got)
+	}
+}
+
+func TestHeading(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{1, 0}, 0},
+		{Point{0, 1}, math.Pi / 2},
+		{Point{-1, 0}, math.Pi},
+		{Point{0, -1}, -math.Pi / 2},
+		{Point{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.Heading(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Heading(%v)=%g want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{5, -2}, Point{1, 7})
+	want := Rect{MinX: 1, MinY: -2, MaxX: 5, MaxY: 7}
+	if r != want {
+		t.Fatalf("NewRect=%v want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatal("normalized rect must be valid")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{0, 0, 10, 5}
+	for _, p := range []Point{{0, 0}, {10, 5}, {5, 2.5}, {0, 5}, {10, 0}} {
+		if !r.Contains(p) {
+			t.Errorf("expected %v inside %v", p, r)
+		}
+	}
+	for _, p := range []Point{{-0.01, 0}, {10.01, 5}, {5, 5.01}, {5, -0.01}} {
+		if r.Contains(p) {
+			t.Errorf("expected %v outside %v", p, r)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("Intersect=%v ok=%v", got, ok)
+	}
+	c := Rect{11, 11, 12, 12}
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint rects must not intersect")
+	}
+	// Touching edges intersect (closed rectangles).
+	d := Rect{10, 0, 20, 10}
+	if got, ok := a.Intersect(d); !ok || got.Area() != 0 {
+		t.Fatalf("touching rects: got %v ok=%v", got, ok)
+	}
+}
+
+func TestRectExpandShrink(t *testing.T) {
+	r := Rect{0, 0, 10, 4}
+	e := r.Expand(2)
+	if e != (Rect{-2, -2, 12, 6}) {
+		t.Fatalf("Expand=%v", e)
+	}
+	// Negative expansion collapses to the center rather than inverting.
+	s := r.Expand(-3)
+	if !s.Valid() {
+		t.Fatalf("over-shrunk rect invalid: %v", s)
+	}
+	if s.Height() != 0 {
+		t.Fatalf("expected height collapse, got %v", s)
+	}
+}
+
+func TestShrinkToward(t *testing.T) {
+	r := Rect{0, 0, 100, 100}
+	anchor := Point{20, 80}
+	s := r.ShrinkToward(anchor, 50, 25)
+	if s.Width() > 50+1e-9 || s.Height() > 25+1e-9 {
+		t.Fatalf("shrunk rect %v exceeds bounds", s)
+	}
+	if !s.Contains(anchor) {
+		t.Fatalf("shrunk rect %v must contain anchor %v", s, anchor)
+	}
+	if !r.ContainsRect(s) {
+		t.Fatalf("shrunk rect %v must stay within original %v", s, r)
+	}
+	// No-op when already within bounds.
+	if got := r.ShrinkToward(anchor, 200, 200); got != r {
+		t.Fatalf("expected unchanged rect, got %v", got)
+	}
+}
+
+func TestShrinkTowardProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		r := NewRect(
+			Point{rng.Float64() * 1000, rng.Float64() * 1000},
+			Point{rng.Float64() * 1000, rng.Float64() * 1000},
+		)
+		// Anchor strictly inside.
+		a := Point{
+			r.MinX + rng.Float64()*r.Width(),
+			r.MinY + rng.Float64()*r.Height(),
+		}
+		maxW := rng.Float64() * 500
+		maxH := rng.Float64() * 500
+		s := r.ShrinkToward(a, maxW, maxH)
+		if !s.Valid() {
+			t.Fatalf("invalid shrink result %v", s)
+		}
+		if s.Width() > math.Max(maxW, 0)+1e-6 && s.Width() > r.Width() {
+			t.Fatalf("width grew: %v from %v", s, r)
+		}
+		if !s.Contains(a) {
+			t.Fatalf("anchor %v escaped %v", a, s)
+		}
+		if !r.ContainsRect(s) {
+			t.Fatalf("shrink escaped original: %v not in %v", s, r)
+		}
+	}
+}
+
+func TestRectDistToPoint(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 5}, 0},
+		{Point{0, 0}, 0},
+		{Point{13, 14}, 5},
+		{Point{-3, 5}, 3},
+		{Point{5, 12}, 2},
+	}
+	for _, c := range cases {
+		if got := r.DistToPoint(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DistToPoint(%v)=%g want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	i := Interval{10, 20}
+	if !i.Valid() || i.Duration() != 10 {
+		t.Fatal("interval basics broken")
+	}
+	if !i.Contains(10) || !i.Contains(20) || i.Contains(21) || i.Contains(9) {
+		t.Fatal("Contains broken")
+	}
+	if !i.Intersects(Interval{20, 30}) || i.Intersects(Interval{21, 30}) {
+		t.Fatal("Intersects broken")
+	}
+	if got := i.Union(Interval{5, 12}); got != (Interval{5, 20}) {
+		t.Fatalf("Union=%v", got)
+	}
+	if got := i.Extend(25); got != (Interval{10, 25}) {
+		t.Fatalf("Extend=%v", got)
+	}
+}
+
+func TestIntervalShrinkToward(t *testing.T) {
+	i := Interval{0, 100}
+	s := i.ShrinkToward(80, 20)
+	if s.Duration() > 20 {
+		t.Fatalf("duration %d exceeds max", s.Duration())
+	}
+	if !s.Contains(80) {
+		t.Fatalf("anchor escaped: %v", s)
+	}
+	if !i.ContainsInterval(s) {
+		t.Fatalf("shrink escaped original: %v", s)
+	}
+	if got := i.ShrinkToward(50, 200); got != i {
+		t.Fatalf("expected unchanged interval, got %v", got)
+	}
+	// Degenerate: anchor at the edge.
+	s = i.ShrinkToward(0, 10)
+	if !s.Contains(0) || s.Duration() > 10 {
+		t.Fatalf("edge anchor shrink wrong: %v", s)
+	}
+	// Zero-length source interval.
+	z := Interval{5, 5}
+	if got := z.ShrinkToward(5, 0); got != z {
+		t.Fatalf("zero interval shrink: %v", got)
+	}
+}
+
+func TestIntervalShrinkTowardProperty(t *testing.T) {
+	f := func(start int16, dur uint16, frac uint8, max uint16) bool {
+		i := Interval{int64(start), int64(start) + int64(dur)}
+		anchor := i.Start + int64(dur)*int64(frac)/256
+		s := i.ShrinkToward(anchor, int64(max))
+		return s.Valid() && s.Contains(anchor) && i.ContainsInterval(s) &&
+			(s.Duration() <= int64(max) || s.Duration() <= i.Duration())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSTBox(t *testing.T) {
+	p := STPoint{Point{5, 5}, 100}
+	b := STBoxAround(p)
+	if !b.Contains(p) || !b.Valid() {
+		t.Fatal("degenerate box must contain its point")
+	}
+	b = b.Extend(STPoint{Point{10, 0}, 50})
+	want := STBox{Area: Rect{5, 0, 10, 5}, Time: Interval{50, 100}}
+	if b != want {
+		t.Fatalf("Extend=%v want %v", b, want)
+	}
+	if !b.Contains(STPoint{Point{7, 3}, 75}) {
+		t.Fatal("extended box must contain interior point")
+	}
+	c := STBox{Area: Rect{9, 4, 20, 20}, Time: Interval{90, 200}}
+	if !b.Intersects(c) {
+		t.Fatal("boxes must intersect")
+	}
+	u := b.Union(c)
+	if !u.ContainsBox(b) || !u.ContainsBox(c) {
+		t.Fatal("union must contain operands")
+	}
+}
+
+func TestEnclosingSTBox(t *testing.T) {
+	pts := []STPoint{
+		{Point{1, 2}, 10},
+		{Point{-3, 8}, 5},
+		{Point{4, 0}, 20},
+	}
+	b := EnclosingSTBox(pts)
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("enclosing box %v misses %v", b, p)
+		}
+	}
+	want := STBox{Area: Rect{-3, 0, 4, 8}, Time: Interval{5, 20}}
+	if b != want {
+		t.Fatalf("box=%v want %v", b, want)
+	}
+}
+
+func TestEnclosingSTBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty point set")
+		}
+	}()
+	EnclosingSTBox(nil)
+}
+
+// Property: union is commutative, associative-enough, and monotone.
+func TestRectUnionProperties(t *testing.T) {
+	type rectPair struct{ A, B Rect }
+	gen := func(vals []reflect.Value, rng *rand.Rand) {
+		mk := func() Rect {
+			return NewRect(
+				Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100},
+				Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100},
+			)
+		}
+		vals[0] = reflect.ValueOf(rectPair{mk(), mk()})
+	}
+	f := func(p rectPair) bool {
+		u := p.A.Union(p.B)
+		return u == p.B.Union(p.A) && u.ContainsRect(p.A) && u.ContainsRect(p.B) &&
+			u.Area() >= p.A.Area() && u.Area() >= p.B.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Values: gen}); err != nil {
+		t.Fatal(err)
+	}
+}

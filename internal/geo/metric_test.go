@@ -1,0 +1,119 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSTMetricDist(t *testing.T) {
+	m := STMetric{TimeScale: 2}
+	a := STPoint{P: Point{X: 0, Y: 0}, T: 0}
+	b := STPoint{P: Point{X: 3, Y: 4}, T: 0}
+	if got := m.Dist(a, b); got != 5 {
+		t.Fatalf("pure spatial: %g", got)
+	}
+	c := STPoint{P: Point{X: 0, Y: 0}, T: 5}
+	if got := m.Dist(a, c); got != 10 { // 5 s × scale 2
+		t.Fatalf("pure temporal: %g", got)
+	}
+	d := STPoint{P: Point{X: 3, Y: 0}, T: 2}
+	if got := m.Dist(a, d); got != 5 { // sqrt(9+16)
+		t.Fatalf("mixed: %g", got)
+	}
+}
+
+func TestSTMetricDefaultScale(t *testing.T) {
+	var m STMetric // zero value
+	a := STPoint{T: 0}
+	b := STPoint{T: 7}
+	if got := m.Dist(a, b); got != 7*DefaultTimeScale {
+		t.Fatalf("default scale: %g", got)
+	}
+}
+
+func TestSTMetricDistToBox(t *testing.T) {
+	m := STMetric{TimeScale: 1}
+	box := STBox{
+		Area: Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+		Time: Interval{Start: 100, End: 200},
+	}
+	// Inside: zero.
+	if got := m.DistToBox(STPoint{P: Point{X: 5, Y: 5}, T: 150}, box); got != 0 {
+		t.Fatalf("inside: %g", got)
+	}
+	// Spatially outside, temporally inside.
+	if got := m.DistToBox(STPoint{P: Point{X: 13, Y: 14}, T: 150}, box); got != 5 {
+		t.Fatalf("spatial: %g", got)
+	}
+	// Temporally outside only.
+	if got := m.DistToBox(STPoint{P: Point{X: 5, Y: 5}, T: 90}, box); got != 10 {
+		t.Fatalf("temporal before: %g", got)
+	}
+	if got := m.DistToBox(STPoint{P: Point{X: 5, Y: 5}, T: 203}, box); got != 3 {
+		t.Fatalf("temporal after: %g", got)
+	}
+	// Both: hypot.
+	if got := m.DistToBox(STPoint{P: Point{X: 13, Y: 14}, T: 210}, box); math.Abs(got-math.Hypot(5, 10)) > 1e-12 {
+		t.Fatalf("both: %g", got)
+	}
+}
+
+// Metric axioms: symmetry, identity, triangle inequality.
+func TestSTMetricAxioms(t *testing.T) {
+	m := STMetric{TimeScale: 0.5}
+	gen := func(rng *rand.Rand) STPoint {
+		return STPoint{
+			P: Point{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000},
+			T: int64(rng.Intn(100000)),
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		if m.Dist(a, a) != 0 {
+			t.Fatal("identity")
+		}
+		if m.Dist(a, b) != m.Dist(b, a) {
+			t.Fatal("symmetry")
+		}
+		if m.Dist(a, c) > m.Dist(a, b)+m.Dist(b, c)+1e-9 {
+			t.Fatalf("triangle inequality: %v %v %v", a, b, c)
+		}
+	}
+}
+
+// DistToBox lower-bounds the distance to every point inside the box.
+func TestDistToBoxLowerBoundProperty(t *testing.T) {
+	m := STMetric{TimeScale: 1.5}
+	f := func(px, py int16, pt int32, bx, by int16, bw, bh uint8, bt int32, bd uint16) bool {
+		box := STBox{
+			Area: Rect{
+				MinX: float64(bx), MinY: float64(by),
+				MaxX: float64(bx) + float64(bw), MaxY: float64(by) + float64(bh),
+			},
+			Time: Interval{Start: int64(bt), End: int64(bt) + int64(bd)},
+		}
+		q := STPoint{P: Point{X: float64(px), Y: float64(py)}, T: int64(pt)}
+		lower := m.DistToBox(q, box)
+		// Sample points inside the box; none may be closer than the bound.
+		rng := rand.New(rand.NewSource(int64(px) + int64(py)))
+		for i := 0; i < 10; i++ {
+			inside := STPoint{
+				P: Point{
+					X: box.Area.MinX + rng.Float64()*box.Area.Width(),
+					Y: box.Area.MinY + rng.Float64()*box.Area.Height(),
+				},
+				T: box.Time.Start + rng.Int63n(box.Time.Duration()+1),
+			}
+			if m.Dist(q, inside) < lower-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package httpapi exposes the trusted server over HTTP/JSON — the
+// deployable form of the paper's Fig. 1, where mobile devices talk to
+// the TS over the network and only the TS talks to service providers.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/location   {"user":1,"x":10,"y":20,"t":25500}
+//	POST /v1/request    {"user":1,"x":10,"y":20,"t":25500,
+//	                     "service":"navigation","data":{"dest":"office"}}
+//	POST /v1/lbqid      {"user":1,"spec":"lbqid \"commute\" { ... }"}
+//	POST /v1/policy     {"user":1,"level":"high"}  or  {"user":1,"k":7,"theta":0.4}
+//	POST /v1/mine       {"weekdaysOnly":true}            -> mined candidate LBQIDs
+//	POST /v1/deploy     {"k":5,"maxWidth":1000,...}      -> feasibility verdict
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// The matching Client lives in the same package.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"histanon/internal/deploy"
+	"histanon/internal/generalize"
+	"histanon/internal/geo"
+	"histanon/internal/mine"
+	"histanon/internal/phl"
+	"histanon/internal/ts"
+)
+
+// LocationRequest is the body of POST /v1/location.
+type LocationRequest struct {
+	User int64   `json:"user"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	T    int64   `json:"t"`
+}
+
+// ServiceRequest is the body of POST /v1/request.
+type ServiceRequest struct {
+	User    int64             `json:"user"`
+	X       float64           `json:"x"`
+	Y       float64           `json:"y"`
+	T       int64             `json:"t"`
+	Service string            `json:"service"`
+	Data    map[string]string `json:"data,omitempty"`
+}
+
+// DecisionResponse mirrors ts.Decision on the wire.
+type DecisionResponse struct {
+	Forwarded    bool   `json:"forwarded"`
+	Generalized  bool   `json:"generalized"`
+	HKAnonymity  bool   `json:"hkAnonymity"`
+	MatchedLBQID string `json:"matchedLbqid,omitempty"`
+	Unlinked     bool   `json:"unlinked"`
+	AtRisk       bool   `json:"atRisk"`
+	Suppressed   bool   `json:"suppressed"`
+	QIDExposed   bool   `json:"qidExposed"`
+	// Context is the forwarded ⟨Area, TimeInterval⟩ when forwarded.
+	Context *ContextJSON `json:"context,omitempty"`
+	// Pseudonym is the pseudonym used toward the SP when forwarded.
+	Pseudonym string `json:"pseudonym,omitempty"`
+}
+
+// ContextJSON is the generalized request context on the wire.
+type ContextJSON struct {
+	MinX  float64 `json:"minX"`
+	MinY  float64 `json:"minY"`
+	MaxX  float64 `json:"maxX"`
+	MaxY  float64 `json:"maxY"`
+	Start int64   `json:"start"`
+	End   int64   `json:"end"`
+}
+
+// LBQIDRequest is the body of POST /v1/lbqid.
+type LBQIDRequest struct {
+	User int64  `json:"user"`
+	Spec string `json:"spec"`
+}
+
+// PolicyRequest is the body of POST /v1/policy. Either Level or the
+// explicit parameters must be set.
+type PolicyRequest struct {
+	User     int64   `json:"user"`
+	Level    string  `json:"level,omitempty"`
+	K        int     `json:"k,omitempty"`
+	Theta    float64 `json:"theta,omitempty"`
+	Suppress bool    `json:"suppress,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Counters     map[string]int64 `json:"counters"`
+	GenAreaMean  float64          `json:"genAreaMean"`
+	GenAreaP95   float64          `json:"genAreaP95"`
+	GenWindow    float64          `json:"genWindowMean"`
+	GenSamples   int              `json:"genSamples"`
+	TrackedUsers int              `json:"trackedUsers"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the API over a trusted server.
+type Handler struct {
+	srv *ts.Server
+	mux *http.ServeMux
+}
+
+// New returns an http.Handler exposing srv.
+func New(srv *ts.Server) *Handler {
+	h := &Handler{srv: srv, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/location", h.postOnly(h.handleLocation))
+	h.mux.HandleFunc("/v1/request", h.postOnly(h.handleRequest))
+	h.mux.HandleFunc("/v1/lbqid", h.postOnly(h.handleLBQID))
+	h.mux.HandleFunc("/v1/policy", h.postOnly(h.handlePolicy))
+	h.mux.HandleFunc("/v1/mine", h.postOnly(h.handleMine))
+	h.mux.HandleFunc("/v1/deploy", h.postOnly(h.handleDeploy))
+	h.mux.HandleFunc("/v1/stats", h.handleStats)
+	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) postOnly(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+			return
+		}
+		fn(w, r)
+	}
+}
+
+func (h *Handler) handleLocation(w http.ResponseWriter, r *http.Request) {
+	var req LocationRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	h.srv.RecordLocation(phl.UserID(req.User), geo.STPoint{
+		P: geo.Point{X: req.X, Y: req.Y}, T: req.T,
+	})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
+	var req ServiceRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Service == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "service is required"})
+		return
+	}
+	dec := h.srv.Request(phl.UserID(req.User), geo.STPoint{
+		P: geo.Point{X: req.X, Y: req.Y}, T: req.T,
+	}, req.Service, req.Data)
+
+	resp := DecisionResponse{
+		Forwarded:    dec.Forwarded,
+		Generalized:  dec.Generalized,
+		HKAnonymity:  dec.HKAnonymity,
+		MatchedLBQID: dec.MatchedLBQID,
+		Unlinked:     dec.Unlinked,
+		AtRisk:       dec.AtRisk,
+		Suppressed:   dec.Suppressed,
+		QIDExposed:   dec.QIDExposed,
+	}
+	if dec.Request != nil {
+		resp.Pseudonym = string(dec.Request.Pseudonym)
+		resp.Context = &ContextJSON{
+			MinX: dec.Request.Context.Area.MinX, MinY: dec.Request.Context.Area.MinY,
+			MaxX: dec.Request.Context.Area.MaxX, MaxY: dec.Request.Context.Area.MaxY,
+			Start: dec.Request.Context.Time.Start, End: dec.Request.Context.Time.End,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleLBQID(w http.ResponseWriter, r *http.Request) {
+	var req LBQIDRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := h.srv.AddLBQIDSpec(phl.UserID(req.User), req.Spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+}
+
+func (h *Handler) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	var req PolicyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var pol ts.Policy
+	switch req.Level {
+	case "low":
+		pol = ts.PolicyForLevel(ts.Low)
+	case "medium":
+		pol = ts.PolicyForLevel(ts.Medium)
+	case "high":
+		pol = ts.PolicyForLevel(ts.High)
+	case "":
+		if req.K < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "level or k required"})
+			return
+		}
+		pol = ts.Policy{K: req.K, Theta: req.Theta, SuppressAtRisk: req.Suppress}
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("unknown level %q", req.Level)})
+		return
+	}
+	h.srv.RegisterUser(phl.UserID(req.User), pol)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	counters := map[string]int64{}
+	for _, name := range h.srv.Counters.Names() {
+		counters[name] = h.srv.Counters.Get(name)
+	}
+	resp := StatsResponse{
+		Counters:     counters,
+		GenSamples:   h.srv.AreaM2.N(),
+		TrackedUsers: h.srv.Store().NumUsers(),
+	}
+	if resp.GenSamples > 0 {
+		resp.GenAreaMean = h.srv.AreaM2.Mean()
+		resp.GenAreaP95 = h.srv.AreaM2.Quantile(0.95)
+		resp.GenWindow = h.srv.IntervalS.Mean()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client;
+	// they surface as truncated bodies, which clients treat as errors.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// MineRequest is the body of POST /v1/mine.
+type MineRequest struct {
+	// WeekdaysOnly restricts mining to business days.
+	WeekdaysOnly bool `json:"weekdaysOnly,omitempty"`
+	// MinDays and MaxSharers tune the miner (zero = defaults).
+	MinDays    int `json:"minDays,omitempty"`
+	MaxSharers int `json:"maxSharers,omitempty"`
+}
+
+// MinedCandidateJSON is one mined pattern on the wire.
+type MinedCandidateJSON struct {
+	User        int64  `json:"user"`
+	Name        string `json:"name"`
+	Elements    int    `json:"elements"`
+	SupportDays int    `json:"supportDays"`
+	Sharers     int    `json:"sharers"`
+	Spec        string `json:"spec"`
+}
+
+// DeployRequest is the body of POST /v1/deploy.
+type DeployRequest struct {
+	K           int     `json:"k"`
+	MaxWidth    float64 `json:"maxWidth,omitempty"`
+	MaxHeight   float64 `json:"maxHeight,omitempty"`
+	MaxDuration int64   `json:"maxDuration,omitempty"`
+}
+
+// DeployReportJSON is the feasibility verdict on the wire.
+type DeployReportJSON struct {
+	Samples      int     `json:"samples"`
+	FeasibleRate float64 `json:"feasibleRate"`
+	CoveredRate  float64 `json:"coveredRate"`
+	OnDemandRate float64 `json:"onDemandRate"`
+	Verdict      string  `json:"verdict"`
+}
+
+func (h *Handler) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req MineRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	cands := mine.Mine(h.srv.Store(), mine.Config{
+		WeekdaysOnly: req.WeekdaysOnly,
+		MinDays:      req.MinDays,
+		MaxSharers:   req.MaxSharers,
+	})
+	out := make([]MinedCandidateJSON, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, MinedCandidateJSON{
+			User:        int64(c.User),
+			Name:        c.Pattern.Name,
+			Elements:    len(c.Pattern.Elements),
+			SupportDays: c.SupportDays,
+			Sharers:     c.Sharers,
+			Spec:        c.Pattern.Spec(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *Handler) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	var req DeployRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	rep, err := deploy.Analyze(deploy.Input{
+		Store: h.srv.Store(),
+		K:     req.K,
+		Tolerance: generalize.Tolerance{
+			MaxWidth: req.MaxWidth, MaxHeight: req.MaxHeight, MaxDuration: req.MaxDuration,
+		},
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, DeployReportJSON{
+		Samples:      rep.Samples,
+		FeasibleRate: rep.FeasibleRate,
+		CoveredRate:  rep.CoveredRate,
+		OnDemandRate: rep.OnDemandRate,
+		Verdict:      rep.Verdict.String(),
+	})
+}

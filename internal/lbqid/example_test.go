@@ -1,0 +1,54 @@
+package lbqid_test
+
+import (
+	"fmt"
+
+	"histanon/internal/geo"
+	"histanon/internal/lbqid"
+	"histanon/internal/tgran"
+)
+
+// The paper's Example 2: a home↔office commute observed three weekdays
+// a week for two weeks.
+func Example() {
+	q, err := lbqid.ParseOne(`
+lbqid "HomeOfficeCommute" {
+    element "AreaCondominium" area [0,100]x[0,100]    time [7am,8am]
+    element "AreaOfficeBldg"  area [500,600]x[0,100]  time [8am,9am]
+    element "AreaOfficeBldg"  area [500,600]x[0,100]  time [4pm,6pm]
+    element "AreaCondominium" area [0,100]x[0,100]    time [5pm,7pm]
+    recurrence 3.Weekdays * 2.Weeks
+}`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.Name, "with", len(q.Elements), "elements, recurrence", q.Recurrence)
+
+	m := lbqid.NewMatcher(q)
+	var id lbqid.RequestID
+	commute := func(week, dow int64) {
+		day := week*tgran.Week + dow*tgran.Day
+		for _, visit := range []struct {
+			x float64
+			t int64
+		}{
+			{50, day + 7*tgran.Hour + 1800},  // condo, 7:30
+			{550, day + 8*tgran.Hour + 1800}, // office, 8:30
+			{550, day + 17*tgran.Hour},       // office, 17:00
+			{50, day + 18*tgran.Hour},        // condo, 18:00
+		} {
+			id++
+			m.Offer(id, geo.STPoint{P: geo.Point{X: visit.x, Y: 50}, T: visit.t})
+		}
+	}
+	// Three weekdays in each of two weeks.
+	for week := int64(0); week < 2; week++ {
+		for _, dow := range []int64{0, 2, 4} { // Mon, Wed, Fri
+			commute(week, dow)
+		}
+	}
+	fmt.Println("observations:", m.Observations(), "satisfied:", m.Satisfied())
+	// Output:
+	// HomeOfficeCommute with 4 elements, recurrence 3.Weekdays * 2.Weeks
+	// observations: 6 satisfied: true
+}

@@ -1,0 +1,150 @@
+// Package lbqid implements Location-Based Quasi-Identifiers (paper §4):
+// spatio-temporal patterns that, when matched by a user's request
+// stream, risk re-identifying the user through external knowledge.
+//
+// An LBQID is a sequence of ⟨Area, U-TimeInterval⟩ elements plus a
+// recurrence formula over time granularities (Def. 1). A set of requests
+// matches the LBQID when every element is matched in order and the
+// observation times satisfy the recurrence (Defs. 2 and 3). Matching is
+// performed continuously with a timed-automaton style matcher
+// (the paper points to timed state automata, ref. [4]).
+package lbqid
+
+import (
+	"fmt"
+	"strings"
+
+	"histanon/internal/geo"
+	"histanon/internal/tgran"
+)
+
+// Element is one step of the pattern: an area and the unanchored daily
+// window during which the user is expected there.
+type Element struct {
+	// Name is an optional label such as "AreaCondominium".
+	Name string
+	// Area is the spatial extent of the element.
+	Area geo.Rect
+	// Window is the unanchored time interval, e.g. [7am,9am].
+	Window tgran.UInterval
+}
+
+// MatchesPoint reports whether an exact request location/time matches
+// the element (paper Def. 2).
+func (e Element) MatchesPoint(p geo.STPoint) bool {
+	return e.Area.Contains(p.P) && e.Window.Contains(p.T)
+}
+
+func (e Element) String() string {
+	name := e.Name
+	if name == "" {
+		name = "area"
+	}
+	return fmt.Sprintf("%s %s @ %s", name, e.Area, e.Window)
+}
+
+// LBQID is a location-based quasi-identifier (paper Def. 1).
+type LBQID struct {
+	// Name labels the pattern, e.g. "HomeOfficeCommute".
+	Name string
+	// Elements is the spatio-temporal sequence, in order.
+	Elements []Element
+	// Recurrence is the temporal formula, e.g. 3.Weekdays * 2.Weeks.
+	Recurrence tgran.Recurrence
+}
+
+// Validate reports structural problems: no elements, invalid areas or
+// windows, or an invalid recurrence.
+func (q *LBQID) Validate() error {
+	if len(q.Elements) == 0 {
+		return fmt.Errorf("lbqid %q: no elements", q.Name)
+	}
+	for i, e := range q.Elements {
+		if !e.Area.Valid() {
+			return fmt.Errorf("lbqid %q: element %d has invalid area", q.Name, i)
+		}
+		if err := e.Window.Validate(); err != nil {
+			return fmt.Errorf("lbqid %q: element %d: %v", q.Name, i, err)
+		}
+	}
+	if err := q.Recurrence.Validate(); err != nil {
+		return fmt.Errorf("lbqid %q: %v", q.Name, err)
+	}
+	return nil
+}
+
+func (q *LBQID) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lbqid %q: ", q.Name)
+	for i, e := range q.Elements {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(e.String())
+	}
+	fmt.Fprintf(&b, " ; recurrence %s", q.Recurrence)
+	return b.String()
+}
+
+// ElementIndexMatching returns the indexes of the elements the exact
+// point matches (an area/window pair can repeat inside a pattern, as in
+// the paper's Example 2 where AreaCondominium appears twice).
+func (q *LBQID) ElementIndexMatching(p geo.STPoint) []int {
+	var out []int
+	for i, e := range q.Elements {
+		if e.MatchesPoint(p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MatchSet decides Def. 3 directly: whether the given request points,
+// one per element in order (len(points) must be a multiple of
+// len(q.Elements)), form complete observations satisfying the
+// recurrence. It is the reference oracle the incremental matcher is
+// tested against.
+func (q *LBQID) MatchSet(observations [][]geo.STPoint) bool {
+	var obs []tgran.Observation
+	for _, seq := range observations {
+		if len(seq) != len(q.Elements) {
+			return false
+		}
+		times := make([]int64, len(seq))
+		for i, p := range seq {
+			if !q.Elements[i].MatchesPoint(p) {
+				return false
+			}
+			if i > 0 && p.T < seq[i-1].T {
+				return false
+			}
+			times[i] = p.T
+		}
+		if !q.Recurrence.CompatibleWithSequence(times) {
+			return false
+		}
+		obs = append(obs, times)
+	}
+	return q.Recurrence.Satisfied(obs)
+}
+
+// Spec renders the LBQID in the parseable block format accepted by
+// Parse — the round-trippable counterpart of String.
+func (q *LBQID) Spec() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lbqid %q {\n", q.Name)
+	for _, e := range q.Elements {
+		if e.Name != "" {
+			fmt.Fprintf(&b, "    element %q area [%g,%g]x[%g,%g] time %s\n",
+				e.Name, e.Area.MinX, e.Area.MaxX, e.Area.MinY, e.Area.MaxY, e.Window)
+		} else {
+			fmt.Fprintf(&b, "    element area [%g,%g]x[%g,%g] time %s\n",
+				e.Area.MinX, e.Area.MaxX, e.Area.MinY, e.Area.MaxY, e.Window)
+		}
+	}
+	if len(q.Recurrence.Terms) > 0 {
+		fmt.Fprintf(&b, "    recurrence %s\n", q.Recurrence)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package lbqid
+
+import (
+	"histanon/internal/geo"
+	"histanon/internal/tgran"
+)
+
+// RequestID identifies a request inside the trusted server; the matcher
+// reports which requests are part of a (partial or complete) pattern
+// exposure.
+type RequestID int64
+
+// Outcome describes what a single offered request did to a matcher.
+type Outcome struct {
+	// Matched reports whether the request matched the first element of
+	// the pattern or extended an in-progress observation — exactly the
+	// condition under which the TS strategy (paper §6.1) generalizes the
+	// request.
+	Matched bool
+	// ElementIndex is the pattern element the request was consumed as
+	// (the furthest-advanced active partial); -1 when Matched is false.
+	ElementIndex int
+	// CompletedObservation reports that the request finished a full pass
+	// through the element sequence.
+	CompletedObservation bool
+	// Satisfied reports that, counting the finished observations under
+	// the current pseudonym, the whole LBQID (including its recurrence)
+	// is now matched: the quasi-identifier has been released.
+	Satisfied bool
+}
+
+// maxPartials bounds the nondeterministic-state frontier of a matcher.
+// Patterns whose elements overlap heavily can in principle spawn one
+// partial per request; beyond this bound the oldest partial is dropped.
+// 64 simultaneous in-flight observations of a single pattern is far past
+// anything a daily-recurrence pattern produces.
+const maxPartials = 64
+
+// partial is one in-progress observation: the prefix of elements matched
+// so far.
+type partial struct {
+	next  int // index of the next element to match
+	times []int64
+	reqs  []RequestID
+}
+
+// Matcher incrementally matches one user's request stream against one
+// LBQID, in the style of a timed state automaton. It tracks several
+// partial observations at once (the pattern is nondeterministic when a
+// request matches both "restart" and "continue"), the completed
+// observations, and whether the recurrence formula is satisfied.
+//
+// A Matcher is not safe for concurrent use.
+type Matcher struct {
+	q *LBQID
+	// completed observations under the current pseudonym.
+	obs     []tgran.Observation
+	obsReqs [][]RequestID
+	// active partial observations, oldest first.
+	partials []partial
+	// satisfied latches once the recurrence is met.
+	satisfied bool
+}
+
+// NewMatcher returns a matcher for q, which must be valid.
+func NewMatcher(q *LBQID) *Matcher {
+	return &Matcher{q: q}
+}
+
+// Pattern returns the LBQID being matched.
+func (m *Matcher) Pattern() *LBQID { return m.q }
+
+// Observations returns how many complete observations have accumulated
+// under the current pseudonym.
+func (m *Matcher) Observations() int { return len(m.obs) }
+
+// Satisfied reports whether the full LBQID (sequence and recurrence) has
+// been matched under the current pseudonym.
+func (m *Matcher) Satisfied() bool { return m.satisfied }
+
+// Progress returns how many leading recurrence terms are already met.
+func (m *Matcher) Progress() int { return m.q.Recurrence.Progress(m.obs) }
+
+// Reset clears all partial and completed state. The TS calls it when the
+// user's pseudonym changes: requests under the old pseudonym can no
+// longer be linked to new ones, so the old exposure evidence dies with
+// it (paper §6.1, step 2).
+func (m *Matcher) Reset() {
+	m.obs = nil
+	m.obsReqs = nil
+	m.partials = nil
+	m.satisfied = false
+}
+
+// Offer feeds one exact request point through the automaton and reports
+// what happened.
+func (m *Matcher) Offer(id RequestID, p geo.STPoint) Outcome {
+	m.expireStale(p.T)
+
+	out := Outcome{ElementIndex: -1}
+
+	// Try to extend existing partials, preferring the most advanced.
+	bestIdx := -1
+	for i := len(m.partials) - 1; i >= 0; i-- {
+		pa := &m.partials[i]
+		if m.canExtend(pa, p) {
+			if bestIdx == -1 || m.partials[i].next > m.partials[bestIdx].next {
+				bestIdx = i
+			}
+		}
+	}
+
+	extended := false
+	if bestIdx >= 0 {
+		pa := m.partials[bestIdx]
+		pa.times = append(append([]int64(nil), pa.times...), p.T)
+		pa.reqs = append(append([]RequestID(nil), pa.reqs...), id)
+		pa.next++
+		out.Matched = true
+		out.ElementIndex = pa.next - 1
+		extended = true
+		if pa.next == len(m.q.Elements) {
+			// Completed a full pass through the sequence.
+			m.obs = append(m.obs, tgran.Observation(pa.times))
+			m.obsReqs = append(m.obsReqs, pa.reqs)
+			m.removePartial(bestIdx)
+			out.CompletedObservation = true
+		} else {
+			m.partials[bestIdx] = pa
+		}
+	}
+
+	// A request matching element 0 also starts a fresh observation,
+	// unless it was just consumed as element 0 of an extension (which is
+	// the same state).
+	if m.q.Elements[0].MatchesPoint(p) && m.q.Recurrence.CompatibleWithSequence([]int64{p.T}) {
+		startsFresh := !extended || out.ElementIndex != 0
+		if startsFresh && !m.hasEquivalentStart(p.T) {
+			if len(m.q.Elements) == 1 {
+				m.obs = append(m.obs, tgran.Observation{p.T})
+				m.obsReqs = append(m.obsReqs, []RequestID{id})
+				out.CompletedObservation = true
+			} else {
+				m.partials = append(m.partials, partial{
+					next:  1,
+					times: []int64{p.T},
+					reqs:  []RequestID{id},
+				})
+				if len(m.partials) > maxPartials {
+					m.partials = m.partials[1:]
+				}
+			}
+			if !out.Matched {
+				out.Matched = true
+				out.ElementIndex = 0
+			}
+		}
+	}
+
+	if out.CompletedObservation && !m.satisfied {
+		m.satisfied = m.q.Recurrence.Satisfied(m.obs)
+	}
+	out.Satisfied = m.satisfied
+	return out
+}
+
+// canExtend reports whether the partial can consume p as its next
+// element: the point matches the element, time does not go backwards,
+// and the grown observation still fits a single innermost granule.
+func (m *Matcher) canExtend(pa *partial, p geo.STPoint) bool {
+	if pa.next >= len(m.q.Elements) {
+		return false
+	}
+	if !m.q.Elements[pa.next].MatchesPoint(p) {
+		return false
+	}
+	if len(pa.times) > 0 && p.T < pa.times[len(pa.times)-1] {
+		return false
+	}
+	times := append(append([]int64(nil), pa.times...), p.T)
+	return m.q.Recurrence.CompatibleWithSequence(times)
+}
+
+// hasEquivalentStart reports whether a partial at state "element 0
+// consumed at an instant equivalent to t" already exists; spawning a
+// second is redundant because extension eligibility depends only on the
+// last time and the granule.
+func (m *Matcher) hasEquivalentStart(t int64) bool {
+	for _, pa := range m.partials {
+		if pa.next == 1 && pa.times[0] == t {
+			return true
+		}
+	}
+	return false
+}
+
+// expireStale drops partials that can no longer complete: once the clock
+// leaves the innermost granule an unfinished observation started in, no
+// future request can extend it. With an empty recurrence a partial never
+// expires from time alone.
+func (m *Matcher) expireStale(now int64) {
+	if len(m.q.Recurrence.Terms) == 0 {
+		return
+	}
+	g := m.q.Recurrence.Terms[0].G
+	keep := m.partials[:0]
+	for _, pa := range m.partials {
+		if tgran.SameGranule(g, pa.times[len(pa.times)-1], now) {
+			keep = append(keep, pa)
+		}
+	}
+	m.partials = keep
+}
+
+func (m *Matcher) removePartial(i int) {
+	m.partials = append(m.partials[:i], m.partials[i+1:]...)
+}
+
+// ExposedRequests returns the request IDs that constitute the current
+// exposure evidence: all completed observations plus all active
+// partials. It is computed on demand — an exposure accumulates hundreds
+// of requests over weeks, and materializing the list on every Offer
+// would make stream processing quadratic.
+func (m *Matcher) ExposedRequests() []RequestID {
+	var out []RequestID
+	for _, reqs := range m.obsReqs {
+		out = append(out, reqs...)
+	}
+	for _, pa := range m.partials {
+		out = append(out, pa.reqs...)
+	}
+	return out
+}

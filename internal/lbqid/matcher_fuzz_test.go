@@ -1,0 +1,79 @@
+package lbqid
+
+import (
+	"math/rand"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/tgran"
+)
+
+// TestMatcherRandomStreamInvariants throws chaotic request streams at
+// matchers over randomized patterns and checks structural invariants:
+// no panics, monotone satisfaction (once satisfied, stays satisfied
+// until Reset), exposed requests are a subset of offered ids, and
+// Satisfied implies at least one complete observation.
+func TestMatcherRandomStreamInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		// Random pattern: 1-4 elements over a small area grid, random
+		// daily windows, random recurrence.
+		nElems := 1 + rng.Intn(4)
+		q := &LBQID{Name: "fuzz"}
+		for e := 0; e < nElems; e++ {
+			x := float64(rng.Intn(5)) * 100
+			startH := int64(rng.Intn(22))
+			q.Elements = append(q.Elements, Element{
+				Area:   geo.Rect{MinX: x, MinY: 0, MaxX: x + 150, MaxY: 200},
+				Window: tgran.NewUInterval(startH*tgran.Hour, (startH+2)*tgran.Hour-1),
+			})
+		}
+		switch rng.Intn(3) {
+		case 0:
+			// empty recurrence
+		case 1:
+			q.Recurrence, _ = tgran.ParseRecurrence("2.Days")
+		default:
+			q.Recurrence, _ = tgran.ParseRecurrence("2.Weekdays * 2.Weeks")
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid pattern: %v", trial, err)
+		}
+
+		m := NewMatcher(q)
+		offered := map[RequestID]bool{}
+		sat := false
+		var id RequestID
+		for step := 0; step < 400; step++ {
+			id++
+			offered[id] = true
+			p := geo.STPoint{
+				P: geo.Point{X: rng.Float64() * 600, Y: rng.Float64() * 250},
+				T: int64(rng.Intn(21 * 24 * 3600)),
+			}
+			// Mostly forward in time, sometimes jumps.
+			out := m.Offer(id, p)
+			if sat && !out.Satisfied {
+				t.Fatalf("trial %d: satisfaction regressed", trial)
+			}
+			sat = out.Satisfied
+			if out.Satisfied && m.Observations() == 0 {
+				t.Fatalf("trial %d: satisfied without observations", trial)
+			}
+			if step%37 == 0 {
+				for _, rid := range m.ExposedRequests() {
+					if !offered[rid] {
+						t.Fatalf("trial %d: exposed unknown request %d", trial, rid)
+					}
+				}
+			}
+			if !out.Matched && out.ElementIndex != -1 {
+				t.Fatalf("trial %d: unmatched outcome has element index", trial)
+			}
+			if step%97 == 0 {
+				m.Reset()
+				sat = false
+			}
+		}
+	}
+}

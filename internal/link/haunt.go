@@ -1,0 +1,121 @@
+package link
+
+import (
+	"math"
+
+	"histanon/internal/wire"
+)
+
+// Haunt implements the second linking technique the paper names in
+// §5.2: "pattern matching of traces (to guess, for example, recurring
+// traces)". The attacker profiles each pseudonym by the recurring
+// (spatial cell × time-of-day slot) bins its request contexts fall
+// into; two pseudonyms whose profiles overlap strongly probably belong
+// to the same person — a commuter keeps returning to the same home and
+// office cells at the same hours no matter how often the pseudonym
+// rotates.
+//
+// Haunt is built over a full request log (profiles need the global
+// view) and then answers the pairwise Link() queries of Def. 4: the
+// likelihood of two requests is the Jaccard overlap of their
+// pseudonyms' haunt profiles (1 for equal pseudonyms).
+type Haunt struct {
+	// CellSize is the spatial bin side in meters (default 750).
+	CellSize float64
+	// SlotLen is the time-of-day bin length in seconds (default 2 h).
+	SlotLen int64
+	// MinVisits is how many requests a bin needs before it counts as a
+	// haunt (default 2) — one-off visits carry no recurring signal.
+	MinVisits int
+
+	profiles map[wire.Pseudonym]map[hauntBin]bool
+}
+
+type hauntBin struct {
+	cx, cy int64
+	slot   int64
+}
+
+// NewHaunt builds profiles from the attacker's view of the request log.
+func NewHaunt(reqs []*wire.Request, cellSize float64, slotLen int64, minVisits int) *Haunt {
+	h := &Haunt{CellSize: cellSize, SlotLen: slotLen, MinVisits: minVisits}
+	h.Build(reqs)
+	return h
+}
+
+func (h *Haunt) cellSize() float64 {
+	if h.CellSize == 0 {
+		return 750
+	}
+	return h.CellSize
+}
+
+func (h *Haunt) slotLen() int64 {
+	if h.SlotLen == 0 {
+		return 7200
+	}
+	return h.SlotLen
+}
+
+func (h *Haunt) minVisits() int {
+	if h.MinVisits == 0 {
+		return 2
+	}
+	return h.MinVisits
+}
+
+// Build (re)computes the per-pseudonym profiles from a request log.
+func (h *Haunt) Build(reqs []*wire.Request) {
+	const day = 86400
+	counts := map[wire.Pseudonym]map[hauntBin]int{}
+	for _, r := range reqs {
+		c := r.Context.Area.Center()
+		mid := (r.Context.Time.Start + r.Context.Time.End) / 2
+		bin := hauntBin{
+			cx:   int64(math.Floor(c.X / h.cellSize())),
+			cy:   int64(math.Floor(c.Y / h.cellSize())),
+			slot: ((mid % day) + day) % day / h.slotLen(),
+		}
+		if counts[r.Pseudonym] == nil {
+			counts[r.Pseudonym] = map[hauntBin]int{}
+		}
+		counts[r.Pseudonym][bin]++
+	}
+	h.profiles = make(map[wire.Pseudonym]map[hauntBin]bool, len(counts))
+	for ps, bins := range counts {
+		prof := map[hauntBin]bool{}
+		for bin, n := range bins {
+			if n >= h.minVisits() {
+				prof[bin] = true
+			}
+		}
+		h.profiles[ps] = prof
+	}
+}
+
+// Likelihood implements Func: the Jaccard similarity of the two
+// pseudonyms' haunt profiles.
+func (h *Haunt) Likelihood(a, b *wire.Request) float64 {
+	if a == b || a.Pseudonym == b.Pseudonym {
+		return 1
+	}
+	pa, pb := h.profiles[a.Pseudonym], h.profiles[b.Pseudonym]
+	if len(pa) == 0 || len(pb) == 0 {
+		return 0
+	}
+	inter := 0
+	for bin := range pa {
+		if pb[bin] {
+			inter++
+		}
+	}
+	union := len(pa) + len(pb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// ProfileSize returns how many haunts a pseudonym's profile holds
+// (diagnostics and tests).
+func (h *Haunt) ProfileSize(ps wire.Pseudonym) int { return len(h.profiles[ps]) }

@@ -1,0 +1,108 @@
+package link
+
+import (
+	"fmt"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/wire"
+)
+
+// haunts builds a request log: pseudonym ps visits (x,y) daily at the
+// given second-of-day for `days` days.
+func hauntLog(ps string, x, y float64, sod int64, days int) []*wire.Request {
+	var out []*wire.Request
+	for d := 0; d < days; d++ {
+		out = append(out, &wire.Request{
+			ID:        wire.MsgID(d),
+			Pseudonym: wire.Pseudonym(ps),
+			Context: geo.STBox{
+				Area: geo.RectAround(geo.Point{X: x, Y: y}).Expand(50),
+				Time: geo.IntervalAround(int64(d)*86400 + sod).Union(
+					geo.Interval{Start: int64(d)*86400 + sod - 300, End: int64(d)*86400 + sod + 300}),
+			},
+		})
+	}
+	return out
+}
+
+func TestHauntLinksRecurringPseudonyms(t *testing.T) {
+	// "old" and "new" are the same commuter before and after a rotation:
+	// same home cell at 8am, same office cell at 9am. "other" lives
+	// elsewhere.
+	var log []*wire.Request
+	log = append(log, hauntLog("old", 100, 100, 8*3600, 4)...)
+	log = append(log, hauntLog("old", 3000, 100, 9*3600, 4)...)
+	log = append(log, hauntLog("new", 110, 90, 8*3600+600, 4)...)
+	log = append(log, hauntLog("new", 3010, 110, 9*3600+600, 4)...)
+	log = append(log, hauntLog("other", 7000, 7000, 8*3600, 4)...)
+
+	h := NewHaunt(log, 750, 7200, 2)
+	sameUser := h.Likelihood(log[0], log[8])  // old vs new
+	diffUser := h.Likelihood(log[0], log[16]) // old vs other
+	if sameUser < 0.9 {
+		t.Fatalf("recurring haunts must link strongly: %g", sameUser)
+	}
+	if diffUser != 0 {
+		t.Fatalf("disjoint haunts must not link: %g", diffUser)
+	}
+	if got := h.Likelihood(log[0], log[1]); got != 1 {
+		t.Fatalf("same pseudonym: %g", got)
+	}
+}
+
+func TestHauntMinVisits(t *testing.T) {
+	// A single visit to a bin is no haunt: profiles stay empty and
+	// nothing links.
+	var log []*wire.Request
+	log = append(log, hauntLog("a", 100, 100, 8*3600, 1)...)
+	log = append(log, hauntLog("b", 100, 100, 8*3600, 1)...)
+	h := NewHaunt(log, 750, 7200, 2)
+	if got := h.Likelihood(log[0], log[1]); got != 0 {
+		t.Fatalf("one-off visits must not form haunts: %g", got)
+	}
+	if h.ProfileSize("a") != 0 {
+		t.Fatalf("profile size: %d", h.ProfileSize("a"))
+	}
+}
+
+func TestHauntPartialOverlap(t *testing.T) {
+	// Pseudonyms sharing one of two haunts: Jaccard 1/3.
+	var log []*wire.Request
+	log = append(log, hauntLog("a", 100, 100, 8*3600, 3)...)
+	log = append(log, hauntLog("a", 3000, 100, 9*3600, 3)...)
+	log = append(log, hauntLog("b", 100, 100, 8*3600, 3)...)
+	log = append(log, hauntLog("b", 9000, 9000, 20*3600, 3)...)
+	h := NewHaunt(log, 750, 7200, 2)
+	got := h.Likelihood(log[0], log[6])
+	if got < 0.3 || got > 0.4 {
+		t.Fatalf("partial overlap: %g want ~1/3", got)
+	}
+}
+
+func TestHauntSymmetricReflexive(t *testing.T) {
+	var log []*wire.Request
+	for i := 0; i < 6; i++ {
+		log = append(log, hauntLog(fmt.Sprintf("p%d", i%3), float64(i*500), 0, int64(i)*3600, 3)...)
+	}
+	h := NewHaunt(log, 750, 7200, 2)
+	for _, a := range log {
+		if h.Likelihood(a, a) != 1 {
+			t.Fatal("reflexivity")
+		}
+		for _, b := range log {
+			if h.Likelihood(a, b) != h.Likelihood(b, a) {
+				t.Fatal("symmetry")
+			}
+		}
+	}
+}
+
+func TestHauntUnknownPseudonym(t *testing.T) {
+	h := NewHaunt(nil, 0, 0, 0)
+	a := &wire.Request{Pseudonym: "x"}
+	b := &wire.Request{Pseudonym: "y"}
+	if got := h.Likelihood(a, b); got != 0 {
+		t.Fatalf("unknown pseudonyms: %g", got)
+	}
+}

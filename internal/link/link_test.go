@@ -1,0 +1,232 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"histanon/internal/geo"
+	"histanon/internal/wire"
+)
+
+func req(id int64, pseudo string, x, y float64, t int64) *wire.Request {
+	return &wire.Request{
+		ID:        wire.MsgID(id),
+		Pseudonym: wire.Pseudonym(pseudo),
+		Context: geo.STBox{
+			Area: geo.RectAround(geo.Point{X: x, Y: y}),
+			Time: geo.IntervalAround(t),
+		},
+	}
+}
+
+func TestPseudonymLinker(t *testing.T) {
+	var p Pseudonym
+	a := req(1, "alpha", 0, 0, 0)
+	b := req(2, "alpha", 999, 999, 999)
+	c := req(3, "beta", 0, 0, 0)
+	if p.Likelihood(a, b) != 1 {
+		t.Fatal("same pseudonym must link with likelihood 1")
+	}
+	if p.Likelihood(a, c) != 0 {
+		t.Fatal("different pseudonyms carry no pseudonym-based evidence")
+	}
+	if p.Likelihood(a, a) != 1 {
+		t.Fatal("reflexivity")
+	}
+}
+
+func TestTrackingReachable(t *testing.T) {
+	tr := Tracking{MaxSpeed: 10, HalfLife: 1e9} // effectively no decay
+	a := req(1, "p1", 0, 0, 0)
+	b := req(2, "p2", 50, 0, 10) // needs 5 m/s, well within 10
+	if got := tr.Likelihood(a, b); got < 0.99 {
+		t.Fatalf("reachable continuation: likelihood=%g", got)
+	}
+	c := req(3, "p3", 500, 0, 10) // needs 50 m/s
+	if got := tr.Likelihood(a, c); got != 0 {
+		t.Fatalf("unreachable: likelihood=%g", got)
+	}
+	d := req(4, "p4", 150, 0, 10) // needs 15 m/s: between v and 2v
+	got := tr.Likelihood(a, d)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("marginal reachability must be in (0,1): %g", got)
+	}
+}
+
+func TestTrackingDecay(t *testing.T) {
+	tr := Tracking{MaxSpeed: 100, HalfLife: 100}
+	a := req(1, "p1", 0, 0, 0)
+	near := req(2, "p2", 1, 0, 100) // one half-life later
+	got := tr.Likelihood(a, near)
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("one half-life: likelihood=%g want ~0.5", got)
+	}
+	far := req(3, "p3", 1, 0, 1000) // ten half-lives
+	if got := tr.Likelihood(a, far); got > 0.01 {
+		t.Fatalf("ten half-lives: likelihood=%g", got)
+	}
+}
+
+func TestTrackingSameInstantDisjoint(t *testing.T) {
+	tr := Tracking{MaxSpeed: 10, HalfLife: 100}
+	a := req(1, "p1", 0, 0, 50)
+	b := req(2, "p2", 100, 0, 50) // same instant, 100 m apart
+	if got := tr.Likelihood(a, b); got != 0 {
+		t.Fatalf("teleportation must not link: %g", got)
+	}
+	c := req(3, "p3", 0, 0, 50) // same instant, same place
+	if got := tr.Likelihood(a, c); got != 1 {
+		t.Fatalf("same place same time: %g", got)
+	}
+}
+
+func TestTrackingOverlappingBoxes(t *testing.T) {
+	tr := Tracking{MaxSpeed: 10, HalfLife: 1e9}
+	a := &wire.Request{Pseudonym: "p1", Context: geo.STBox{
+		Area: geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		Time: geo.Interval{Start: 0, End: 60},
+	}}
+	b := &wire.Request{Pseudonym: "p2", Context: geo.STBox{
+		Area: geo.Rect{MinX: 50, MinY: 50, MaxX: 150, MaxY: 150},
+		Time: geo.Interval{Start: 30, End: 90},
+	}}
+	if got := tr.Likelihood(a, b); got != 1 {
+		t.Fatalf("overlapping generalized contexts: %g", got)
+	}
+}
+
+func TestTrackingSymmetryProperty(t *testing.T) {
+	tr := Tracking{MaxSpeed: 12, HalfLife: 300}
+	f := func(x1, y1, x2, y2 int16, t1, t2 int32, w1, w2 uint8) bool {
+		a := &wire.Request{Pseudonym: "p1", Context: geo.STBox{
+			Area: geo.RectAround(geo.Point{X: float64(x1), Y: float64(y1)}).Expand(float64(w1)),
+			Time: geo.IntervalAround(int64(t1)),
+		}}
+		b := &wire.Request{Pseudonym: "p2", Context: geo.STBox{
+			Area: geo.RectAround(geo.Point{X: float64(x2), Y: float64(y2)}).Expand(float64(w2)),
+			Time: geo.IntervalAround(int64(t2)),
+		}}
+		la, lb := tr.Likelihood(a, b), tr.Likelihood(b, a)
+		return la == lb && la >= 0 && la <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCombinator(t *testing.T) {
+	f := Max{Pseudonym{}, Tracking{MaxSpeed: 10, HalfLife: 100}}
+	// Same pseudonym, physically implausible: pseudonym wins.
+	a := req(1, "p", 0, 0, 0)
+	b := req(2, "p", 1e6, 1e6, 1)
+	if got := f.Likelihood(a, b); got != 1 {
+		t.Fatalf("Max must take the pseudonym link: %g", got)
+	}
+	// Different pseudonyms, trackable: tracking wins.
+	c := req(3, "q", 5, 0, 10)
+	if got := f.Likelihood(a, c); got < 0.9 {
+		t.Fatalf("Max must take the tracking link: %g", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Chain a-b-c linked pairwise plus isolated d.
+	a := req(1, "p1", 0, 0, 0)
+	b := req(2, "p2", 50, 0, 10)
+	c := req(3, "p3", 100, 0, 20)
+	d := req(4, "p4", 9999, 9999, 25)
+	f := Tracking{MaxSpeed: 10, HalfLife: 1e9}
+	comps := Components([]*wire.Request{a, b, c, d}, f, 0.9)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	var big, small []*wire.Request
+	for _, comp := range comps {
+		if len(comp) == 3 {
+			big = comp
+		} else {
+			small = comp
+		}
+	}
+	if len(big) != 3 || len(small) != 1 || small[0] != d {
+		t.Fatalf("components wrong: %v / %v", big, small)
+	}
+}
+
+func TestIsLinkConnected(t *testing.T) {
+	a := req(1, "p1", 0, 0, 0)
+	b := req(2, "p2", 50, 0, 10)
+	c := req(3, "p3", 100, 0, 20)
+	f := Tracking{MaxSpeed: 10, HalfLife: 1e9}
+	// a and c are not directly linkable (100m in 20s = 5 m/s is fine
+	// actually; make c farther) — use a sharper chain.
+	far := req(4, "p4", 400, 0, 30)
+	if !IsLinkConnected([]*wire.Request{a, b, c}, f, 0.9) {
+		t.Fatal("chain must be link-connected")
+	}
+	if IsLinkConnected([]*wire.Request{a, far}, f, 0.9) {
+		t.Fatal("a and far require 13 m/s; not linkable at 0.9")
+	}
+	if !IsLinkConnected(nil, f, 0.9) || !IsLinkConnected([]*wire.Request{a}, f, 0.9) {
+		t.Fatal("empty and singleton sets are trivially connected")
+	}
+}
+
+func TestCorrectLinkProperty(t *testing.T) {
+	// The paper's correctness remark: with the pseudonym linker and one
+	// pseudonym per user, a set is link-connected at theta=1 iff all
+	// requests share the user.
+	var f Pseudonym
+	same := []*wire.Request{req(1, "u", 0, 0, 0), req(2, "u", 5, 5, 5), req(3, "u", 9, 9, 9)}
+	if !IsLinkConnected(same, f, 1) {
+		t.Fatal("same-user set must be link-connected at 1")
+	}
+	mixed := append(same, req(4, "v", 0, 0, 0))
+	if IsLinkConnected(mixed, f, 1) {
+		t.Fatal("mixed-user set must not be link-connected at 1")
+	}
+}
+
+func TestMaxPairLikelihood(t *testing.T) {
+	f := Tracking{MaxSpeed: 10, HalfLife: 1e9}
+	before := []*wire.Request{req(1, "p1", 0, 0, 0), req(2, "p1", 10, 0, 5)}
+	afterNear := []*wire.Request{req(3, "p2", 20, 0, 10)}
+	afterFar := []*wire.Request{req(4, "p2", 5000, 0, 10)}
+	if got := MaxPairLikelihood(before, afterNear, f); got < 0.9 {
+		t.Fatalf("near continuation: %g", got)
+	}
+	if got := MaxPairLikelihood(before, afterFar, f); got != 0 {
+		t.Fatalf("far continuation: %g", got)
+	}
+	if got := MaxPairLikelihood(nil, afterNear, f); got != 0 {
+		t.Fatalf("empty set: %g", got)
+	}
+}
+
+func TestComponentsRandomizedPartition(t *testing.T) {
+	// Components must form a partition: every request in exactly one
+	// component.
+	rng := rand.New(rand.NewSource(4))
+	var reqs []*wire.Request
+	for i := 0; i < 120; i++ {
+		reqs = append(reqs, req(int64(i), "p", rng.Float64()*1000, rng.Float64()*1000, int64(rng.Intn(600))))
+	}
+	comps := Components(reqs, Tracking{MaxSpeed: 8, HalfLife: 600}, 0.5)
+	seen := map[wire.MsgID]int{}
+	total := 0
+	for _, comp := range comps {
+		for _, r := range comp {
+			seen[r.ID]++
+			total++
+		}
+	}
+	if total != len(reqs) {
+		t.Fatalf("partition covers %d of %d", total, len(reqs))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("request %d appears %d times", id, n)
+		}
+	}
+}

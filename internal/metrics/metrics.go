@@ -1,0 +1,145 @@
+// Package metrics provides the small statistics toolkit the experiment
+// harness and the trusted server use to report quality-of-service and
+// privacy numbers: streaming summaries (mean, quantiles, extrema) and
+// named counters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Summary accumulates float64 samples and answers order statistics.
+// It is safe for concurrent use.
+type Summary struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Mean returns the sample mean, or NaN with no samples.
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank over the
+// sorted samples, or NaN with no samples.
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.samples)
+	if n == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return s.samples[idx]
+}
+
+// Min returns the smallest sample, or NaN with no samples.
+func (s *Summary) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest sample, or NaN with no samples.
+func (s *Summary) Max() float64 { return s.Quantile(1) }
+
+// String renders "n=… mean=… p50=… p95=…".
+func (s *Summary) String() string {
+	if s.N() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f",
+		s.N(), s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Max())
+}
+
+// Counters is a set of named monotone counters, safe for concurrent use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Inc adds one to the named counter.
+func (c *Counters) Inc(name string) { c.Addn(name, 1) }
+
+// Addn adds n to the named counter.
+func (c *Counters) Addn(name string, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[name] += n
+}
+
+// Get returns the counter value (zero when never incremented).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders "a=1 b=2 …" in name order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.Get(name))
+	}
+	return b.String()
+}
+
+// Ratio returns a/b as a float, or NaN when b is zero — handy for rates
+// such as disruptions per request.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return float64(a) / float64(b)
+}

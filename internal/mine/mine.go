@@ -1,0 +1,375 @@
+// Package mine derives candidate LBQIDs from historical movement data.
+//
+// The paper leaves derivation as an open problem but sketches the
+// method (§4): "the derivation process will have to be based on
+// statistical analysis of the data about users movement history: If a
+// certain pattern turns out to be very common for many users, it is
+// unlikely to be useful for identifying any one of them", and suggests
+// the trusted server "is probably a good candidate to offer tools for
+// LBQID definition".
+//
+// The miner implements that sketch in three stages:
+//
+//  1. Haunt extraction: per user, bucket location samples into
+//     (spatial cell × time-of-day slot) bins and keep the bins the user
+//     occupies on many distinct days — their recurring haunts.
+//  2. Sequencing: order a user's haunts by slot and chain the ones that
+//     recur on the same days into a candidate element sequence, with a
+//     recurrence formula fitted from the observed day counts.
+//  3. Distinctiveness filtering: drop candidates whose haunt sets are
+//     shared by many other users (a pattern common to the crowd cannot
+//     identify anyone).
+package mine
+
+import (
+	"fmt"
+	"sort"
+
+	"histanon/internal/geo"
+	"histanon/internal/lbqid"
+	"histanon/internal/phl"
+	"histanon/internal/tgran"
+)
+
+// Config tunes the miner.
+type Config struct {
+	// CellSize is the spatial bin side in meters. Zero means 500.
+	CellSize float64
+	// SlotLen is the time-of-day bin length in seconds. Zero means one
+	// hour.
+	SlotLen int64
+	// MinDays is the minimum number of distinct days a bin must recur on
+	// to count as a haunt. Zero means 3.
+	MinDays int
+	// MaxSharers is the maximum number of *other* users allowed to share
+	// a candidate's full haunt sequence before it is discarded as
+	// non-identifying. Zero means 2.
+	MaxSharers int
+	// MinElements is the minimum sequence length of a reported
+	// candidate. Zero means 2.
+	MinElements int
+	// MaxElements caps the sequence length (real LBQIDs are short:
+	// the paper's Example 2 has four elements). Zero means 6.
+	MaxElements int
+	// WeekdaysOnly restricts mining to business days, matching the
+	// commute patterns of the paper's examples.
+	WeekdaysOnly bool
+}
+
+func (c Config) cellSize() float64 {
+	if c.CellSize == 0 {
+		return 500
+	}
+	return c.CellSize
+}
+
+func (c Config) slotLen() int64 {
+	if c.SlotLen == 0 {
+		return tgran.Hour
+	}
+	return c.SlotLen
+}
+
+func (c Config) minDays() int {
+	if c.MinDays == 0 {
+		return 3
+	}
+	return c.MinDays
+}
+
+func (c Config) maxSharers() int {
+	if c.MaxSharers == 0 {
+		return 2
+	}
+	return c.MaxSharers
+}
+
+func (c Config) minElements() int {
+	if c.MinElements == 0 {
+		return 2
+	}
+	return c.MinElements
+}
+
+func (c Config) maxElements() int {
+	if c.MaxElements == 0 {
+		return 6
+	}
+	return c.MaxElements
+}
+
+// Candidate is a mined quasi-identifier with its supporting statistics.
+type Candidate struct {
+	// User the pattern belongs to.
+	User phl.UserID
+	// Pattern is the derived LBQID (validated).
+	Pattern *lbqid.LBQID
+	// SupportDays is how many distinct days exhibit the full sequence.
+	SupportDays int
+	// Sharers counts the other users whose histories also contain every
+	// haunt of the sequence — the pattern's commonality.
+	Sharers int
+}
+
+// haunt is one recurring (cell, slot) bin of a user.
+type haunt struct {
+	cellX, cellY int64
+	slot         int64
+	days         map[int64]bool // distinct day indexes observed
+}
+
+func (h *haunt) key() hauntKey { return hauntKey{h.cellX, h.cellY, h.slot} }
+
+type hauntKey struct {
+	cellX, cellY int64
+	slot         int64
+}
+
+// Mine analyzes every user's history in the store and returns the
+// distinctive recurring patterns, ordered by user then support.
+func Mine(store *phl.Store, cfg Config) []Candidate {
+	users := store.Users()
+	// Stage 1: haunts per user.
+	haunts := make(map[phl.UserID]map[hauntKey]*haunt, len(users))
+	for _, u := range users {
+		haunts[u] = extractHaunts(store.History(u), cfg)
+	}
+
+	// Occupancy index for stage 3: which users ever visit each bin (on
+	// enough days to count as *their* haunt).
+	occupants := map[hauntKey]map[phl.UserID]bool{}
+	for u, hs := range haunts {
+		for k := range hs {
+			if occupants[k] == nil {
+				occupants[k] = map[phl.UserID]bool{}
+			}
+			occupants[k][u] = true
+		}
+	}
+
+	var out []Candidate
+	for _, u := range users {
+		cand, ok := sequence(u, haunts[u], cfg)
+		if !ok {
+			continue
+		}
+		// Stage 3: distinctiveness. A different user shares the pattern
+		// when every bin of the sequence is also one of their haunts.
+		sharers := 0
+		for _, other := range users {
+			if other == u {
+				continue
+			}
+			shared := true
+			for _, k := range cand.keys {
+				if !occupants[k][other] {
+					shared = false
+					break
+				}
+			}
+			if shared {
+				sharers++
+			}
+		}
+		if sharers > cfg.maxSharers() {
+			continue
+		}
+		cand.c.Sharers = sharers
+		out = append(out, cand.c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].SupportDays > out[j].SupportDays
+	})
+	return out
+}
+
+// extractHaunts bins one history and keeps the recurring bins.
+func extractHaunts(h *phl.History, cfg Config) map[hauntKey]*haunt {
+	out := map[hauntKey]*haunt{}
+	if h == nil {
+		return out
+	}
+	cell := cfg.cellSize()
+	slotLen := cfg.slotLen()
+	for _, p := range h.Points() {
+		day := floorDiv(p.T, tgran.Day)
+		if cfg.WeekdaysOnly && mod64(day, 7) >= 5 {
+			continue
+		}
+		k := hauntKey{
+			cellX: int64(p.P.X / cell),
+			cellY: int64(p.P.Y / cell),
+			slot:  mod64(p.T, tgran.Day) / slotLen,
+		}
+		hh, ok := out[k]
+		if !ok {
+			hh = &haunt{cellX: k.cellX, cellY: k.cellY, slot: k.slot, days: map[int64]bool{}}
+			out[k] = hh
+		}
+		hh.days[day] = true
+	}
+	for k, hh := range out {
+		if len(hh.days) < cfg.minDays() {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+type sequenced struct {
+	c    Candidate
+	keys []hauntKey
+}
+
+// sequence chains a user's haunts into an LBQID candidate: haunts are
+// ordered by slot, only those sharing enough common days are kept, and
+// the recurrence is fitted from the common-day distribution.
+func sequence(u phl.UserID, hs map[hauntKey]*haunt, cfg Config) (sequenced, bool) {
+	if len(hs) == 0 {
+		return sequenced{}, false
+	}
+	ordered := make([]*haunt, 0, len(hs))
+	for _, h := range hs {
+		ordered = append(ordered, h)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].slot != ordered[j].slot {
+			return ordered[i].slot < ordered[j].slot
+		}
+		if ordered[i].cellX != ordered[j].cellX {
+			return ordered[i].cellX < ordered[j].cellX
+		}
+		return ordered[i].cellY < ordered[j].cellY
+	})
+
+	// Greedy chain: start from the most-recurring haunt, then extend
+	// with later-slot haunts that share most of its days.
+	best := ordered[0]
+	for _, h := range ordered {
+		if len(h.days) > len(best.days) {
+			best = h
+		}
+	}
+	chain := []*haunt{best}
+	common := copyDays(best.days)
+	for _, h := range ordered {
+		if len(chain) >= cfg.maxElements() {
+			break
+		}
+		if h == best || h.slot <= chain[len(chain)-1].slot {
+			continue
+		}
+		// Staying put is not movement: consecutive haunts in the same
+		// cell add no identifying structure, only length.
+		last := chain[len(chain)-1]
+		if h.cellX == last.cellX && h.cellY == last.cellY {
+			continue
+		}
+		inter := intersectDays(common, h.days)
+		if len(inter) >= cfg.minDays() {
+			chain = append(chain, h)
+			common = inter
+		}
+	}
+	if len(chain) < cfg.minElements() {
+		return sequenced{}, false
+	}
+
+	// Fit the recurrence: observations must fall on one day, recur on
+	// daysPerWeek distinct weekdays, over weeks weeks.
+	weeks := map[int64]int{}
+	for d := range common {
+		weeks[floorDiv(d, 7)]++
+	}
+	daysPerWeek := len(common)
+	numWeeks := 0
+	for _, n := range weeks {
+		if n < daysPerWeek {
+			daysPerWeek = n
+		}
+	}
+	for _, n := range weeks {
+		if n >= daysPerWeek {
+			numWeeks++
+		}
+	}
+	if daysPerWeek < 1 {
+		daysPerWeek = 1
+	}
+	if numWeeks < 1 {
+		numWeeks = 1
+	}
+
+	granName := "Days"
+	if cfg.WeekdaysOnly {
+		granName = "Weekdays"
+	}
+	rec, err := tgran.ParseRecurrence(
+		fmt.Sprintf("%d.%s * %d.Weeks", daysPerWeek, granName, numWeeks))
+	if err != nil {
+		return sequenced{}, false
+	}
+
+	q := &lbqid.LBQID{
+		Name:       fmt.Sprintf("mined-u%d", int64(u)),
+		Recurrence: rec,
+	}
+	cell := cfg.cellSize()
+	slotLen := cfg.slotLen()
+	var keys []hauntKey
+	for i, h := range chain {
+		q.Elements = append(q.Elements, lbqid.Element{
+			Name: fmt.Sprintf("haunt%d", i),
+			Area: geo.Rect{
+				MinX: float64(h.cellX) * cell, MinY: float64(h.cellY) * cell,
+				MaxX: float64(h.cellX+1) * cell, MaxY: float64(h.cellY+1) * cell,
+			},
+			Window: tgran.NewUInterval(h.slot*slotLen, (h.slot+1)*slotLen-1),
+		})
+		keys = append(keys, h.key())
+	}
+	if err := q.Validate(); err != nil {
+		return sequenced{}, false
+	}
+	return sequenced{
+		c:    Candidate{User: u, Pattern: q, SupportDays: len(common)},
+		keys: keys,
+	}, true
+}
+
+func copyDays(m map[int64]bool) map[int64]bool {
+	out := make(map[int64]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectDays(a, b map[int64]bool) map[int64]bool {
+	out := map[int64]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func mod64(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

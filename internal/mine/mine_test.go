@@ -1,0 +1,215 @@
+package mine
+
+import (
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/lbqid"
+	"histanon/internal/mobility"
+	"histanon/internal/phl"
+	"histanon/internal/tgran"
+)
+
+func pt(x, y float64, t int64) geo.STPoint {
+	return geo.STPoint{P: geo.Point{X: x, Y: y}, T: t}
+}
+
+// commuteStore builds: user 0 commutes home(100,100)@8h → office(3100,100)@9h
+// on weekdays for `weeks` weeks; `mirrors` other users do the identical
+// commute; remaining users wander elsewhere.
+func commuteStore(weeks int, mirrors, wanderers int) *phl.Store {
+	s := phl.NewStore()
+	record := func(u phl.UserID, days int64) {
+		for d := int64(0); d < days; d++ {
+			if d%7 >= 5 {
+				continue
+			}
+			s.Record(u, pt(100, 100, d*tgran.Day+8*tgran.Hour+600))
+			s.Record(u, pt(3100, 100, d*tgran.Day+9*tgran.Hour+600))
+		}
+	}
+	days := int64(weeks) * 7
+	record(0, days)
+	for m := 1; m <= mirrors; m++ {
+		record(phl.UserID(m), days)
+	}
+	for w := 0; w < wanderers; w++ {
+		u := phl.UserID(100 + w)
+		for d := int64(0); d < days; d++ {
+			s.Record(u, pt(6000+float64(w)*600, 6000, d*tgran.Day+14*tgran.Hour))
+		}
+	}
+	return s
+}
+
+func TestMineFindsCommute(t *testing.T) {
+	s := commuteStore(2, 0, 3)
+	cands := Mine(s, Config{WeekdaysOnly: true})
+	var mine *Candidate
+	for i := range cands {
+		if cands[i].User == 0 {
+			mine = &cands[i]
+			break
+		}
+	}
+	if mine == nil {
+		t.Fatalf("no candidate for user 0: %+v", cands)
+	}
+	q := mine.Pattern
+	if len(q.Elements) < 2 {
+		t.Fatalf("expected a 2+ element sequence, got %d", len(q.Elements))
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("mined pattern invalid: %v", err)
+	}
+	// The mined pattern must actually match the user's own history.
+	m := lbqid.NewMatcher(q)
+	var id lbqid.RequestID
+	for _, p := range s.History(0).Points() {
+		id++
+		m.Offer(id, p)
+	}
+	if !m.Satisfied() {
+		t.Fatalf("mined pattern does not match its own history: %s (obs=%d progress=%d)",
+			q, m.Observations(), m.Progress())
+	}
+	if mine.SupportDays < 10 {
+		t.Fatalf("support=%d want 10 weekdays", mine.SupportDays)
+	}
+	if mine.Sharers != 0 {
+		t.Fatalf("sharers=%d want 0", mine.Sharers)
+	}
+}
+
+func TestMineDropsCommonPatterns(t *testing.T) {
+	// User 0's commute is shared by five mirrors: with MaxSharers 2 the
+	// pattern is non-identifying and must be dropped for everyone who
+	// shares it.
+	s := commuteStore(2, 5, 0)
+	cands := Mine(s, Config{WeekdaysOnly: true, MaxSharers: 2})
+	for _, c := range cands {
+		if c.User <= 5 {
+			t.Fatalf("shared commute must be dropped, got candidate for %v (sharers=%d)",
+				c.User, c.Sharers)
+		}
+	}
+	// Raising the tolerance re-admits it.
+	cands = Mine(s, Config{WeekdaysOnly: true, MaxSharers: 10})
+	found := false
+	for _, c := range cands {
+		if c.User == 0 {
+			found = true
+			if c.Sharers != 5 {
+				t.Fatalf("sharers=%d want 5", c.Sharers)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("candidate missing at MaxSharers=10")
+	}
+}
+
+func TestMineRequiresRecurrence(t *testing.T) {
+	// A single visit never forms a haunt.
+	s := phl.NewStore()
+	s.Record(0, pt(100, 100, 8*tgran.Hour))
+	s.Record(0, pt(3100, 100, 9*tgran.Hour))
+	if cands := Mine(s, Config{}); len(cands) != 0 {
+		t.Fatalf("one day of data must not produce candidates: %+v", cands)
+	}
+}
+
+func TestMineWeekendFilter(t *testing.T) {
+	// Weekend-only visits disappear under WeekdaysOnly.
+	s := phl.NewStore()
+	for wk := int64(0); wk < 4; wk++ {
+		s.Record(0, pt(100, 100, (wk*7+5)*tgran.Day+10*tgran.Hour)) // Saturdays
+		s.Record(0, pt(600, 100, (wk*7+5)*tgran.Day+12*tgran.Hour))
+	}
+	if cands := Mine(s, Config{WeekdaysOnly: true}); len(cands) != 0 {
+		t.Fatalf("weekend pattern must be filtered: %+v", cands)
+	}
+	if cands := Mine(s, Config{}); len(cands) == 0 {
+		t.Fatal("without the filter the Saturday pattern must be found")
+	}
+}
+
+func TestMineOnSyntheticCity(t *testing.T) {
+	// End-to-end: the miner must rediscover commute-like patterns in the
+	// mobility generator's output, and each mined pattern must match its
+	// owner's history.
+	cfg := mobility.DefaultConfig()
+	cfg.Users = 40
+	cfg.Days = 14
+	world := mobility.Generate(cfg)
+	store := phl.NewStore()
+	for _, ev := range world.Events {
+		store.Record(ev.User, ev.Point)
+	}
+	cands := Mine(store, Config{WeekdaysOnly: true, MinDays: 4, MaxSharers: 3})
+	if len(cands) == 0 {
+		t.Fatal("expected mined candidates from the synthetic city")
+	}
+	for _, c := range cands {
+		m := lbqid.NewMatcher(c.Pattern)
+		var id lbqid.RequestID
+		for _, p := range store.History(c.User).Points() {
+			id++
+			m.Offer(id, p)
+		}
+		if m.Observations() == 0 {
+			t.Fatalf("pattern %q never observed in its own history", c.Pattern.Name)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.cellSize() != 500 || c.slotLen() != tgran.Hour || c.minDays() != 3 ||
+		c.maxSharers() != 2 || c.minElements() != 2 {
+		t.Fatal("defaults wrong")
+	}
+}
+
+func TestMineMaxElementsCap(t *testing.T) {
+	// A user visiting a different cell every hour would chain dozens of
+	// elements without the cap.
+	s := phl.NewStore()
+	for d := int64(0); d < 5; d++ {
+		for h := int64(6); h < 20; h++ {
+			s.Record(0, pt(float64(h)*600, 100, d*tgran.Day+h*tgran.Hour+60))
+		}
+	}
+	cands := Mine(s, Config{MaxElements: 4})
+	if len(cands) != 1 {
+		t.Fatalf("candidates: %d", len(cands))
+	}
+	if got := len(cands[0].Pattern.Elements); got > 4 {
+		t.Fatalf("elements=%d exceeds cap", got)
+	}
+	// Default cap is 6.
+	cands = Mine(s, Config{})
+	if got := len(cands[0].Pattern.Elements); got > 6 {
+		t.Fatalf("elements=%d exceeds default cap", got)
+	}
+}
+
+func TestMineConsecutiveSameCellDeduped(t *testing.T) {
+	// Idling in one cell across many hours must not chain into a long
+	// same-cell sequence.
+	s := phl.NewStore()
+	for d := int64(0); d < 5; d++ {
+		for h := int64(8); h < 18; h++ {
+			s.Record(0, pt(100, 100, d*tgran.Day+h*tgran.Hour))
+		}
+		s.Record(0, pt(3000, 100, d*tgran.Day+19*tgran.Hour))
+	}
+	cands := Mine(s, Config{})
+	if len(cands) != 1 {
+		t.Fatalf("candidates: %d", len(cands))
+	}
+	q := cands[0].Pattern
+	if len(q.Elements) != 2 {
+		t.Fatalf("same-cell idling not deduped: %d elements\n%s", len(q.Elements), q.Spec())
+	}
+}

@@ -1,0 +1,203 @@
+package mixzone
+
+import (
+	"math"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+	"histanon/internal/stindex"
+)
+
+func pt(x, y float64, t int64) geo.STPoint {
+	return geo.STPoint{P: geo.Point{X: x, Y: y}, T: t}
+}
+
+func rect(a, b, c, d float64) geo.Rect {
+	return geo.Rect{MinX: a, MinY: b, MaxX: c, MaxY: d}
+}
+
+func TestRegistryZoneAt(t *testing.T) {
+	r := NewRegistry(
+		Zone{Name: "plaza", Area: rect(0, 0, 100, 100)},
+		Zone{Name: "station", Area: rect(200, 200, 300, 300)},
+	)
+	if z, ok := r.ZoneAt(geo.Point{X: 50, Y: 50}); !ok || z.Name != "plaza" {
+		t.Fatalf("ZoneAt plaza: %v %v", z, ok)
+	}
+	if _, ok := r.ZoneAt(geo.Point{X: 150, Y: 150}); ok {
+		t.Fatal("no zone at 150,150")
+	}
+	r.Add(Zone{Name: "mall", Area: rect(140, 140, 160, 160)})
+	if z, ok := r.ZoneAt(geo.Point{X: 150, Y: 150}); !ok || z.Name != "mall" {
+		t.Fatalf("ZoneAt mall after Add: %v %v", z, ok)
+	}
+	if len(r.Zones()) != 3 {
+		t.Fatalf("Zones=%d", len(r.Zones()))
+	}
+}
+
+func TestCrossedZone(t *testing.T) {
+	r := NewRegistry(Zone{Name: "plaza", Area: rect(0, 0, 100, 100), MinDwell: 60})
+	var h phl.History
+	h.Append(pt(-50, 0, 0))    // outside
+	h.Append(pt(50, 50, 100))  // inside
+	h.Append(pt(60, 50, 180))  // inside, 80s dwell
+	h.Append(pt(200, 50, 240)) // outside
+	if z, ok := r.CrossedZone(&h, 0, 300); !ok || z.Name != "plaza" {
+		t.Fatalf("CrossedZone: %v %v", z, ok)
+	}
+	// Too brief a dwell.
+	var brief phl.History
+	brief.Append(pt(50, 50, 100))
+	brief.Append(pt(60, 50, 120)) // 20s < 60s
+	if _, ok := r.CrossedZone(&brief, 0, 300); ok {
+		t.Fatal("20s dwell must not qualify")
+	}
+	if _, ok := r.CrossedZone(nil, 0, 300); ok {
+		t.Fatal("nil history never crosses")
+	}
+	// Crossing outside the considered window.
+	if _, ok := r.CrossedZone(&h, 250, 300); ok {
+		t.Fatal("crossing happened before the window")
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{0, math.Pi / 2, math.Pi / 2},
+		{-math.Pi + 0.1, math.Pi - 0.1, 0.2},
+		{0, math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := angleDiff(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("angleDiff(%g,%g)=%g want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// starDB builds users radiating from the origin in distinct directions:
+// user i sits near the origin at t=0 and moves outward along angle
+// 2*pi*i/n.
+func starDB(n int) (*phl.Store, stindex.Index) {
+	store := phl.NewStore()
+	idx := stindex.NewGrid(200, 600)
+	for i := 0; i < n; i++ {
+		u := phl.UserID(i)
+		angle := 2 * math.Pi * float64(i) / float64(n)
+		for step := int64(0); step <= 6; step++ {
+			d := float64(step) * 100
+			p := pt(d*math.Cos(angle), d*math.Sin(angle), step*100)
+			store.Record(u, p)
+			idx.Insert(u, p)
+		}
+	}
+	return store, idx
+}
+
+func TestFindDiverging(t *testing.T) {
+	store, idx := starDB(8)
+	m := geo.STMetric{TimeScale: 1}
+	users, ok := FindDiverging(idx, store, 0, geo.Point{}, 0, 4,
+		Divergence{Horizon: 600, MinAngle: math.Pi / 8}, m)
+	if !ok || len(users) != 4 {
+		t.Fatalf("FindDiverging: %v ok=%v", users, ok)
+	}
+	for _, u := range users {
+		if u == 0 {
+			t.Fatal("issuer must be excluded")
+		}
+	}
+}
+
+func TestFindDivergingParallelUsersFail(t *testing.T) {
+	// All users move in the same direction: no divergence possible.
+	store := phl.NewStore()
+	idx := stindex.NewGrid(200, 600)
+	for i := 0; i < 6; i++ {
+		u := phl.UserID(i)
+		for step := int64(0); step <= 6; step++ {
+			p := pt(float64(step)*100, float64(i)*10, step*100)
+			store.Record(u, p)
+			idx.Insert(u, p)
+		}
+	}
+	users, ok := FindDiverging(idx, store, 0, geo.Point{}, 0, 3,
+		Divergence{MinAngle: math.Pi / 4}, geo.STMetric{TimeScale: 1})
+	if ok {
+		t.Fatalf("parallel users must not form a mix zone: got %v", users)
+	}
+	if len(users) != 1 {
+		t.Fatalf("only the first parallel user is kept, got %v", users)
+	}
+}
+
+func TestFindDivergingStationaryUsersSkipped(t *testing.T) {
+	store := phl.NewStore()
+	idx := stindex.NewGrid(200, 600)
+	// Two movers and one stationary user.
+	for step := int64(0); step <= 6; step++ {
+		for _, rec := range []struct {
+			u phl.UserID
+			p geo.STPoint
+		}{
+			{1, pt(float64(step)*100, 0, step*100)},
+			{2, pt(-float64(step)*100, 0, step*100)},
+			{3, pt(5, 5, step*100)},
+		} {
+			store.Record(rec.u, rec.p)
+			idx.Insert(rec.u, rec.p)
+		}
+	}
+	users, ok := FindDiverging(idx, store, 0, geo.Point{}, 0, 2,
+		Divergence{MinAngle: math.Pi / 4}, geo.STMetric{TimeScale: 1})
+	if !ok || len(users) != 2 {
+		t.Fatalf("FindDiverging: %v ok=%v", users, ok)
+	}
+	for _, u := range users {
+		if u == 3 {
+			t.Fatal("stationary user must be skipped")
+		}
+	}
+}
+
+func TestFindDivergingZeroK(t *testing.T) {
+	store, idx := starDB(4)
+	users, ok := FindDiverging(idx, store, 0, geo.Point{}, 0, 0, Divergence{}, geo.STMetric{})
+	if !ok || len(users) != 0 {
+		t.Fatalf("k=0: %v %v", users, ok)
+	}
+}
+
+func TestOnDemandPlan(t *testing.T) {
+	store, idx := starDB(8)
+	o := OnDemand{Quiet: 300, Margin: 50, Divergence: Divergence{MinAngle: math.Pi / 8}}
+	plan, ok := o.Plan(idx, store, 0, geo.Point{}, 0, 4, geo.STMetric{TimeScale: 1})
+	if !ok {
+		t.Fatal("plan expected")
+	}
+	if len(plan.Participants) != 4 {
+		t.Fatalf("participants=%d", len(plan.Participants))
+	}
+	if plan.Window != (geo.Interval{Start: 0, End: 300}) {
+		t.Fatalf("window=%v", plan.Window)
+	}
+	if !plan.Suppresses(geo.Point{X: 0, Y: 0}, 100) {
+		t.Fatal("zone must suppress at its center during the window")
+	}
+	if plan.Suppresses(geo.Point{X: 0, Y: 0}, 400) {
+		t.Fatal("zone must not suppress after the window")
+	}
+	if plan.Suppresses(geo.Point{X: 1e6, Y: 0}, 100) {
+		t.Fatal("zone must not suppress far away")
+	}
+}
+
+func TestOnDemandPlanFailure(t *testing.T) {
+	store, idx := starDB(2) // issuer 0 + only one other mover
+	o := OnDemand{}
+	if _, ok := o.Plan(idx, store, 0, geo.Point{}, 0, 3, geo.STMetric{TimeScale: 1}); ok {
+		t.Fatal("not enough users for a 3-participant zone")
+	}
+}

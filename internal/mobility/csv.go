@@ -1,0 +1,90 @@
+package mobility
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// csvHeader is the column layout of trace files.
+var csvHeader = []string{"user", "t", "x", "y", "request", "service"}
+
+// WriteCSV serializes events as a trace file:
+//
+//	user,t,x,y,request,service
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range events {
+		rec := []string{
+			strconv.FormatInt(int64(e.User), 10),
+			strconv.FormatInt(e.Point.T, 10),
+			strconv.FormatFloat(e.Point.P.X, 'f', 2, 64),
+			strconv.FormatFloat(e.Point.P.Y, 'f', 2, 64),
+			strconv.FormatBool(e.Request),
+			e.Service,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace file written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("mobility: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("mobility: column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var out []Event
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		user, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d: bad user: %v", line, err)
+		}
+		t, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d: bad t: %v", line, err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d: bad x: %v", line, err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d: bad y: %v", line, err)
+		}
+		req, err := strconv.ParseBool(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d: bad request flag: %v", line, err)
+		}
+		out = append(out, Event{
+			User:    phl.UserID(user),
+			Point:   geo.STPoint{P: geo.Point{X: x, Y: y}, T: t},
+			Request: req,
+			Service: rec[5],
+		})
+	}
+}

@@ -1,0 +1,353 @@
+// Package mobility generates synthetic location workloads. The paper has
+// no public dataset — carrier traces are proprietary — so experiments
+// run on a deterministic, seedable city simulator instead: a rectangular
+// city with homes, offices and points of interest; commuter agents that
+// reproduce the paper's Example-1 pattern (home→office every weekday
+// morning, office→home in the afternoon); and wanderer agents that run
+// errands. The generator emits time-ordered location updates, a subset
+// of which carry service requests.
+//
+// The substitution preserves the behaviour the paper's experiments need:
+// recurring spatio-temporal patterns (so LBQIDs match), spatial and
+// temporal locality (so anonymity sets are non-trivial), and tunable
+// user density (the deployment-area analysis of §7).
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+	"histanon/internal/tgran"
+)
+
+// Config parameterizes a synthetic city scenario. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal worlds.
+	Seed int64
+	// Users is the city population.
+	Users int
+	// Days is the number of simulated days, starting at engine day 0
+	// (a Monday).
+	Days int
+	// Width and Height are the city extent in meters.
+	Width, Height float64
+	// Homes, Offices and POIs are the number of candidate buildings of
+	// each kind.
+	Homes, Offices, POIs int
+	// CommuterFrac is the fraction of users on a weekday home↔office
+	// schedule; the rest are wanderers visiting POIs.
+	CommuterFrac float64
+	// Speed is the travel speed in m/s.
+	Speed float64
+	// SampleEvery is the interval (seconds) between location updates
+	// while traveling; idle users emit sparse keep-alive updates.
+	SampleEvery int64
+	// IdleEvery is the interval between location updates while parked.
+	IdleEvery int64
+	// RequestProb is the probability that any given location update also
+	// carries a service request (commute waypoints always do).
+	RequestProb float64
+	// ManhattanRoutes makes agents travel along axis-aligned (street
+	// grid) paths instead of straight lines: first along x, then along y
+	// (or the reverse, chosen per trip). More realistic for urban
+	// tracking attacks.
+	ManhattanRoutes bool
+}
+
+// DefaultConfig is a mid-sized city: 1 km² would be cramped for
+// anonymity experiments, so it spans 8×8 km.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Users:        200,
+		Days:         14,
+		Width:        8000,
+		Height:       8000,
+		Homes:        60,
+		Offices:      20,
+		POIs:         30,
+		CommuterFrac: 0.6,
+		Speed:        12,
+		SampleEvery:  120,
+		IdleEvery:    1800,
+		RequestProb:  0.05,
+	}
+}
+
+// Event is one location update; Request marks the updates on which the
+// user also invokes a location-based service.
+type Event struct {
+	User    phl.UserID
+	Point   geo.STPoint
+	Request bool
+	// Service names the invoked service for request events.
+	Service string
+}
+
+// Place is a named building with a small footprint.
+type Place struct {
+	Name   string
+	Center geo.Point
+	Area   geo.Rect
+}
+
+// World is a generated scenario: the city layout, the agent roster and
+// the time-ordered event stream.
+type World struct {
+	Config  Config
+	Homes   []Place
+	Offices []Place
+	POIs    []Place
+	Agents  []Agent
+	Events  []Event
+}
+
+// Agent describes one simulated user.
+type Agent struct {
+	User     phl.UserID
+	Commuter bool
+	// Home and Office index into World.Homes / World.Offices (Office is
+	// -1 for wanderers).
+	Home, Office int
+	// LeaveHome and LeaveOffice are second-of-day departure times
+	// (commuters only).
+	LeaveHome, LeaveOffice int64
+}
+
+// Generate builds the world for the configuration.
+func Generate(cfg Config) *World {
+	if cfg.Users <= 0 || cfg.Days <= 0 {
+		panic("mobility: Users and Days must be positive")
+	}
+	if cfg.Homes <= 0 || cfg.Offices <= 0 {
+		panic("mobility: need at least one home and one office")
+	}
+	if cfg.Speed <= 0 || cfg.SampleEvery <= 0 || cfg.IdleEvery <= 0 {
+		panic("mobility: Speed, SampleEvery and IdleEvery must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{Config: cfg}
+	w.Homes = makePlaces(rng, "home", cfg.Homes, cfg.Width, cfg.Height, 60)
+	w.Offices = makePlaces(rng, "office", cfg.Offices, cfg.Width, cfg.Height, 120)
+	w.POIs = makePlaces(rng, "poi", cfg.POIs, cfg.Width, cfg.Height, 40)
+
+	for i := 0; i < cfg.Users; i++ {
+		a := Agent{
+			User:     phl.UserID(i),
+			Commuter: rng.Float64() < cfg.CommuterFrac,
+			Home:     rng.Intn(cfg.Homes),
+			Office:   -1,
+		}
+		if a.Commuter {
+			a.Office = rng.Intn(cfg.Offices)
+			// Departures jittered per user but stable across days, in the
+			// spirit of Example 1's [7am,8am] / [4pm,6pm] windows.
+			a.LeaveHome = 7*tgran.Hour + int64(rng.Intn(int(tgran.Hour)))
+			a.LeaveOffice = 16*tgran.Hour + int64(rng.Intn(int(2*tgran.Hour)))
+		}
+		w.Agents = append(w.Agents, a)
+	}
+
+	// Each agent gets an independent generator derived from the master
+	// seed so that per-agent streams are stable.
+	for i := range w.Agents {
+		agentRng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+		w.simulateAgent(&w.Agents[i], agentRng)
+	}
+	sort.SliceStable(w.Events, func(i, j int) bool { return w.Events[i].Point.T < w.Events[j].Point.T })
+	return w
+}
+
+func makePlaces(rng *rand.Rand, kind string, n int, width, height, size float64) []Place {
+	out := make([]Place, n)
+	for i := range out {
+		c := geo.Point{
+			X: size + rng.Float64()*(width-2*size),
+			Y: size + rng.Float64()*(height-2*size),
+		}
+		out[i] = Place{
+			Name:   fmt.Sprintf("%s%d", kind, i),
+			Center: c,
+			Area:   geo.RectAround(c).Expand(size / 2),
+		}
+	}
+	return out
+}
+
+func (w *World) simulateAgent(a *Agent, rng *rand.Rand) {
+	for day := 0; day < w.Config.Days; day++ {
+		dayStart := int64(day) * tgran.Day
+		weekday := day%7 < 5
+		if a.Commuter && weekday {
+			w.commuterDay(a, rng, dayStart)
+		} else {
+			w.wandererDay(a, rng, dayStart)
+		}
+	}
+}
+
+// commuterDay reproduces the Example-1 pattern: idle at home, travel to
+// the office in the morning window, idle there, travel back in the
+// afternoon window, idle at home. The four travel endpoints always carry
+// service requests — they are the events an LBQID like Example 2 feeds
+// on.
+func (w *World) commuterDay(a *Agent, rng *rand.Rand, dayStart int64) {
+	home := w.Homes[a.Home]
+	office := w.Offices[a.Office]
+	jitter := func() int64 { return int64(rng.Intn(600)) - 300 }
+
+	leaveHome := dayStart + a.LeaveHome + jitter()
+	w.idle(a, rng, home, dayStart, leaveHome)
+	w.request(a, jitterPos(rng, home.Center, 30), leaveHome, "navigation")
+	arriveOffice := w.travel(a, rng, home.Center, office.Center, leaveHome)
+	w.request(a, jitterPos(rng, office.Center, 30), arriveOffice, "news")
+
+	leaveOffice := dayStart + a.LeaveOffice + jitter()
+	if leaveOffice <= arriveOffice {
+		leaveOffice = arriveOffice + tgran.Hour
+	}
+	w.idle(a, rng, office, arriveOffice, leaveOffice)
+	w.request(a, jitterPos(rng, office.Center, 30), leaveOffice, "navigation")
+	arriveHome := w.travel(a, rng, office.Center, home.Center, leaveOffice)
+	w.request(a, jitterPos(rng, home.Center, 30), arriveHome, "weather")
+	w.idle(a, rng, home, arriveHome, dayStart+tgran.Day)
+}
+
+// wandererDay strings together one to three errands to random POIs with
+// idle periods at home in between.
+func (w *World) wandererDay(a *Agent, rng *rand.Rand, dayStart int64) {
+	home := w.Homes[a.Home]
+	now := dayStart
+	errands := 1 + rng.Intn(3)
+	for e := 0; e < errands && len(w.POIs) > 0; e++ {
+		leave := dayStart + (9+int64(e)*4)*tgran.Hour + int64(rng.Intn(int(tgran.Hour)))
+		if leave <= now {
+			leave = now + tgran.Hour
+		}
+		if leave >= dayStart+tgran.Day-tgran.Hour {
+			break
+		}
+		poi := w.POIs[rng.Intn(len(w.POIs))]
+		w.idle(a, rng, home, now, leave)
+		arrive := w.travel(a, rng, home.Center, poi.Center, leave)
+		w.request(a, jitterPos(rng, poi.Center, 30), arrive, "poi-finder")
+		dwell := arrive + 900 + int64(rng.Intn(1800))
+		w.idle(a, rng, poi, arrive, dwell)
+		now = w.travel(a, rng, poi.Center, home.Center, dwell)
+	}
+	w.idle(a, rng, home, now, dayStart+tgran.Day)
+}
+
+// idle emits sparse keep-alive samples while the agent stays at a place.
+func (w *World) idle(a *Agent, rng *rand.Rand, at Place, from, to int64) {
+	for t := from; t < to; t += w.Config.IdleEvery {
+		w.emit(a, rng, jitterPos(rng, at.Center, 20), t, "")
+	}
+}
+
+// travel emits samples along the path and returns the arrival time.
+// Paths are straight lines, or two axis-aligned legs with
+// ManhattanRoutes.
+func (w *World) travel(a *Agent, rng *rand.Rand, from, to geo.Point, depart int64) int64 {
+	if w.Config.ManhattanRoutes {
+		corner := geo.Point{X: to.X, Y: from.Y}
+		if rng.Intn(2) == 0 {
+			corner = geo.Point{X: from.X, Y: to.Y}
+		}
+		mid := w.travelLeg(a, rng, from, corner, depart)
+		return w.travelLeg(a, rng, corner, to, mid)
+	}
+	return w.travelLeg(a, rng, from, to, depart)
+}
+
+// travelLeg emits samples along one straight segment.
+func (w *World) travelLeg(a *Agent, rng *rand.Rand, from, to geo.Point, depart int64) int64 {
+	dist := from.Dist(to)
+	duration := int64(math.Ceil(dist / w.Config.Speed))
+	if duration < 1 {
+		duration = 1
+	}
+	for t := int64(0); t < duration; t += w.Config.SampleEvery {
+		frac := float64(t) / float64(duration)
+		pos := geo.Point{
+			X: from.X + (to.X-from.X)*frac,
+			Y: from.Y + (to.Y-from.Y)*frac,
+		}
+		w.emit(a, rng, jitterPos(rng, pos, 15), depart+t, "")
+	}
+	return depart + duration
+}
+
+// request emits a location update that carries a service request.
+func (w *World) request(a *Agent, pos geo.Point, t int64, service string) {
+	w.Events = append(w.Events, Event{
+		User:    a.User,
+		Point:   geo.STPoint{P: pos, T: t},
+		Request: true,
+		Service: service,
+	})
+}
+
+// emit records a location update, possibly upgrading it to a background
+// request.
+func (w *World) emit(a *Agent, rng *rand.Rand, pos geo.Point, t int64, service string) {
+	ev := Event{User: a.User, Point: geo.STPoint{P: pos, T: t}}
+	if rng.Float64() < w.Config.RequestProb {
+		ev.Request = true
+		ev.Service = "localized-news"
+		if service != "" {
+			ev.Service = service
+		}
+	}
+	w.Events = append(w.Events, ev)
+}
+
+func jitterPos(rng *rand.Rand, c geo.Point, r float64) geo.Point {
+	return geo.Point{
+		X: c.X + (rng.Float64()*2-1)*r,
+		Y: c.Y + (rng.Float64()*2-1)*r,
+	}
+}
+
+// Requests returns only the events that carry service requests, in time
+// order.
+func (w *World) Requests() []Event {
+	var out []Event
+	for _, e := range w.Events {
+		if e.Request {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CommuterLBQID builds the Example-2 style quasi-identifier for an
+// agent: home in the morning, office after arrival, office again in the
+// afternoon, home in the evening, observed obsDays weekdays a week for
+// weeks weeks. ok is false for non-commuters.
+func (w *World) CommuterLBQID(a Agent, obsDays, weeks int64) (string, bool) {
+	if !a.Commuter {
+		return "", false
+	}
+	home := w.Homes[a.Home].Area.Expand(60)
+	office := w.Offices[a.Office].Area.Expand(60)
+	def := fmt.Sprintf(`lbqid "commute-u%d" {
+    element "Home"   area [%g,%g]x[%g,%g] time [06:30,09:00]
+    element "Office" area [%g,%g]x[%g,%g] time [07:00,11:00]
+    element "Office" area [%g,%g]x[%g,%g] time [15:30,19:00]
+    element "Home"   area [%g,%g]x[%g,%g] time [16:00,21:00]
+    recurrence %d.Weekdays * %d.Weeks
+}`,
+		int64(a.User),
+		home.MinX, home.MaxX, home.MinY, home.MaxY,
+		office.MinX, office.MaxX, office.MinY, office.MaxY,
+		office.MinX, office.MaxX, office.MinY, office.MaxY,
+		home.MinX, home.MaxX, home.MinY, home.MaxY,
+		obsDays, weeks)
+	return def, true
+}

@@ -1,0 +1,307 @@
+package mobility
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"histanon/internal/lbqid"
+	"histanon/internal/tgran"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Users = 30
+	cfg.Days = 7
+	cfg.Homes = 10
+	cfg.Offices = 5
+	cfg.POIs = 8
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	if !reflect.DeepEqual(a.Events[:100], b.Events[:100]) {
+		t.Fatal("same seed must generate identical streams")
+	}
+	cfg := smallConfig()
+	cfg.Seed = 99
+	c := Generate(cfg)
+	if len(a.Events) == len(c.Events) && reflect.DeepEqual(a.Events[:50], c.Events[:50]) {
+		t.Fatal("different seeds generated identical streams")
+	}
+}
+
+func TestEventsTimeOrdered(t *testing.T) {
+	w := Generate(smallConfig())
+	for i := 1; i < len(w.Events); i++ {
+		if w.Events[i].Point.T < w.Events[i-1].Point.T {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestEventsWithinCityAndHorizon(t *testing.T) {
+	cfg := smallConfig()
+	w := Generate(cfg)
+	horizon := int64(cfg.Days) * tgran.Day
+	margin := 100.0 // request jitter can step slightly outside a building
+	for _, e := range w.Events {
+		p := e.Point
+		if p.P.X < -margin || p.P.X > cfg.Width+margin || p.P.Y < -margin || p.P.Y > cfg.Height+margin {
+			t.Fatalf("event outside city: %v", p)
+		}
+		if p.T < 0 || p.T > horizon+tgran.Day {
+			t.Fatalf("event outside horizon: %v", p)
+		}
+	}
+}
+
+func TestEveryUserEmits(t *testing.T) {
+	cfg := smallConfig()
+	w := Generate(cfg)
+	seen := map[int64]bool{}
+	reqs := map[int64]int{}
+	for _, e := range w.Events {
+		seen[int64(e.User)] = true
+		if e.Request {
+			reqs[int64(e.User)]++
+		}
+	}
+	if len(seen) != cfg.Users {
+		t.Fatalf("only %d of %d users emitted events", len(seen), cfg.Users)
+	}
+	for u := 0; u < cfg.Users; u++ {
+		if reqs[int64(u)] == 0 {
+			t.Fatalf("user %d issued no requests", u)
+		}
+	}
+}
+
+func TestCommuterPattern(t *testing.T) {
+	cfg := smallConfig()
+	w := Generate(cfg)
+	var commuter *Agent
+	for i := range w.Agents {
+		if w.Agents[i].Commuter {
+			commuter = &w.Agents[i]
+			break
+		}
+	}
+	if commuter == nil {
+		t.Fatal("no commuters generated")
+	}
+	office := w.Offices[commuter.Office].Area.Expand(60)
+	// On each of the first five days (Mon-Fri) the commuter must appear
+	// at the office during working hours.
+	for day := int64(0); day < 5; day++ {
+		found := false
+		for _, e := range w.Events {
+			if e.User != commuter.User {
+				continue
+			}
+			sod := e.Point.T - day*tgran.Day
+			if sod < 0 || sod >= tgran.Day {
+				continue
+			}
+			if office.Contains(e.Point.P) && sod > 8*tgran.Hour && sod < 19*tgran.Hour {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("commuter %v never at office on day %d", commuter.User, day)
+		}
+	}
+}
+
+func TestWeekendNoCommute(t *testing.T) {
+	cfg := smallConfig()
+	w := Generate(cfg)
+	for _, a := range w.Agents {
+		if !a.Commuter {
+			continue
+		}
+		office := w.Offices[a.Office].Area
+		for _, e := range w.Events {
+			if e.User != a.User {
+				continue
+			}
+			day := e.Point.T / tgran.Day
+			if day%7 >= 5 && office.Contains(e.Point.P) {
+				t.Fatalf("commuter %v at the office on weekend day %d", a.User, day)
+			}
+		}
+		break // one commuter suffices
+	}
+}
+
+func TestRequestsSubset(t *testing.T) {
+	w := Generate(smallConfig())
+	reqs := w.Requests()
+	if len(reqs) == 0 || len(reqs) >= len(w.Events) {
+		t.Fatalf("requests=%d events=%d", len(reqs), len(w.Events))
+	}
+	for _, r := range reqs {
+		if !r.Request || r.Service == "" {
+			t.Fatalf("request event malformed: %+v", r)
+		}
+	}
+}
+
+func TestCommuterLBQIDParsesAndMatches(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Days = 14
+	w := Generate(cfg)
+	var commuter *Agent
+	for i := range w.Agents {
+		if w.Agents[i].Commuter {
+			commuter = &w.Agents[i]
+			break
+		}
+	}
+	def, ok := w.CommuterLBQID(*commuter, 3, 2)
+	if !ok {
+		t.Fatal("commuter must have an LBQID")
+	}
+	q, err := lbqid.ParseOne(def)
+	if err != nil {
+		t.Fatalf("generated LBQID does not parse: %v\n%s", err, def)
+	}
+	// Feeding the commuter's own full location stream (not only the
+	// requests) through the matcher must satisfy the pattern: the agent
+	// commutes five days a week for two weeks.
+	m := lbqid.NewMatcher(q)
+	var id lbqid.RequestID
+	for _, e := range w.Events {
+		if e.User != commuter.User {
+			continue
+		}
+		id++
+		m.Offer(id, e.Point)
+	}
+	if !m.Satisfied() {
+		t.Fatalf("two weeks of commuting must match %q (observations=%d, progress=%d)",
+			q.Name, m.Observations(), m.Progress())
+	}
+
+	if _, ok := w.CommuterLBQID(Agent{Commuter: false}, 3, 2); ok {
+		t.Fatal("wanderers have no commute LBQID")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"users":  func(c *Config) { c.Users = 0 },
+		"days":   func(c *Config) { c.Days = 0 },
+		"homes":  func(c *Config) { c.Homes = 0 },
+		"speed":  func(c *Config) { c.Speed = 0 },
+		"sample": func(c *Config) { c.SampleEvery = 0 },
+	} {
+		cfg := smallConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	w := Generate(smallConfig())
+	events := w.Events[:500]
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip length %d want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i].User != events[i].User || got[i].Point.T != events[i].Point.T ||
+			got[i].Request != events[i].Request || got[i].Service != events[i].Service {
+			t.Fatalf("row %d differs: %+v vs %+v", i, got[i], events[i])
+		}
+		// Coordinates go through 2-decimal formatting.
+		if d := got[i].Point.P.Dist(events[i].Point.P); d > 0.02 {
+			t.Fatalf("row %d position off by %g", i, d)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"nope,t,x,y,request,service\n",
+		"user,t,x,y,request,service\nx,0,0,0,true,s\n",
+		"user,t,x,y,request,service\n1,z,0,0,true,s\n",
+		"user,t,x,y,request,service\n1,0,z,0,true,s\n",
+		"user,t,x,y,request,service\n1,0,0,z,true,s\n",
+		"user,t,x,y,request,service\n1,0,0,0,maybe,s\n",
+	} {
+		if _, err := ReadCSV(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestManhattanRoutes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ManhattanRoutes = true
+	w := Generate(cfg)
+	// Sanity: determinism and ordering hold in Manhattan mode too.
+	w2 := Generate(cfg)
+	if len(w.Events) != len(w2.Events) {
+		t.Fatal("manhattan mode broke determinism")
+	}
+	for i := 1; i < len(w.Events); i++ {
+		if w.Events[i].Point.T < w.Events[i-1].Point.T {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	// Travel samples move along one axis at a time: for consecutive
+	// samples of the same user within a short gap, at least 80% of moves
+	// should be axis-dominated (jitter blurs exact alignment).
+	byUser := map[int64][]Event{}
+	for _, e := range w.Events {
+		byUser[int64(e.User)] = append(byUser[int64(e.User)], e)
+	}
+	axis, total := 0, 0
+	for _, evs := range byUser {
+		for i := 1; i < len(evs); i++ {
+			dt := evs[i].Point.T - evs[i-1].Point.T
+			if dt <= 0 || dt > cfg.SampleEvery {
+				continue // idle gap or teleport between segments
+			}
+			dx := evs[i].Point.P.X - evs[i-1].Point.P.X
+			dy := evs[i].Point.P.Y - evs[i-1].Point.P.Y
+			ax, ay := math.Abs(dx), math.Abs(dy)
+			if ax < 1 && ay < 1 {
+				continue // stationary
+			}
+			total++
+			if ax > 4*ay || ay > 4*ax {
+				axis++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no travel samples found")
+	}
+	if frac := float64(axis) / float64(total); frac < 0.8 {
+		t.Fatalf("only %.0f%% of moves are axis-aligned", 100*frac)
+	}
+}

@@ -1,0 +1,118 @@
+package phl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"histanon/internal/geo"
+)
+
+// Snapshot format: a little-endian binary stream
+//
+//	magic "PHL1" | userCount u64
+//	per user: id i64 | sampleCount u64 | samples (x f64, y f64, t i64)...
+//	crc32 (IEEE) of everything before it
+//
+// The format is self-delimiting and checksummed so a truncated or
+// corrupted snapshot is detected on restore rather than silently
+// loading partial histories.
+var snapshotMagic = [4]byte{'P', 'H', 'L', '1'}
+
+// WriteSnapshot serializes the store. The store may keep serving reads
+// and writes concurrently; the snapshot reflects some consistent point
+// between the start and the end of the call for each user.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+
+	if _, err := out.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	users := s.Users()
+	if err := binary.Write(out, binary.LittleEndian, uint64(len(users))); err != nil {
+		return err
+	}
+	for _, u := range users {
+		h := s.History(u)
+		pts := h.Points()
+		if err := binary.Write(out, binary.LittleEndian, int64(u)); err != nil {
+			return err
+		}
+		if err := binary.Write(out, binary.LittleEndian, uint64(len(pts))); err != nil {
+			return err
+		}
+		for _, p := range pts {
+			if err := binary.Write(out, binary.LittleEndian, p.P.X); err != nil {
+				return err
+			}
+			if err := binary.Write(out, binary.LittleEndian, p.P.Y); err != nil {
+				return err
+			}
+			if err := binary.Write(out, binary.LittleEndian, p.T); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot into a fresh
+// store.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	in := io.TeeReader(br, crc)
+
+	var magic [4]byte
+	if _, err := io.ReadFull(in, magic[:]); err != nil {
+		return nil, fmt.Errorf("phl: reading snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("phl: not a PHL snapshot (magic %q)", magic[:])
+	}
+	var userCount uint64
+	if err := binary.Read(in, binary.LittleEndian, &userCount); err != nil {
+		return nil, fmt.Errorf("phl: reading user count: %w", err)
+	}
+	store := NewStore()
+	for i := uint64(0); i < userCount; i++ {
+		var id int64
+		if err := binary.Read(in, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("phl: reading user %d id: %w", i, err)
+		}
+		var n uint64
+		if err := binary.Read(in, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("phl: reading user %d sample count: %w", i, err)
+		}
+		for j := uint64(0); j < n; j++ {
+			var x, y float64
+			var t int64
+			if err := binary.Read(in, binary.LittleEndian, &x); err != nil {
+				return nil, fmt.Errorf("phl: reading sample: %w", err)
+			}
+			if err := binary.Read(in, binary.LittleEndian, &y); err != nil {
+				return nil, fmt.Errorf("phl: reading sample: %w", err)
+			}
+			if err := binary.Read(in, binary.LittleEndian, &t); err != nil {
+				return nil, fmt.Errorf("phl: reading sample: %w", err)
+			}
+			store.Record(UserID(id), geo.STPoint{P: geo.Point{X: x, Y: y}, T: t})
+		}
+	}
+	want := crc.Sum32() // checksum of all payload bytes read so far
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("phl: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("phl: snapshot checksum mismatch (want %08x, got %08x)", want, got)
+	}
+	return store, nil
+}

@@ -1,0 +1,94 @@
+package phl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func snapshotStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	rng := rand.New(rand.NewSource(8))
+	for u := UserID(0); u < 15; u++ {
+		for i := 0; i < 40; i++ {
+			s.Record(u, pt(rng.Float64()*1e4, rng.Float64()*1e4, int64(rng.Intn(1e6))))
+		}
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := snapshotStore(t)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUsers() != s.NumUsers() || got.NumSamples() != s.NumSamples() {
+		t.Fatalf("restored %d users / %d samples, want %d / %d",
+			got.NumUsers(), got.NumSamples(), s.NumUsers(), s.NumSamples())
+	}
+	for _, u := range s.Users() {
+		a := s.History(u).Points()
+		b := got.History(u).Points()
+		if len(a) != len(b) {
+			t.Fatalf("user %v: %d vs %d samples", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %v sample %d: %v vs %v", u, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUsers() != 0 {
+		t.Fatalf("expected empty store, got %d users", got.NumUsers())
+	}
+}
+
+func TestSnapshotDetectsTruncation(t *testing.T) {
+	s := snapshotStore(t)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) / 2, len(data) - 1, 3, 10} {
+		if _, err := ReadSnapshot(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	s := snapshotStore(t)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)/2] ^= 0xff
+	if _, err := ReadSnapshot(bytes.NewReader(data)); err == nil {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestSnapshotRejectsWrongMagic(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package policy implements the rule-based privacy-policy
+// specifications of the paper's §3: qualitative levels serve most
+// users, while "more expert users can have access to more involved
+// rule-based policy specifications". A policy set is an ordered list of
+// rules; the first rule whose conditions match a request decides the
+// privacy parameters for the exposure that request starts.
+//
+// The textual format, one rule per line:
+//
+//	rule "commute" when service=navigation weekday time=[07:00,09:30] then k=10 theta=0.3 suppress
+//	rule "downtown" when area=[0,2000]x[0,2000] then k=8 theta=0.4 kprime=12
+//	default level=medium
+//
+// Conditions (all must hold): service=<name>, weekday, weekend,
+// time=[a,b] (daily window), area=[x1,x2]x[y1,y2]. Actions: k=<n>,
+// theta=<f>, kprime=<n>, step=<n>, suppress, notify. The default line
+// names a qualitative level (low/medium/high) used when no rule
+// matches.
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"histanon/internal/generalize"
+	"histanon/internal/geo"
+	"histanon/internal/lbqid"
+	"histanon/internal/tgran"
+	"histanon/internal/ts"
+)
+
+// Condition is one conjunct of a rule's when-clause.
+type Condition interface {
+	Matches(service string, p geo.STPoint) bool
+	String() string
+}
+
+type serviceCond struct{ name string }
+
+func (c serviceCond) Matches(service string, _ geo.STPoint) bool { return service == c.name }
+func (c serviceCond) String() string                             { return "service=" + c.name }
+
+type weekdayCond struct{ weekend bool }
+
+func (c weekdayCond) Matches(_ string, p geo.STPoint) bool {
+	_, isBusiness := tgran.WeekdaysG.GranuleOf(p.T)
+	return isBusiness != c.weekend
+}
+
+func (c weekdayCond) String() string {
+	if c.weekend {
+		return "weekend"
+	}
+	return "weekday"
+}
+
+type timeCond struct{ window tgran.UInterval }
+
+func (c timeCond) Matches(_ string, p geo.STPoint) bool { return c.window.Contains(p.T) }
+func (c timeCond) String() string                       { return "time=" + c.window.String() }
+
+type areaCond struct{ area geo.Rect }
+
+func (c areaCond) Matches(_ string, p geo.STPoint) bool { return c.area.Contains(p.P) }
+func (c areaCond) String() string                       { return fmt.Sprintf("area=%s", c.area) }
+
+// Rule pairs conditions with the policy they select.
+type Rule struct {
+	Name   string
+	Conds  []Condition
+	Policy ts.Policy
+}
+
+// Matches reports whether every condition holds.
+func (r *Rule) Matches(service string, p geo.STPoint) bool {
+	for _, c := range r.Conds {
+		if !c.Matches(service, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Set is an ordered rule list with a default policy. It implements the
+// trusted server's per-request policy resolution.
+type Set struct {
+	Rules   []Rule
+	Default ts.Policy
+}
+
+// Resolve returns the policy of the first matching rule, or the
+// default.
+func (s *Set) Resolve(service string, p geo.STPoint) ts.Policy {
+	for i := range s.Rules {
+		if s.Rules[i].Matches(service, p) {
+			return s.Rules[i].Policy
+		}
+	}
+	return s.Default
+}
+
+// Parse reads a policy-set definition. Blank lines and '#' comments are
+// ignored.
+func Parse(r io.Reader) (*Set, error) {
+	set := &Set{Default: ts.PolicyForLevel(ts.Medium)}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "rule"):
+			rule, err := parseRule(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			set.Rules = append(set.Rules, rule)
+		case strings.HasPrefix(line, "default"):
+			p, err := parseDefault(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			set.Default = p
+		default:
+			return nil, fmt.Errorf("line %d: unrecognized directive %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// ParseString is Parse over an in-memory definition.
+func ParseString(s string) (*Set, error) { return Parse(strings.NewReader(s)) }
+
+func parseRule(line string) (Rule, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "rule"))
+	var rule Rule
+	if strings.HasPrefix(rest, `"`) {
+		end := strings.Index(rest[1:], `"`)
+		if end < 0 {
+			return rule, fmt.Errorf("unterminated rule name")
+		}
+		rule.Name = rest[1 : 1+end]
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	whenIdx := strings.Index(rest, "when")
+	thenIdx := strings.Index(rest, "then")
+	if whenIdx != 0 || thenIdx < 0 {
+		return rule, fmt.Errorf("rule needs 'when ... then ...'")
+	}
+	condStr := strings.TrimSpace(rest[len("when"):thenIdx])
+	actStr := strings.TrimSpace(rest[thenIdx+len("then"):])
+
+	for _, tok := range strings.Fields(condStr) {
+		cond, err := parseCondition(tok)
+		if err != nil {
+			return rule, err
+		}
+		rule.Conds = append(rule.Conds, cond)
+	}
+	if len(rule.Conds) == 0 {
+		return rule, fmt.Errorf("rule has no conditions")
+	}
+	p, err := parseActions(actStr)
+	if err != nil {
+		return rule, err
+	}
+	rule.Policy = p
+	return rule, nil
+}
+
+func parseCondition(tok string) (Condition, error) {
+	switch {
+	case tok == "weekday":
+		return weekdayCond{}, nil
+	case tok == "weekend":
+		return weekdayCond{weekend: true}, nil
+	case strings.HasPrefix(tok, "service="):
+		name := strings.TrimPrefix(tok, "service=")
+		if name == "" {
+			return nil, fmt.Errorf("empty service name")
+		}
+		return serviceCond{name: name}, nil
+	case strings.HasPrefix(tok, "time="):
+		w, err := tgran.ParseUInterval(strings.TrimPrefix(tok, "time="))
+		if err != nil {
+			return nil, err
+		}
+		return timeCond{window: w}, nil
+	case strings.HasPrefix(tok, "area="):
+		r, err := lbqid.ParseRect(strings.TrimPrefix(tok, "area="))
+		if err != nil {
+			return nil, err
+		}
+		return areaCond{area: r}, nil
+	default:
+		return nil, fmt.Errorf("unknown condition %q", tok)
+	}
+}
+
+func parseActions(s string) (ts.Policy, error) {
+	var p ts.Policy
+	kprime, step := 0, 0
+	for _, tok := range strings.Fields(s) {
+		switch {
+		case strings.HasPrefix(tok, "k="):
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "k="))
+			if err != nil || n < 1 {
+				return p, fmt.Errorf("bad k in %q", tok)
+			}
+			p.K = n
+		case strings.HasPrefix(tok, "theta="):
+			f, err := strconv.ParseFloat(strings.TrimPrefix(tok, "theta="), 64)
+			if err != nil || f < 0 || f > 1 {
+				return p, fmt.Errorf("bad theta in %q", tok)
+			}
+			p.Theta = f
+		case strings.HasPrefix(tok, "kprime="):
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "kprime="))
+			if err != nil || n < 1 {
+				return p, fmt.Errorf("bad kprime in %q", tok)
+			}
+			kprime = n
+		case strings.HasPrefix(tok, "step="):
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "step="))
+			if err != nil || n < 1 {
+				return p, fmt.Errorf("bad step in %q", tok)
+			}
+			step = n
+		case tok == "suppress":
+			p.SuppressAtRisk = true
+		case tok == "notify":
+			p.SuppressAtRisk = false
+		default:
+			return p, fmt.Errorf("unknown action %q", tok)
+		}
+	}
+	if p.K == 0 {
+		return p, fmt.Errorf("rule must set k")
+	}
+	if kprime > 0 {
+		p.Decay = generalize.DecaySchedule{Target: p.K, Initial: kprime, Step: step}
+	}
+	return p, nil
+}
+
+func parseDefault(line string) (ts.Policy, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "default"))
+	if !strings.HasPrefix(rest, "level=") {
+		return ts.Policy{}, fmt.Errorf("default needs level=<low|medium|high>")
+	}
+	switch strings.TrimPrefix(rest, "level=") {
+	case "low":
+		return ts.PolicyForLevel(ts.Low), nil
+	case "medium":
+		return ts.PolicyForLevel(ts.Medium), nil
+	case "high":
+		return ts.PolicyForLevel(ts.High), nil
+	default:
+		return ts.Policy{}, fmt.Errorf("unknown level in %q", rest)
+	}
+}

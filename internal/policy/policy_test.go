@@ -1,0 +1,166 @@
+package policy
+
+import (
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/sp"
+	"histanon/internal/tgran"
+	"histanon/internal/ts"
+)
+
+func pt(x, y float64, t int64) geo.STPoint {
+	return geo.STPoint{P: geo.Point{X: x, Y: y}, T: t}
+}
+
+const sample = `
+# commuters get a strict policy on navigation during rush hour
+rule "rush" when service=navigation weekday time=[07:00,09:30] then k=10 theta=0.3 kprime=14 step=2 suppress
+rule "downtown" when area=[0,2000]x[0,2000] then k=8 theta=0.4
+rule "weekend" when weekend then k=2 theta=0.8 notify
+default level=medium
+`
+
+func mustParse(t *testing.T, s string) *Set {
+	t.Helper()
+	set, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return set
+}
+
+func TestParseSample(t *testing.T) {
+	set := mustParse(t, sample)
+	if len(set.Rules) != 3 {
+		t.Fatalf("rules=%d", len(set.Rules))
+	}
+	r := set.Rules[0]
+	if r.Name != "rush" || len(r.Conds) != 3 {
+		t.Fatalf("rule 0: %+v", r)
+	}
+	if r.Policy.K != 10 || r.Policy.Theta != 0.3 || !r.Policy.SuppressAtRisk {
+		t.Fatalf("rule 0 policy: %+v", r.Policy)
+	}
+	if r.Policy.Decay.Initial != 14 || r.Policy.Decay.Step != 2 || r.Policy.Decay.Target != 10 {
+		t.Fatalf("rule 0 decay: %+v", r.Policy.Decay)
+	}
+	if set.Default.K != ts.PolicyForLevel(ts.Medium).K {
+		t.Fatalf("default: %+v", set.Default)
+	}
+}
+
+func TestResolveOrder(t *testing.T) {
+	set := mustParse(t, sample)
+	// Monday 8am downtown via navigation: "rush" fires first even though
+	// "downtown" also matches.
+	monday8 := pt(500, 500, 8*tgran.Hour)
+	if got := set.Resolve("navigation", monday8); got.K != 10 {
+		t.Fatalf("rush rule not selected: %+v", got)
+	}
+	// Same place and time, different service: "downtown".
+	if got := set.Resolve("weather", monday8); got.K != 8 {
+		t.Fatalf("downtown rule not selected: %+v", got)
+	}
+	// Saturday far away: "weekend".
+	saturday := pt(5000, 5000, 5*tgran.Day+12*tgran.Hour)
+	if got := set.Resolve("weather", saturday); got.K != 2 {
+		t.Fatalf("weekend rule not selected: %+v", got)
+	}
+	// Monday far away outside rush hour: default.
+	monday14 := pt(5000, 5000, 14*tgran.Hour)
+	if got := set.Resolve("weather", monday14); got.K != set.Default.K {
+		t.Fatalf("default not selected: %+v", got)
+	}
+}
+
+func TestConditionSemantics(t *testing.T) {
+	set := mustParse(t, `rule "w" when weekday then k=3`)
+	if got := set.Resolve("x", pt(0, 0, 8*tgran.Hour)); got.K != 3 {
+		t.Fatal("Monday must be a weekday")
+	}
+	if got := set.Resolve("x", pt(0, 0, 6*tgran.Day)); got.K == 3 {
+		t.Fatal("Sunday must not be a weekday")
+	}
+	set = mustParse(t, `rule "t" when time=[22:00,23:00] then k=4`)
+	if got := set.Resolve("x", pt(0, 0, 22*tgran.Hour+60)); got.K != 4 {
+		t.Fatal("22:01 must match the window")
+	}
+	if got := set.Resolve("x", pt(0, 0, 12*tgran.Hour)); got.K == 4 {
+		t.Fatal("noon must not match the window")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`bogus line`,
+		`rule "x" then k=3`,                       // no when
+		`rule "x" when then k=3`,                  // empty conditions
+		`rule "x" when weekday then`,              // no k
+		`rule "x" when weekday then k=0`,          // bad k
+		`rule "x" when weekday then k=3 theta=2`,  // bad theta
+		`rule "x" when nope then k=3`,             // unknown condition
+		`rule "x" when service= then k=3`,         // empty service
+		`rule "x" when time=[x,y] then k=3`,       // bad window
+		`rule "x" when area=[0,1] then k=3`,       // bad area
+		`rule "x" when weekday then k=3 frobnify`, // unknown action
+		`rule "x when weekday then k=3`,           // unterminated name
+		`default level=extreme`,
+		`default k=3`,
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestEmptySetUsesDefault(t *testing.T) {
+	set := mustParse(t, "")
+	if got := set.Resolve("x", pt(0, 0, 0)); got.K != ts.PolicyForLevel(ts.Medium).K {
+		t.Fatalf("empty set default: %+v", got)
+	}
+}
+
+// TestIntegrationWithTrustedServer exercises the resolver end to end:
+// the rush-hour rule must suppress service when the user is at risk,
+// while the weekend rule merely notifies.
+func TestIntegrationWithTrustedServer(t *testing.T) {
+	set := mustParse(t, `
+rule "rush" when service=navigation weekday time=[07:00,09:30] then k=10 suppress
+default level=low
+`)
+	provider := sp.NewProvider()
+	server := ts.New(ts.Config{Policies: set}, provider)
+	const lbqidDef = `
+lbqid "spot" {
+    element area [0,400]x[0,400] time [06:00,23:00]
+    recurrence 1.Days
+}`
+	if err := server.AddLBQIDSpec(0, lbqidDef); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody else exists: generalization fails, unlinking fails.
+	// Rush-hour navigation => suppressed.
+	dec := server.Request(0, pt(100, 100, 8*tgran.Hour), "navigation", nil)
+	if !dec.AtRisk || !dec.Suppressed {
+		t.Fatalf("rush rule must suppress: %+v", dec)
+	}
+	// Weekend request under the default (low, notify-only) policy:
+	// at risk but still forwarded.
+	dec = server.Request(0, pt(100, 100, 5*tgran.Day+8*tgran.Hour), "navigation", nil)
+	if !dec.AtRisk || dec.Suppressed || !dec.Forwarded {
+		t.Fatalf("default policy must forward: %+v", dec)
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	set := mustParse(t, sample)
+	for _, r := range set.Rules {
+		for _, c := range r.Conds {
+			if c.String() == "" {
+				t.Fatalf("condition of %q renders empty", r.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package pseudonym manages the UserPseudonym field of service requests
+// (paper §3): the trusted server assigns each user a pseudonym, uses it
+// toward service providers, and rotates it during an Unlinking action
+// (§6.3) so that future requests cannot be bound to past ones.
+package pseudonym
+
+import (
+	"fmt"
+	"sync"
+
+	"histanon/internal/phl"
+	"histanon/internal/wire"
+)
+
+// Manager assigns and rotates pseudonyms. It is safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	seq     int64
+	current map[phl.UserID]wire.Pseudonym
+	owner   map[wire.Pseudonym]phl.UserID
+	past    map[phl.UserID][]wire.Pseudonym
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{
+		current: make(map[phl.UserID]wire.Pseudonym),
+		owner:   make(map[wire.Pseudonym]phl.UserID),
+		past:    make(map[phl.UserID][]wire.Pseudonym),
+	}
+}
+
+// Current returns the user's pseudonym, assigning a fresh one on first
+// use.
+func (m *Manager) Current(u phl.UserID) wire.Pseudonym {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.current[u]; ok {
+		return p
+	}
+	p := m.fresh()
+	m.current[u] = p
+	m.owner[p] = u
+	return p
+}
+
+// Rotate replaces the user's pseudonym, returning the old and the new
+// one. The old pseudonym is never reused, and the manager remembers it
+// belonged to u (only the TS holds this mapping; SPs never see it).
+func (m *Manager) Rotate(u phl.UserID) (old, fresh wire.Pseudonym) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old, had := m.current[u]
+	if had {
+		m.past[u] = append(m.past[u], old)
+	}
+	fresh = m.fresh()
+	m.current[u] = fresh
+	m.owner[fresh] = u
+	return old, fresh
+}
+
+// Owner resolves a pseudonym (current or retired) to its user.
+func (m *Manager) Owner(p wire.Pseudonym) (phl.UserID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u, ok := m.owner[p]
+	return u, ok
+}
+
+// Rotations returns how many times the user's pseudonym has been
+// rotated — a measure of unlinking (and hence service-continuity
+// disruption) frequency.
+func (m *Manager) Rotations(u phl.UserID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.past[u])
+}
+
+// fresh mints an unused pseudonym. Callers hold m.mu.
+func (m *Manager) fresh() wire.Pseudonym {
+	m.seq++
+	return wire.Pseudonym(fmt.Sprintf("p%06d", m.seq))
+}

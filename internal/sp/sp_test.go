@@ -1,0 +1,278 @@
+package sp
+
+import (
+	"sync"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/link"
+	"histanon/internal/phl"
+	"histanon/internal/wire"
+)
+
+func pt(x, y float64, t int64) geo.STPoint {
+	return geo.STPoint{P: geo.Point{X: x, Y: y}, T: t}
+}
+
+func reqAt(id int64, pseudo string, box geo.STBox) *wire.Request {
+	return &wire.Request{ID: wire.MsgID(id), Pseudonym: wire.Pseudonym(pseudo), Context: box}
+}
+
+func box(x1, y1, x2, y2 float64, t1, t2 int64) geo.STBox {
+	return geo.STBox{
+		Area: geo.Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2},
+		Time: geo.Interval{Start: t1, End: t2},
+	}
+}
+
+func TestProviderRecords(t *testing.T) {
+	p := NewProvider()
+	p.Deliver(reqAt(1, "a", box(0, 0, 1, 1, 0, 1)))
+	p.Deliver(reqAt(2, "b", box(0, 0, 1, 1, 0, 1)))
+	p.Deliver(reqAt(3, "a", box(0, 0, 1, 1, 0, 1)))
+	if got := p.Requests(); len(got) != 3 || got[0].ID != 1 {
+		t.Fatalf("Requests=%v", got)
+	}
+	by := p.ByPseudonym()
+	if len(by["a"]) != 2 || len(by["b"]) != 1 {
+		t.Fatalf("ByPseudonym=%v", by)
+	}
+}
+
+func TestProviderConcurrent(t *testing.T) {
+	p := NewProvider()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Deliver(reqAt(int64(g*1000+i), "x", box(0, 0, 1, 1, 0, 1)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(p.Requests()) != 4000 {
+		t.Fatalf("recorded %d", len(p.Requests()))
+	}
+}
+
+// knowledge builds a PHL store: user 1 commutes home→office, user 2
+// shares only the home area, user 3 is elsewhere.
+func knowledge() *phl.Store {
+	s := phl.NewStore()
+	s.Record(1, pt(10, 10, 100))
+	s.Record(1, pt(500, 500, 200))
+	s.Record(2, pt(12, 12, 100))
+	s.Record(3, pt(900, 900, 100))
+	return s
+}
+
+func TestCandidateUsers(t *testing.T) {
+	a := &Attacker{Knowledge: knowledge()}
+	home := reqAt(1, "p", box(0, 0, 20, 20, 90, 110))
+	office := reqAt(2, "p", box(490, 490, 510, 510, 190, 210))
+	got := a.CandidateUsers([]*wire.Request{home})
+	if len(got) != 2 {
+		t.Fatalf("home candidates=%v", got)
+	}
+	got = a.CandidateUsers([]*wire.Request{home, office})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("series candidates=%v", got)
+	}
+}
+
+func TestAttackByPseudonym(t *testing.T) {
+	p := NewProvider()
+	// Pseudonym "x": the full commute — identifies user 1.
+	p.Deliver(reqAt(1, "x", box(0, 0, 20, 20, 90, 110)))
+	p.Deliver(reqAt(2, "x", box(490, 490, 510, 510, 190, 210)))
+	// Pseudonym "y": home only — ambiguous between users 1 and 2.
+	p.Deliver(reqAt(3, "y", box(0, 0, 20, 20, 90, 110)))
+
+	a := &Attacker{Knowledge: knowledge()}
+	rep := a.Attack(p)
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups=%d", len(rep.Groups))
+	}
+	if rep.IdentifiedGroups() != 1 {
+		t.Fatalf("identified=%d", rep.IdentifiedGroups())
+	}
+	if rep.MinAnonymity() != 1 {
+		t.Fatalf("min anonymity=%d", rep.MinAnonymity())
+	}
+	if got := rep.MeanAnonymity(); got != 1.5 {
+		t.Fatalf("mean anonymity=%g", got)
+	}
+	for _, g := range rep.Groups {
+		if g.Identified && (len(g.Candidates) != 1 || g.Candidates[0] != 1) {
+			t.Fatalf("wrong identification: %+v", g)
+		}
+	}
+}
+
+func TestAttackWithTrackingLinker(t *testing.T) {
+	// A pseudonym change without spatial mixing: tracking re-links the
+	// two pseudonyms into one group, and the joint series identifies the
+	// user even though each half alone would not.
+	store := phl.NewStore()
+	store.Record(1, pt(0, 0, 0))
+	store.Record(1, pt(100, 0, 50))
+	store.Record(2, pt(5, 5, 0)) // shares the first area only
+	store.Record(2, pt(900, 900, 50))
+
+	p := NewProvider()
+	p.Deliver(reqAt(1, "old", box(-10, -10, 10, 10, 0, 5)))
+	p.Deliver(reqAt(2, "new", box(90, -10, 110, 10, 45, 55)))
+
+	pseudoOnly := &Attacker{Knowledge: store}
+	rep := pseudoOnly.Attack(p)
+	if rep.IdentifiedGroups() != 1 {
+		// The second box alone pins user 1 too; the point is the linker
+		// below must not do worse.
+		t.Logf("pseudonym-only identified=%d", rep.IdentifiedGroups())
+	}
+
+	tracker := &Attacker{
+		Knowledge: store,
+		Linker:    link.Max{link.Pseudonym{}, link.Tracking{MaxSpeed: 10, HalfLife: 1e6}},
+		Theta:     0.8,
+	}
+	rep = tracker.Attack(p)
+	if len(rep.Groups) != 1 {
+		t.Fatalf("tracking must join the pseudonyms: %d groups", len(rep.Groups))
+	}
+	g := rep.Groups[0]
+	if len(g.Pseudonyms) != 2 {
+		t.Fatalf("group pseudonyms=%v", g.Pseudonyms)
+	}
+	if !g.Identified || g.Candidates[0] != 1 {
+		t.Fatalf("joint series must identify user 1: %+v", g)
+	}
+}
+
+func TestAttackSeries(t *testing.T) {
+	a := &Attacker{Knowledge: knowledge()}
+	g := a.AttackSeries([]*wire.Request{
+		reqAt(1, "p", box(0, 0, 20, 20, 90, 110)),
+	})
+	if g.Identified || len(g.Candidates) != 2 || g.Requests != 1 {
+		t.Fatalf("series report: %+v", g)
+	}
+}
+
+func TestEmptyAttack(t *testing.T) {
+	a := &Attacker{Knowledge: phl.NewStore()}
+	rep := a.Attack(NewProvider())
+	if len(rep.Groups) != 0 || rep.IdentifiedGroups() != 0 || rep.MinAnonymity() != 0 {
+		t.Fatalf("empty report wrong: %+v", rep)
+	}
+	if rep.MeanAnonymity() != 0 {
+		t.Fatal("mean of empty report must be 0")
+	}
+}
+
+func TestProviderRespond(t *testing.T) {
+	p := NewProvider()
+	var returned []*wire.Response
+	p.Respond(map[string]Logic{
+		"echo": LogicFunc(func(r *wire.Request) map[string]string {
+			return map[string]string{"id": string(r.Pseudonym)}
+		}),
+	}, func(r *wire.Response) { returned = append(returned, r) })
+
+	r1 := reqAt(1, "alpha", box(0, 0, 1, 1, 0, 1))
+	r1.Service = "echo"
+	p.Deliver(r1)
+	p.Deliver(&wire.Request{ID: 2, Pseudonym: "beta", Service: "other"})
+	if len(returned) != 1 {
+		t.Fatalf("returned %d responses", len(returned))
+	}
+	if returned[0].ID != 1 || returned[0].Payload["id"] != "alpha" {
+		t.Fatalf("response: %+v", returned[0])
+	}
+	// Both requests were still recorded for the attack log.
+	if len(p.Requests()) != 2 {
+		t.Fatalf("recorded %d", len(p.Requests()))
+	}
+}
+
+func TestWeightedAttackSkewedPosterior(t *testing.T) {
+	// User 1 has many samples inside the box; user 2 barely grazes it:
+	// the posterior must favor user 1.
+	store := phl.NewStore()
+	for i := 0; i < 20; i++ {
+		store.Record(1, pt(10, 10, int64(100+i)))
+	}
+	store.Record(2, pt(10, 10, 105))
+	a := &Attacker{Knowledge: store}
+	rep := a.WeightedAttack([]*wire.Request{reqAt(1, "p", box(0, 0, 20, 20, 90, 130))})
+	if len(rep.Candidates) != 2 {
+		t.Fatalf("candidates: %v", rep.Candidates)
+	}
+	if rep.Candidates[0] != 1 || rep.TopConfidence < 0.8 {
+		t.Fatalf("skew not detected: %+v", rep)
+	}
+	if rep.EffectiveK >= 2 {
+		t.Fatalf("effective k must be < nominal 2: %g", rep.EffectiveK)
+	}
+}
+
+func TestWeightedAttackUniformPosterior(t *testing.T) {
+	// Symmetric candidates: posterior uniform, effective k = nominal k.
+	store := phl.NewStore()
+	for u := phl.UserID(1); u <= 4; u++ {
+		for i := 0; i < 5; i++ {
+			store.Record(u, pt(10, 10, int64(100+i)))
+		}
+	}
+	a := &Attacker{Knowledge: store}
+	rep := a.WeightedAttack([]*wire.Request{reqAt(1, "p", box(0, 0, 20, 20, 90, 130))})
+	if len(rep.Candidates) != 4 {
+		t.Fatalf("candidates: %v", rep.Candidates)
+	}
+	if rep.EffectiveK < 3.9 || rep.EffectiveK > 4.01 {
+		t.Fatalf("uniform effective k: %g", rep.EffectiveK)
+	}
+	if rep.TopConfidence > 0.26 {
+		t.Fatalf("top confidence: %g", rep.TopConfidence)
+	}
+	// Posterior sums to 1.
+	sum := 0.0
+	for _, p := range rep.Posterior {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("posterior sum: %g", sum)
+	}
+}
+
+func TestWeightedAttackEmpty(t *testing.T) {
+	a := &Attacker{Knowledge: phl.NewStore()}
+	rep := a.WeightedAttack([]*wire.Request{reqAt(1, "p", box(0, 0, 1, 1, 0, 1))})
+	if len(rep.Candidates) != 0 || rep.EffectiveK != 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+}
+
+func TestWeightedAttackMultiBoxSeries(t *testing.T) {
+	// Two boxes: user 1 dense in both; user 2 dense in the first only.
+	store := phl.NewStore()
+	for i := 0; i < 10; i++ {
+		store.Record(1, pt(10, 10, int64(100+i)))
+		store.Record(1, pt(500, 500, int64(200+i)))
+		store.Record(2, pt(10, 10, int64(100+i)))
+	}
+	store.Record(2, pt(500, 500, 205))
+	a := &Attacker{Knowledge: store}
+	rep := a.WeightedAttack([]*wire.Request{
+		reqAt(1, "p", box(0, 0, 20, 20, 90, 130)),
+		reqAt(2, "p", box(490, 490, 510, 510, 190, 230)),
+	})
+	if rep.Candidates[0] != 1 {
+		t.Fatalf("user 1 must lead: %+v", rep)
+	}
+	if rep.TopConfidence < 0.7 {
+		t.Fatalf("series evidence must accumulate: %g", rep.TopConfidence)
+	}
+}

@@ -1,0 +1,70 @@
+package stindex
+
+import (
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// Brute is the paper's baseline: a flat list of samples scanned linearly
+// for every query. KNearestUsers is the O(k·n)-flavored method of
+// Algorithm 1 ("considering the nearest neighbor in the PHL of each user
+// and then taking the closest k points" — a single scan computes the
+// per-user nearest neighbors).
+type Brute struct {
+	entries []UserPoint
+}
+
+// NewBrute returns an empty brute-force index.
+func NewBrute() *Brute { return &Brute{} }
+
+// Insert implements Index.
+func (b *Brute) Insert(u phl.UserID, p geo.STPoint) {
+	b.entries = append(b.entries, UserPoint{User: u, Point: p})
+}
+
+// Len implements Index.
+func (b *Brute) Len() int { return len(b.entries) }
+
+// UsersInBox implements Index.
+func (b *Brute) UsersInBox(box geo.STBox) []phl.UserID {
+	seen := map[phl.UserID]bool{}
+	var out []phl.UserID
+	for _, e := range b.entries {
+		if !seen[e.User] && box.Contains(e.Point) {
+			seen[e.User] = true
+			out = append(out, e.User)
+		}
+	}
+	return out
+}
+
+// CountUsersInBox implements Index.
+func (b *Brute) CountUsersInBox(box geo.STBox) int {
+	seen := map[phl.UserID]bool{}
+	n := 0
+	for _, e := range b.entries {
+		if !seen[e.User] && box.Contains(e.Point) {
+			seen[e.User] = true
+			n++
+		}
+	}
+	return n
+}
+
+// KNearestUsers implements Index.
+func (b *Brute) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[phl.UserID]bool) []UserPoint {
+	if k <= 0 {
+		return nil
+	}
+	best := map[phl.UserID]nearestCand{}
+	for _, e := range b.entries {
+		if exclude[e.User] {
+			continue
+		}
+		d := m.Dist(e.Point, q)
+		if cur, ok := best[e.User]; !ok || d < cur.dist {
+			best[e.User] = nearestCand{up: e, dist: d}
+		}
+	}
+	return collectKNearest(best, k)
+}

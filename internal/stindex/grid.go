@@ -1,0 +1,302 @@
+package stindex
+
+import (
+	"math"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// Grid is a sparse uniform grid over space and time: samples hash into
+// cells of CellSize×CellSize meters and BucketLen seconds. Box queries
+// touch only overlapping cells; nearest-user queries expand outward in
+// shells until the running k-th best distance prunes the frontier.
+type Grid struct {
+	cellSize  float64
+	bucketLen int64
+	cells     map[gridKey][]UserPoint
+	n         int
+	users     map[phl.UserID]struct{}
+	// Observed cell-coordinate bounds let shell expansion terminate when
+	// the whole populated grid has been visited.
+	min, max gridKey
+}
+
+type gridKey struct {
+	cx, cy, ct int64
+}
+
+// NewGrid returns an empty grid index with the given spatial cell size
+// (meters) and temporal bucket length (seconds). Both must be positive.
+func NewGrid(cellSize float64, bucketLen int64) *Grid {
+	if cellSize <= 0 || bucketLen <= 0 {
+		panic("stindex: grid cell dimensions must be positive")
+	}
+	return &Grid{
+		cellSize:  cellSize,
+		bucketLen: bucketLen,
+		cells:     make(map[gridKey][]UserPoint),
+		users:     make(map[phl.UserID]struct{}),
+	}
+}
+
+func (g *Grid) key(p geo.STPoint) gridKey {
+	return gridKey{
+		cx: int64(math.Floor(p.P.X / g.cellSize)),
+		cy: int64(math.Floor(p.P.Y / g.cellSize)),
+		ct: floorDiv(p.T, g.bucketLen),
+	}
+}
+
+// cellBox returns the spatio-temporal extent of a cell.
+func (g *Grid) cellBox(k gridKey) geo.STBox {
+	return geo.STBox{
+		Area: geo.Rect{
+			MinX: float64(k.cx) * g.cellSize, MinY: float64(k.cy) * g.cellSize,
+			MaxX: float64(k.cx+1) * g.cellSize, MaxY: float64(k.cy+1) * g.cellSize,
+		},
+		Time: geo.Interval{Start: k.ct * g.bucketLen, End: (k.ct+1)*g.bucketLen - 1},
+	}
+}
+
+// Insert implements Index.
+func (g *Grid) Insert(u phl.UserID, p geo.STPoint) {
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], UserPoint{User: u, Point: p})
+	g.users[u] = struct{}{}
+	if g.n == 0 {
+		g.min, g.max = k, k
+	} else {
+		g.min.cx = min64(g.min.cx, k.cx)
+		g.min.cy = min64(g.min.cy, k.cy)
+		g.min.ct = min64(g.min.ct, k.ct)
+		g.max.cx = max64(g.max.cx, k.cx)
+		g.max.cy = max64(g.max.cy, k.cy)
+		g.max.ct = max64(g.max.ct, k.ct)
+	}
+	g.n++
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return g.n }
+
+// UsersInBox implements Index.
+func (g *Grid) UsersInBox(box geo.STBox) []phl.UserID {
+	seen := map[phl.UserID]bool{}
+	var out []phl.UserID
+	g.scanBox(box, func(e UserPoint) {
+		if !seen[e.User] {
+			seen[e.User] = true
+			out = append(out, e.User)
+		}
+	})
+	return out
+}
+
+// CountUsersInBox implements Index.
+func (g *Grid) CountUsersInBox(box geo.STBox) int {
+	seen := map[phl.UserID]bool{}
+	g.scanBox(box, func(e UserPoint) { seen[e.User] = true })
+	return len(seen)
+}
+
+func (g *Grid) scanBox(box geo.STBox, visit func(UserPoint)) {
+	lo := g.key(geo.STPoint{P: geo.Point{X: box.Area.MinX, Y: box.Area.MinY}, T: box.Time.Start})
+	hi := g.key(geo.STPoint{P: geo.Point{X: box.Area.MaxX, Y: box.Area.MaxY}, T: box.Time.End})
+	// Clamp to the populated region so huge query boxes stay cheap.
+	lo.cx, hi.cx = max64(lo.cx, g.min.cx), min64(hi.cx, g.max.cx)
+	lo.cy, hi.cy = max64(lo.cy, g.min.cy), min64(hi.cy, g.max.cy)
+	lo.ct, hi.ct = max64(lo.ct, g.min.ct), min64(hi.ct, g.max.ct)
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for ct := lo.ct; ct <= hi.ct; ct++ {
+				for _, e := range g.cells[gridKey{cx, cy, ct}] {
+					if box.Contains(e.Point) {
+						visit(e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// KNearestUsers implements Index. Cells are visited in expanding
+// Chebyshev shells around the query cell; the search stops when the
+// closest possible point in the next shell is farther than the current
+// k-th best per-user distance.
+func (g *Grid) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[phl.UserID]bool) []UserPoint {
+	if k <= 0 || g.n == 0 {
+		return nil
+	}
+	center := g.key(q)
+	best := map[phl.UserID]nearestCand{}
+
+	// When k reaches the whole population the shell search cannot prune
+	// (the k-th best distance never materializes) and would sweep the
+	// entire — mostly empty — cube. Scan the populated cells directly.
+	if k >= len(g.users) {
+		for _, entries := range g.cells {
+			for _, e := range entries {
+				if exclude[e.User] {
+					continue
+				}
+				d := m.Dist(e.Point, q)
+				if cur, ok := best[e.User]; !ok || d < cur.dist {
+					best[e.User] = nearestCand{up: e, dist: d}
+				}
+			}
+		}
+		return collectKNearest(best, k)
+	}
+
+	// kthDist returns the current k-th smallest per-user distance, or
+	// +Inf when fewer than k users have been found.
+	kthDist := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		h := make(nearestHeap, 0, k)
+		for _, c := range best {
+			if len(h) < k {
+				h = append(h, c)
+				if len(h) == k {
+					initHeap(h)
+				}
+			} else if c.dist < h[0].dist {
+				h[0] = c
+				siftDown(h, 0)
+			}
+		}
+		return h[0].dist
+	}
+
+	maxShell := g.maxShellFrom(center)
+	seen := 0 // entries encountered; all populated cells visited => stop
+	for s := int64(0); s <= maxShell && seen < g.n; s++ {
+		// Earliest possible distance of any point in shell s: the shell's
+		// cells start (s-1) whole cells away in some axis.
+		if s > 1 {
+			minGap := math.Min(g.cellSize, float64(g.bucketLen)*timeScaleOf(m))
+			if float64(s-1)*minGap > kthDist() {
+				break
+			}
+		}
+		bound := kthDist()
+		g.visitShell(center, s, func(key gridKey) {
+			entries := g.cells[key]
+			if len(entries) == 0 {
+				return
+			}
+			seen += len(entries)
+			if s > 1 && m.DistToBox(q, g.cellBox(key)) > bound {
+				return
+			}
+			for _, e := range entries {
+				if exclude[e.User] {
+					continue
+				}
+				d := m.Dist(e.Point, q)
+				if cur, ok := best[e.User]; !ok || d < cur.dist {
+					best[e.User] = nearestCand{up: e, dist: d}
+				}
+			}
+		})
+	}
+	return collectKNearest(best, k)
+}
+
+// maxShellFrom returns the largest Chebyshev shell index that can still
+// contain populated cells when centered at c.
+func (g *Grid) maxShellFrom(c gridKey) int64 {
+	d := max64(absDiffRange(c.cx, g.min.cx, g.max.cx), absDiffRange(c.cy, g.min.cy, g.max.cy))
+	return max64(d, absDiffRange(c.ct, g.min.ct, g.max.ct))
+}
+
+func absDiffRange(v, lo, hi int64) int64 {
+	return max64(abs64(v-lo), abs64(v-hi))
+}
+
+// visitShell calls fn for every cell at Chebyshev distance exactly s
+// from c.
+func (g *Grid) visitShell(c gridKey, s int64, fn func(gridKey)) {
+	if s == 0 {
+		fn(c)
+		return
+	}
+	for dx := -s; dx <= s; dx++ {
+		for dy := -s; dy <= s; dy++ {
+			onFaceXY := abs64(dx) == s || abs64(dy) == s
+			if onFaceXY {
+				for dt := -s; dt <= s; dt++ {
+					fn(gridKey{c.cx + dx, c.cy + dy, c.ct + dt})
+				}
+			} else {
+				fn(gridKey{c.cx + dx, c.cy + dy, c.ct - s})
+				fn(gridKey{c.cx + dx, c.cy + dy, c.ct + s})
+			}
+		}
+	}
+}
+
+func timeScaleOf(m geo.STMetric) float64 {
+	if m.TimeScale == 0 {
+		return geo.DefaultTimeScale
+	}
+	return m.TimeScale
+}
+
+// Minimal heap helpers for kthDist (avoiding container/heap allocation
+// in the hot path).
+func initHeap(h nearestHeap) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
+
+func siftDown(h nearestHeap, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h[l].dist > h[big].dist {
+			big = l
+		}
+		if r < n && h[r].dist > h[big].dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

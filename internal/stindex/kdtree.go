@@ -1,0 +1,204 @@
+package stindex
+
+import (
+	"math"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// KDTree is a 3-dimensional k-d tree over (x, y, t). Nodes are inserted
+// without rebalancing, which is adequate for the quasi-random insertion
+// order of location streams; the ablation benchmarks quantify the
+// difference against the grid.
+//
+// Coordinates are stored raw; the query metric's time scale is applied
+// during search, so the same tree serves any STMetric.
+type KDTree struct {
+	root *kdNode
+	n    int
+}
+
+type kdNode struct {
+	entry       UserPoint
+	left, right *kdNode
+}
+
+// NewKDTree returns an empty tree.
+func NewKDTree() *KDTree { return &KDTree{} }
+
+// Insert implements Index.
+func (t *KDTree) Insert(u phl.UserID, p geo.STPoint) {
+	node := &kdNode{entry: UserPoint{User: u, Point: p}}
+	t.n++
+	if t.root == nil {
+		t.root = node
+		return
+	}
+	cur := t.root
+	for depth := 0; ; depth++ {
+		if coord(p, depth%3) < coord(cur.entry.Point, depth%3) {
+			if cur.left == nil {
+				cur.left = node
+				return
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = node
+				return
+			}
+			cur = cur.right
+		}
+	}
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return t.n }
+
+func coord(p geo.STPoint, axis int) float64 {
+	switch axis {
+	case 0:
+		return p.P.X
+	case 1:
+		return p.P.Y
+	default:
+		return float64(p.T)
+	}
+}
+
+func boxMin(b geo.STBox, axis int) float64 {
+	switch axis {
+	case 0:
+		return b.Area.MinX
+	case 1:
+		return b.Area.MinY
+	default:
+		return float64(b.Time.Start)
+	}
+}
+
+func boxMax(b geo.STBox, axis int) float64 {
+	switch axis {
+	case 0:
+		return b.Area.MaxX
+	case 1:
+		return b.Area.MaxY
+	default:
+		return float64(b.Time.End)
+	}
+}
+
+// UsersInBox implements Index.
+func (t *KDTree) UsersInBox(box geo.STBox) []phl.UserID {
+	seen := map[phl.UserID]bool{}
+	var out []phl.UserID
+	t.walkBox(t.root, 0, box, func(e UserPoint) {
+		if !seen[e.User] {
+			seen[e.User] = true
+			out = append(out, e.User)
+		}
+	})
+	return out
+}
+
+// CountUsersInBox implements Index.
+func (t *KDTree) CountUsersInBox(box geo.STBox) int {
+	seen := map[phl.UserID]bool{}
+	t.walkBox(t.root, 0, box, func(e UserPoint) { seen[e.User] = true })
+	return len(seen)
+}
+
+func (t *KDTree) walkBox(n *kdNode, depth int, box geo.STBox, visit func(UserPoint)) {
+	if n == nil {
+		return
+	}
+	if box.Contains(n.entry.Point) {
+		visit(n.entry)
+	}
+	axis := depth % 3
+	c := coord(n.entry.Point, axis)
+	if boxMin(box, axis) < c {
+		t.walkBox(n.left, depth+1, box, visit)
+	}
+	if boxMax(box, axis) >= c {
+		t.walkBox(n.right, depth+1, box, visit)
+	}
+}
+
+// KNearestUsers implements Index. A branch is pruned when the distance
+// from the query to the splitting plane already exceeds the current
+// k-th best per-user distance.
+func (t *KDTree) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[phl.UserID]bool) []UserPoint {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	s := &kdSearch{
+		q: q, k: k, m: m, exclude: exclude,
+		scale: timeScaleOf(m),
+		best:  map[phl.UserID]nearestCand{},
+		bound: math.Inf(1),
+	}
+	s.visit(t.root, 0)
+	return collectKNearest(s.best, k)
+}
+
+type kdSearch struct {
+	q       geo.STPoint
+	k       int
+	m       geo.STMetric
+	scale   float64
+	exclude map[phl.UserID]bool
+	best    map[phl.UserID]nearestCand
+	bound   float64 // current k-th best per-user distance
+}
+
+func (s *kdSearch) visit(n *kdNode, depth int) {
+	if n == nil {
+		return
+	}
+	if !s.exclude[n.entry.User] {
+		d := s.m.Dist(n.entry.Point, s.q)
+		if cur, ok := s.best[n.entry.User]; !ok || d < cur.dist {
+			s.best[n.entry.User] = nearestCand{up: n.entry, dist: d}
+			s.refreshBound()
+		}
+	}
+	axis := depth % 3
+	qc := coord(s.q, axis)
+	nc := coord(n.entry.Point, axis)
+	planeDist := math.Abs(qc - nc)
+	if axis == 2 {
+		planeDist *= s.scale
+	}
+	near, far := n.left, n.right
+	if qc >= nc {
+		near, far = n.right, n.left
+	}
+	s.visit(near, depth+1)
+	if planeDist <= s.bound {
+		s.visit(far, depth+1)
+	}
+}
+
+// refreshBound recomputes the k-th best per-user distance. Called only
+// when a per-user best improves, which happens O(distinct users) times.
+func (s *kdSearch) refreshBound() {
+	if len(s.best) < s.k {
+		s.bound = math.Inf(1)
+		return
+	}
+	h := make(nearestHeap, 0, s.k)
+	for _, c := range s.best {
+		if len(h) < s.k {
+			h = append(h, c)
+			if len(h) == s.k {
+				initHeap(h)
+			}
+		} else if c.dist < h[0].dist {
+			h[0] = c
+			siftDown(h, 0)
+		}
+	}
+	s.bound = h[0].dist
+}

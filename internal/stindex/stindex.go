@@ -1,0 +1,104 @@
+// Package stindex provides spatio-temporal indexes over location
+// samples. The paper's Algorithm 1 needs two query primitives:
+//
+//   - the distinct users having a sample inside a spatio-temporal box
+//     (anonymity-set counting), and
+//   - the k distinct users whose trajectories pass nearest to a query
+//     point ⟨x,y,t⟩ (line 5: "the smallest 3D space containing ⟨x,y,t⟩
+//     and crossed by k trajectories").
+//
+// The paper sketches only the O(k·n) brute-force method and notes that
+// "optimizations may be inspired by the work on indexing moving
+// objects"; this package supplies that brute-force baseline plus a
+// uniform grid and a 3D k-d tree, all behind the Index interface, so the
+// ablation experiment (E10) can compare them.
+package stindex
+
+import (
+	"container/heap"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// UserPoint pairs a user with one of their location samples.
+type UserPoint struct {
+	User  phl.UserID
+	Point geo.STPoint
+}
+
+// Index answers spatio-temporal queries over a growing set of location
+// samples. Implementations are not safe for concurrent mutation.
+type Index interface {
+	// Insert adds one sample for the user.
+	Insert(u phl.UserID, p geo.STPoint)
+	// Len returns the number of samples inserted.
+	Len() int
+	// UsersInBox returns the distinct users having at least one sample in
+	// b. Order is implementation-defined.
+	UsersInBox(b geo.STBox) []phl.UserID
+	// CountUsersInBox returns the number of distinct users with a sample
+	// in b.
+	CountUsersInBox(b geo.STBox) int
+	// KNearestUsers returns up to k entries, one per distinct user (the
+	// user's closest sample to q under m), ordered by increasing
+	// distance. Users listed in exclude are skipped.
+	KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[phl.UserID]bool) []UserPoint
+}
+
+// SmallestEnclosingBox returns the smallest spatio-temporal box
+// containing the query point and one trajectory sample from each of k
+// distinct users — the generalized context of Algorithm 1 line 5. The
+// second result lists the chosen users' samples; ok is false when fewer
+// than k distinct users exist.
+func SmallestEnclosingBox(idx Index, q geo.STPoint, k int, m geo.STMetric, exclude map[phl.UserID]bool) (geo.STBox, []UserPoint, bool) {
+	nearest := idx.KNearestUsers(q, k, m, exclude)
+	if len(nearest) < k {
+		return geo.STBox{}, nil, false
+	}
+	box := geo.STBoxAround(q)
+	for _, up := range nearest {
+		box = box.Extend(up.Point)
+	}
+	return box, nearest, true
+}
+
+// nearestHeap is a max-heap over candidate user points by distance, used
+// to keep the running k best candidates.
+type nearestCand struct {
+	up   UserPoint
+	dist float64
+}
+
+type nearestHeap []nearestCand
+
+func (h nearestHeap) Len() int            { return len(h) }
+func (h nearestHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h nearestHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nearestHeap) Push(x interface{}) { *h = append(*h, x.(nearestCand)) }
+func (h *nearestHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// collectKNearest turns per-user best distances into the sorted result
+// slice shared by all index implementations.
+func collectKNearest(best map[phl.UserID]nearestCand, k int) []UserPoint {
+	h := make(nearestHeap, 0, k)
+	for _, c := range best {
+		if len(h) < k {
+			heap.Push(&h, c)
+		} else if c.dist < h[0].dist {
+			h[0] = c
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]UserPoint, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(nearestCand).up
+	}
+	return out
+}

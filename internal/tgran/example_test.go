@@ -1,0 +1,53 @@
+package tgran_test
+
+import (
+	"fmt"
+
+	"histanon/internal/tgran"
+)
+
+// Recurrence formulas follow the paper's r1.G1 * r2.G2 syntax: this one
+// requires observations on three distinct weekdays within a week, for
+// at least two weeks.
+func ExampleParseRecurrence() {
+	r, err := tgran.ParseRecurrence("3.Weekdays * 2.Weeks")
+	if err != nil {
+		panic(err)
+	}
+	day := func(week, dow int64) tgran.Observation {
+		return tgran.Observation{week*tgran.Week + dow*tgran.Day + 9*tgran.Hour}
+	}
+	oneWeek := []tgran.Observation{day(0, 0), day(0, 1), day(0, 2)}
+	fmt.Println("one full week:", r.Satisfied(oneWeek))
+	twoWeeks := append(oneWeek, day(1, 0), day(1, 2), day(1, 4))
+	fmt.Println("two full weeks:", r.Satisfied(twoWeeks))
+	// Output:
+	// one full week: false
+	// two full weeks: true
+}
+
+// Unanchored intervals denote a daily window; [11pm,1am] wraps around
+// midnight.
+func ExampleUInterval() {
+	u, _ := tgran.ParseUInterval("[23:00,01:00]")
+	fmt.Println(u.Contains(23*tgran.Hour + 1800)) // 23:30
+	fmt.Println(u.Contains(tgran.Day + 1800))     // 00:30 the next day
+	fmt.Println(u.Contains(12 * tgran.Hour))      // noon
+	// Output:
+	// true
+	// true
+	// false
+}
+
+// Granularities partition the timeline; Weekdays leaves weekend gaps.
+func ExampleGranularity() {
+	if _, ok := tgran.WeekdaysG.GranuleOf(0); ok {
+		fmt.Println("engine instant 0 (a Monday) is a weekday")
+	}
+	if _, ok := tgran.WeekdaysG.GranuleOf(5 * tgran.Day); !ok {
+		fmt.Println("day 5 (a Saturday) is not")
+	}
+	// Output:
+	// engine instant 0 (a Monday) is a weekday
+	// day 5 (a Saturday) is not
+}

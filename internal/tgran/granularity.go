@@ -1,0 +1,272 @@
+// Package tgran implements the time-granularity system the paper's
+// recurrence formulas are built on (Bettini, Jajodia, Wang, "Time
+// Granularities in Databases, Data Mining, and Temporal Reasoning",
+// reference [3] of the paper).
+//
+// A granularity partitions (part of) the timeline into indexed granules.
+// Granules are half-open intervals [start,end) of int64 seconds. A
+// granularity need not cover the whole timeline: the "Mondays"
+// granularity has one granule per Monday and no granule containing a
+// Tuesday instant.
+//
+// The engine's epoch (t = 0) is Monday 2006-01-02 00:00:00 UTC, so day
+// and week boundaries fall on multiples of Day and Week, and the civil
+// calendar (months, years) stays available through the time package.
+package tgran
+
+import (
+	"fmt"
+	"time"
+)
+
+// Durations of the basic calendar units in seconds.
+const (
+	Second = int64(1)
+	Minute = 60 * Second
+	Hour   = 60 * Minute
+	Day    = 24 * Hour
+	Week   = 7 * Day
+)
+
+// Epoch is the civil instant of engine time 0: Monday 2006-01-02 00:00:00 UTC.
+var Epoch = time.Date(2006, time.January, 2, 0, 0, 0, 0, time.UTC)
+
+// ToCivil converts engine seconds to a civil UTC time. The supported
+// domain is roughly ±292 years around the epoch (the range of
+// time.Duration); instants outside it are meaningless for this engine.
+func ToCivil(t int64) time.Time { return Epoch.Add(time.Duration(t) * time.Second) }
+
+// FromCivil converts a civil time to engine seconds.
+func FromCivil(t time.Time) int64 { return int64(t.Sub(Epoch) / time.Second) }
+
+// Granularity is an indexed partition of (part of) the timeline.
+//
+// GranuleOf maps an instant to the index of the granule containing it;
+// ok is false when no granule covers t. Granule returns the half-open
+// bounds [start,end) of the granule with the given index; ok is false
+// when the index denotes no granule.
+type Granularity interface {
+	Name() string
+	GranuleOf(t int64) (index int64, ok bool)
+	Granule(index int64) (start, end int64, ok bool)
+}
+
+// SameGranule reports whether a and b fall into the same granule of g.
+// It is false when either instant is uncovered.
+func SameGranule(g Granularity, a, b int64) bool {
+	ia, oka := g.GranuleOf(a)
+	ib, okb := g.GranuleOf(b)
+	return oka && okb && ia == ib
+}
+
+// Uniform is a granularity whose granule i spans
+// [Origin+i*Period, Origin+i*Period+Span). With Span == Period it tiles
+// the timeline (seconds, minutes, hours, days, weeks); with Span < Period
+// it leaves gaps (e.g. Mondays: Period=Week, Span=Day).
+type Uniform struct {
+	GName  string
+	Origin int64
+	Period int64
+	Span   int64
+}
+
+// NewUniform returns a gapless uniform granularity with the given period.
+func NewUniform(name string, origin, period int64) *Uniform {
+	return &Uniform{GName: name, Origin: origin, Period: period, Span: period}
+}
+
+// Name implements Granularity.
+func (u *Uniform) Name() string { return u.GName }
+
+// GranuleOf implements Granularity.
+func (u *Uniform) GranuleOf(t int64) (int64, bool) {
+	i := floorDiv(t-u.Origin, u.Period)
+	off := t - u.Origin - i*u.Period
+	if off >= u.Span {
+		return 0, false
+	}
+	return i, true
+}
+
+// Granule implements Granularity.
+func (u *Uniform) Granule(i int64) (int64, int64, bool) {
+	start := u.Origin + i*u.Period
+	return start, start + u.Span, true
+}
+
+// Seconds, Minutes, Hours, Days and Weeks are the standard gapless
+// granularities aligned to the engine epoch (weeks start on Monday).
+var (
+	Seconds = NewUniform("Seconds", 0, Second)
+	Minutes = NewUniform("Minutes", 0, Minute)
+	Hours   = NewUniform("Hours", 0, Hour)
+	Days    = NewUniform("Days", 0, Day)
+	Weeks   = NewUniform("Weeks", 0, Week)
+)
+
+// DayOfWeek returns the single-weekday granularity for d (one granule per
+// calendar occurrence of that weekday). The engine epoch is a Monday.
+func DayOfWeek(d time.Weekday) *Uniform {
+	// time.Monday == 1; engine day 0 is a Monday.
+	offset := (int64(d) - int64(time.Monday) + 7) % 7
+	return &Uniform{GName: d.String() + "s", Origin: offset * Day, Period: Week, Span: Day}
+}
+
+// Weekdays is the granularity whose granules are the business days
+// Monday..Friday, one granule per day, skipping weekends (five granules
+// per week). Granule indexes advance by 5 per week.
+type weekdays struct{}
+
+// WeekdaysG is the shared Weekdays granularity instance.
+var WeekdaysG Granularity = weekdays{}
+
+func (weekdays) Name() string { return "Weekdays" }
+
+func (weekdays) GranuleOf(t int64) (int64, bool) {
+	day := floorDiv(t, Day)
+	dow := mod64(day, 7) // 0 = Monday
+	if dow >= 5 {
+		return 0, false
+	}
+	week := floorDiv(day, 7)
+	return week*5 + dow, true
+}
+
+func (weekdays) Granule(i int64) (int64, int64, bool) {
+	week := floorDiv(i, 5)
+	dow := mod64(i, 5)
+	start := (week*7 + dow) * Day
+	return start, start + Day, true
+}
+
+// Group returns a granularity whose granule i merges the k consecutive
+// base granules [i*k, i*k+k). It supports patterns such as the paper's
+// "at least two consecutive days" example, where a granule is composed
+// of 2 contiguous days. The base granularity must be gapless for the
+// merged granules to be contiguous, but Group does not require it.
+func Group(name string, base Granularity, k int64) Granularity {
+	if k <= 0 {
+		panic("tgran: Group requires k >= 1")
+	}
+	return &group{name: name, base: base, k: k}
+}
+
+type group struct {
+	name string
+	base Granularity
+	k    int64
+}
+
+func (g *group) Name() string { return g.name }
+
+func (g *group) GranuleOf(t int64) (int64, bool) {
+	i, ok := g.base.GranuleOf(t)
+	if !ok {
+		return 0, false
+	}
+	return floorDiv(i, g.k), true
+}
+
+func (g *group) Granule(i int64) (int64, int64, bool) {
+	start, _, ok := g.base.Granule(i * g.k)
+	if !ok {
+		return 0, 0, false
+	}
+	_, end, ok := g.base.Granule(i*g.k + g.k - 1)
+	if !ok {
+		return 0, 0, false
+	}
+	return start, end, true
+}
+
+// Months is the civil-calendar month granularity (UTC). Granule 0 is
+// January 2006; indexes count months since then.
+type months struct{}
+
+// MonthsG is the shared Months granularity instance.
+var MonthsG Granularity = months{}
+
+func (months) Name() string { return "Months" }
+
+func (months) GranuleOf(t int64) (int64, bool) {
+	c := ToCivil(t)
+	return int64(c.Year()-2006)*12 + int64(c.Month()-time.January), true
+}
+
+func (months) Granule(i int64) (int64, int64, bool) {
+	year := 2006 + int(floorDiv(i, 12))
+	month := time.January + time.Month(mod64(i, 12))
+	start := time.Date(year, month, 1, 0, 0, 0, 0, time.UTC)
+	return FromCivil(start), FromCivil(start.AddDate(0, 1, 0)), true
+}
+
+// Years is the civil-calendar year granularity (UTC). Granule 0 is 2006.
+type years struct{}
+
+// YearsG is the shared Years granularity instance.
+var YearsG Granularity = years{}
+
+func (years) Name() string { return "Years" }
+
+func (years) GranuleOf(t int64) (int64, bool) {
+	return int64(ToCivil(t).Year() - 2006), true
+}
+
+func (years) Granule(i int64) (int64, int64, bool) {
+	start := time.Date(2006+int(i), time.January, 1, 0, 0, 0, 0, time.UTC)
+	return FromCivil(start), FromCivil(start.AddDate(1, 0, 0)), true
+}
+
+// Registry resolves granularity names for the recurrence and LBQID
+// parsers. Lookup is case-insensitive on the first letter to accept both
+// "weekdays" and "Weekdays".
+var registry = map[string]Granularity{}
+
+// Register adds g to the name registry, replacing any previous entry.
+func Register(g Granularity) { registry[normName(g.Name())] = g }
+
+// Lookup resolves a granularity by name.
+func Lookup(name string) (Granularity, error) {
+	if g, ok := registry[normName(name)]; ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("tgran: unknown granularity %q", name)
+}
+
+func normName(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+func init() {
+	for _, g := range []Granularity{
+		Seconds, Minutes, Hours, Days, Weeks, WeekdaysG, MonthsG, YearsG,
+	} {
+		Register(g)
+	}
+	for d := time.Sunday; d <= time.Saturday; d++ {
+		Register(DayOfWeek(d))
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func mod64(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

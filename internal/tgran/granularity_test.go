@@ -1,0 +1,256 @@
+package tgran
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEpochIsMonday(t *testing.T) {
+	if Epoch.Weekday() != time.Monday {
+		t.Fatalf("epoch weekday = %v, want Monday", Epoch.Weekday())
+	}
+	if got := FromCivil(Epoch); got != 0 {
+		t.Fatalf("FromCivil(Epoch) = %d, want 0", got)
+	}
+	if got := ToCivil(0); !got.Equal(Epoch) {
+		t.Fatalf("ToCivil(0) = %v, want %v", got, Epoch)
+	}
+}
+
+func TestUniformGranuleRoundTrip(t *testing.T) {
+	for _, g := range []*Uniform{Seconds, Minutes, Hours, Days, Weeks} {
+		for _, tm := range []int64{0, 1, 59, 3600, 86399, 86400, 604800, -1, -86401, 1e9} {
+			i, ok := g.GranuleOf(tm)
+			if !ok {
+				t.Fatalf("%s: gapless granularity returned no granule for %d", g.Name(), tm)
+			}
+			start, end, ok := g.Granule(i)
+			if !ok {
+				t.Fatalf("%s: granule %d missing", g.Name(), i)
+			}
+			if tm < start || tm >= end {
+				t.Fatalf("%s: %d not in granule %d = [%d,%d)", g.Name(), tm, i, start, end)
+			}
+		}
+	}
+}
+
+func TestUniformNegativeTime(t *testing.T) {
+	// floor division: instant -1 belongs to day -1, not day 0.
+	i, ok := Days.GranuleOf(-1)
+	if !ok || i != -1 {
+		t.Fatalf("GranuleOf(-1) = %d,%v want -1,true", i, ok)
+	}
+}
+
+func TestDayOfWeek(t *testing.T) {
+	mondays := DayOfWeek(time.Monday)
+	if _, ok := mondays.GranuleOf(0); !ok {
+		t.Fatal("engine instant 0 must be inside a Monday granule")
+	}
+	if _, ok := mondays.GranuleOf(Day); ok {
+		t.Fatal("engine day 1 is a Tuesday; Mondays must not cover it")
+	}
+	tuesdays := DayOfWeek(time.Tuesday)
+	if _, ok := tuesdays.GranuleOf(Day + Hour); !ok {
+		t.Fatal("Tuesdays must cover day 1")
+	}
+	sundays := DayOfWeek(time.Sunday)
+	if _, ok := sundays.GranuleOf(6*Day + Hour); !ok {
+		t.Fatal("Sundays must cover day 6")
+	}
+	// Civil cross-check over three weeks.
+	for d := int64(0); d < 21; d++ {
+		civil := ToCivil(d * Day).Weekday()
+		_, ok := DayOfWeek(civil).GranuleOf(d*Day + 12*Hour)
+		if !ok {
+			t.Fatalf("day %d (%v): DayOfWeek granularity missed its own day", d, civil)
+		}
+	}
+}
+
+func TestWeekdays(t *testing.T) {
+	// Days 0..4 are Mon..Fri, 5..6 the weekend.
+	for d := int64(0); d < 14; d++ {
+		i, ok := WeekdaysG.GranuleOf(d*Day + Hour)
+		isBusiness := d%7 < 5
+		if ok != isBusiness {
+			t.Fatalf("day %d: covered=%v want %v", d, ok, isBusiness)
+		}
+		if ok {
+			start, end, ok2 := WeekdaysG.Granule(i)
+			if !ok2 || start != d*Day || end != (d+1)*Day {
+				t.Fatalf("day %d: granule %d = [%d,%d)", d, i, start, end)
+			}
+		}
+	}
+	// Indexes advance by 5 per week: Friday of week 0 is granule 4,
+	// Monday of week 1 is granule 5.
+	i1, _ := WeekdaysG.GranuleOf(4 * Day)
+	i2, _ := WeekdaysG.GranuleOf(7 * Day)
+	if i1 != 4 || i2 != 5 {
+		t.Fatalf("weekday indexes: fri=%d mon=%d", i1, i2)
+	}
+}
+
+func TestWeekdaysNegative(t *testing.T) {
+	// Day -7 is the Monday before the epoch; day -1 is a Sunday.
+	if _, ok := WeekdaysG.GranuleOf(-1 * Day); ok {
+		t.Fatal("day -1 (Sunday) must be uncovered")
+	}
+	i, ok := WeekdaysG.GranuleOf(-7 * Day)
+	if !ok || i != -5 {
+		t.Fatalf("day -7: granule %d,%v want -5,true", i, ok)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	twoDays := Group("TwoDays", Days, 2)
+	i0, _ := twoDays.GranuleOf(0)
+	i1, _ := twoDays.GranuleOf(Day + 5)
+	i2, _ := twoDays.GranuleOf(2 * Day)
+	if i0 != i1 || i1 == i2 {
+		t.Fatalf("grouping wrong: %d %d %d", i0, i1, i2)
+	}
+	start, end, ok := twoDays.Granule(1)
+	if !ok || start != 2*Day || end != 4*Day {
+		t.Fatalf("granule 1 = [%d,%d)", start, end)
+	}
+}
+
+func TestGroupPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	Group("bad", Days, 0)
+}
+
+func TestMonths(t *testing.T) {
+	// Engine time 0 is 2006-01-02, inside month granule 0 (January 2006).
+	i, ok := MonthsG.GranuleOf(0)
+	if !ok || i != 0 {
+		t.Fatalf("GranuleOf(0) = %d,%v", i, ok)
+	}
+	start, end, _ := MonthsG.Granule(0)
+	if ToCivil(start).Month() != time.January || ToCivil(end).Month() != time.February {
+		t.Fatalf("january bounds wrong: %v..%v", ToCivil(start), ToCivil(end))
+	}
+	// February 2008 (leap year) has 29 days.
+	feb08 := int64((2008-2006)*12 + 1)
+	s, e, _ := MonthsG.Granule(feb08)
+	if (e-s)/Day != 29 {
+		t.Fatalf("feb 2008 length = %d days", (e-s)/Day)
+	}
+}
+
+func TestYears(t *testing.T) {
+	i, ok := YearsG.GranuleOf(FromCivil(time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)))
+	if !ok || i != 4 {
+		t.Fatalf("year granule = %d,%v want 4", i, ok)
+	}
+	s, e, _ := YearsG.Granule(2) // 2008, leap
+	if (e-s)/Day != 366 {
+		t.Fatalf("2008 length = %d days", (e-s)/Day)
+	}
+}
+
+func TestSameGranule(t *testing.T) {
+	if !SameGranule(Days, 10, Day-1) {
+		t.Fatal("same day expected")
+	}
+	if SameGranule(Days, 10, Day) {
+		t.Fatal("different days expected")
+	}
+	if SameGranule(WeekdaysG, 5*Day, 5*Day+1) {
+		t.Fatal("weekend instants are uncovered; SameGranule must be false")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"Weekdays", "weekdays", "Weeks", "Days", "Mondays", "Months"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := Lookup("Fortnights"); err == nil {
+		t.Error("expected error for unknown granularity")
+	}
+}
+
+func TestRegisterCustom(t *testing.T) {
+	Register(Group("TwoDays", Days, 2))
+	g, err := Lookup("TwoDays")
+	if err != nil || g.Name() != "TwoDays" {
+		t.Fatalf("custom registration failed: %v", err)
+	}
+}
+
+func TestGranuleRoundTripProperty(t *testing.T) {
+	grans := []Granularity{Hours, Days, Weeks, WeekdaysG, MonthsG, YearsG,
+		DayOfWeek(time.Wednesday), Group("G3D", Days, 3)}
+	f := func(raw int32) bool {
+		tm := int64(raw) // ±2^31 seconds: about 68 years either side
+		for _, g := range grans {
+			i, ok := g.GranuleOf(tm)
+			if !ok {
+				continue
+			}
+			start, end, ok := g.Granule(i)
+			if !ok || tm < start || tm >= end {
+				return false
+			}
+			// The instant just before start must map to a different granule.
+			if j, ok := g.GranuleOf(start - 1); ok && j == i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupOverGappyBase(t *testing.T) {
+	// Pairs of weekdays: granule 0 = Mon+Tue, granule 2 = Fri+next Mon.
+	pairs := Group("WeekdayPairs", WeekdaysG, 2)
+	i0, ok := pairs.GranuleOf(0)
+	if !ok || i0 != 0 {
+		t.Fatalf("monday: %d %v", i0, ok)
+	}
+	i1, _ := pairs.GranuleOf(Day)
+	if i1 != 0 {
+		t.Fatalf("tuesday must share monday's pair: %d", i1)
+	}
+	i2, _ := pairs.GranuleOf(2 * Day)
+	if i2 != 1 {
+		t.Fatalf("wednesday: %d", i2)
+	}
+	if _, ok := pairs.GranuleOf(5 * Day); ok {
+		t.Fatal("saturday stays uncovered through Group")
+	}
+	start, end, ok := pairs.Granule(2) // Fri (granule 4) + Mon (granule 5)
+	if !ok || start != 4*Day || end != 8*Day {
+		t.Fatalf("granule 2 = [%d,%d) ok=%v", start, end, ok)
+	}
+}
+
+func TestRecurrenceWithGroupedGranularity(t *testing.T) {
+	Register(Group("TwoDayBlocks", Days, 2))
+	r, err := ParseRecurrence("2.TwoDayBlocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations on day 0 and day 1 share a block: one granule only.
+	obs := []Observation{{10 * Hour}, {Day + 10*Hour}}
+	if r.Satisfied(obs) {
+		t.Fatal("same block must count once")
+	}
+	obs = append(obs, Observation{2*Day + 10*Hour})
+	if !r.Satisfied(obs) {
+		t.Fatal("two distinct blocks must satisfy")
+	}
+}

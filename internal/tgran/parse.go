@@ -1,0 +1,130 @@
+package tgran
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRecurrence parses the paper's recurrence syntax:
+//
+//	r1.G1 * r2.G2 * ... * rn.Gn
+//
+// e.g. "3.Weekdays * 2.Weeks". The empty string (or "1.") yields the
+// empty recurrence, meaning the sequence may appear just once at any
+// time. Granularity names are resolved through the package registry.
+func ParseRecurrence(s string) (Recurrence, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "1." {
+		return Recurrence{}, nil
+	}
+	var rec Recurrence
+	for _, part := range strings.Split(s, "*") {
+		part = strings.TrimSpace(part)
+		dot := strings.Index(part, ".")
+		if dot < 0 {
+			return Recurrence{}, fmt.Errorf("tgran: term %q lacks the r.G form", part)
+		}
+		r, err := strconv.ParseInt(strings.TrimSpace(part[:dot]), 10, 64)
+		if err != nil {
+			return Recurrence{}, fmt.Errorf("tgran: bad repetition count in %q: %v", part, err)
+		}
+		if r <= 0 {
+			return Recurrence{}, fmt.Errorf("tgran: non-positive repetition count in %q", part)
+		}
+		name := strings.TrimSpace(part[dot+1:])
+		g, err := Lookup(name)
+		if err != nil {
+			return Recurrence{}, err
+		}
+		rec.Terms = append(rec.Terms, Term{R: r, G: g})
+	}
+	return rec, nil
+}
+
+// ParseTimeOfDay parses a time-of-day string into a second-of-day
+// offset. Accepted forms: "7am", "12pm", "7:30am", "16:00", "16:00:30",
+// "0700". Midnight is "12am" or "0:00"; noon is "12pm" or "12:00".
+func ParseTimeOfDay(s string) (int64, error) {
+	orig := s
+	s = strings.ToLower(strings.TrimSpace(s))
+	var meridiem int64 = -1 // -1: 24h clock, 0: am, 12: pm
+	if strings.HasSuffix(s, "am") {
+		meridiem = 0
+		s = strings.TrimSpace(strings.TrimSuffix(s, "am"))
+	} else if strings.HasSuffix(s, "pm") {
+		meridiem = 12
+		s = strings.TrimSpace(strings.TrimSuffix(s, "pm"))
+	}
+	if s == "" {
+		return 0, fmt.Errorf("tgran: empty time of day %q", orig)
+	}
+
+	var h, m, sec int64
+	var err error
+	switch parts := strings.Split(s, ":"); len(parts) {
+	case 1:
+		if meridiem == -1 && len(parts[0]) == 4 { // military "0700"
+			h, err = strconv.ParseInt(parts[0][:2], 10, 64)
+			if err == nil {
+				m, err = strconv.ParseInt(parts[0][2:], 10, 64)
+			}
+		} else {
+			h, err = strconv.ParseInt(parts[0], 10, 64)
+		}
+	case 2:
+		h, err = strconv.ParseInt(parts[0], 10, 64)
+		if err == nil {
+			m, err = strconv.ParseInt(parts[1], 10, 64)
+		}
+	case 3:
+		h, err = strconv.ParseInt(parts[0], 10, 64)
+		if err == nil {
+			m, err = strconv.ParseInt(parts[1], 10, 64)
+		}
+		if err == nil {
+			sec, err = strconv.ParseInt(parts[2], 10, 64)
+		}
+	default:
+		return 0, fmt.Errorf("tgran: malformed time of day %q", orig)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("tgran: malformed time of day %q: %v", orig, err)
+	}
+
+	if meridiem >= 0 {
+		if h < 1 || h > 12 {
+			return 0, fmt.Errorf("tgran: 12-hour clock hour out of range in %q", orig)
+		}
+		h %= 12 // 12am -> 0, 12pm -> 0 (+12 below)
+		h += meridiem
+	}
+	if h < 0 || h > 23 || m < 0 || m > 59 || sec < 0 || sec > 59 {
+		return 0, fmt.Errorf("tgran: time of day out of range in %q", orig)
+	}
+	return h*Hour + m*Minute + sec, nil
+}
+
+// ParseUInterval parses "[7am,9am]" or "7am-9am" style daily windows.
+func ParseUInterval(s string) (UInterval, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	var a, b string
+	if i := strings.Index(s, ","); i >= 0 {
+		a, b = s[:i], s[i+1:]
+	} else if i := strings.Index(s, "-"); i >= 0 {
+		a, b = s[:i], s[i+1:]
+	} else {
+		return UInterval{}, fmt.Errorf("tgran: malformed unanchored interval %q", s)
+	}
+	start, err := ParseTimeOfDay(a)
+	if err != nil {
+		return UInterval{}, err
+	}
+	end, err := ParseTimeOfDay(b)
+	if err != nil {
+		return UInterval{}, err
+	}
+	return NewUInterval(start, end), nil
+}

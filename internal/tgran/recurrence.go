@@ -1,0 +1,184 @@
+package tgran
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is one r.G factor of a recurrence formula.
+type Term struct {
+	R int64
+	G Granularity
+}
+
+func (t Term) String() string { return fmt.Sprintf("%d.%s", t.R, t.G.Name()) }
+
+// Recurrence is the temporal part of an LBQID (paper Def. 1):
+//
+//	r1.G1 * r2.G2 * ... * rn.Gn
+//
+// Semantics (paper §4): each complete observation of the LBQID element
+// sequence must fall within a single granule of G1; there must be at
+// least r1 distinct G1 granules so covered, all within one granule of
+// G2; at least r2 such G2 granules, all within one granule of G3; and so
+// on. A trailing 1.Gn is implicit, so the topmost level needs no
+// enclosing granule. An empty recurrence is equivalent to "1." — the
+// sequence may appear just once at any time.
+type Recurrence struct {
+	Terms []Term
+}
+
+// String renders the formula in the paper's syntax.
+func (r Recurrence) String() string {
+	if len(r.Terms) == 0 {
+		return "1."
+	}
+	parts := make([]string, len(r.Terms))
+	for i, t := range r.Terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " * ")
+}
+
+// Validate reports structural errors: non-positive repetition counts or
+// nil granularities.
+func (r Recurrence) Validate() error {
+	for i, t := range r.Terms {
+		if t.R <= 0 {
+			return fmt.Errorf("tgran: term %d has non-positive count %d", i, t.R)
+		}
+		if t.G == nil {
+			return fmt.Errorf("tgran: term %d has nil granularity", i)
+		}
+	}
+	return nil
+}
+
+// Observation is the timestamps of one complete pass through an LBQID
+// element sequence, in request order.
+type Observation []int64
+
+// Satisfied reports whether the set of observations satisfies the
+// recurrence formula.
+//
+// An observation is valid when all its instants lie in a single granule
+// of the first term's granularity (with an empty formula, any non-empty
+// observation is valid and one suffices). Validity then cascades up the
+// terms: level-i granules count when they contain at least r_{i-1}
+// counted granules of level i-1.
+func (r Recurrence) Satisfied(obs []Observation) bool {
+	if len(r.Terms) == 0 {
+		for _, o := range obs {
+			if len(o) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	g1 := r.Terms[0].G
+	// Collect the distinct G1 granules that fully contain an observation.
+	level := map[int64]bool{}
+	for _, o := range obs {
+		if idx, ok := observationGranule(g1, o); ok {
+			level[idx] = true
+		}
+	}
+
+	for i := 0; i < len(r.Terms); i++ {
+		need := r.Terms[i].R
+		if int64(len(level)) < need {
+			return false
+		}
+		if i == len(r.Terms)-1 {
+			// Implicit trailing 1.Top: no enclosing granule required.
+			return true
+		}
+		// Group the counted level-i granules by the enclosing granule of
+		// the next term, keeping groups that reach the required count.
+		lower := r.Terms[i].G
+		upper := r.Terms[i+1].G
+		counts := map[int64]int64{}
+		for idx := range level {
+			start, _, ok := lower.Granule(idx)
+			if !ok {
+				continue
+			}
+			up, ok := upper.GranuleOf(start)
+			if !ok {
+				continue
+			}
+			// The lower granule must lie entirely within the upper one for
+			// the containment semantics to hold.
+			_, lend, _ := lower.Granule(idx)
+			ustart, uend, _ := upper.Granule(up)
+			if start < ustart || lend > uend {
+				continue
+			}
+			counts[up]++
+		}
+		next := map[int64]bool{}
+		for up, c := range counts {
+			if c >= need {
+				next[up] = true
+			}
+		}
+		level = next
+	}
+	return false
+}
+
+// Progress returns how far the observations have advanced through the
+// formula: the number of leading terms whose requirement is already met
+// (len(r.Terms) means fully satisfied). It lets callers report partial
+// LBQID exposure.
+func (r Recurrence) Progress(obs []Observation) int {
+	if len(r.Terms) == 0 {
+		if r.Satisfied(obs) {
+			return 0
+		}
+		return 0
+	}
+	for i := len(r.Terms); i >= 1; i-- {
+		if (Recurrence{Terms: r.Terms[:i]}).Satisfied(obs) {
+			return i
+		}
+	}
+	return 0
+}
+
+// observationGranule returns the index of the g granule containing every
+// instant of o, or ok=false when o is empty, spans granules, or touches
+// uncovered instants.
+func observationGranule(g Granularity, o Observation) (int64, bool) {
+	if len(o) == 0 {
+		return 0, false
+	}
+	idx, ok := g.GranuleOf(o[0])
+	if !ok {
+		return 0, false
+	}
+	for _, t := range o[1:] {
+		j, ok := g.GranuleOf(t)
+		if !ok || j != idx {
+			return 0, false
+		}
+	}
+	return idx, true
+}
+
+// CompatibleWithSequence reports whether an in-progress observation with
+// the given instants could still be completed: the instants must be
+// non-decreasing and share a granule of the innermost granularity.
+// With an empty formula only the ordering is required.
+func (r Recurrence) CompatibleWithSequence(times []int64) bool {
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		return false
+	}
+	if len(r.Terms) == 0 || len(times) == 0 {
+		return true
+	}
+	_, ok := observationGranule(r.Terms[0].G, times)
+	return ok
+}

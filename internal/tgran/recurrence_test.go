@@ -1,0 +1,204 @@
+package tgran
+
+import (
+	"testing"
+)
+
+// at builds an engine instant from week, day-of-week (0=Mon) and hour.
+func at(week, dow, hour int64) int64 { return week*Week + dow*Day + hour*Hour }
+
+// obsAt builds a same-instant observation (single request).
+func obsAt(t int64) Observation { return Observation{t} }
+
+func mustRec(t *testing.T, s string) Recurrence {
+	t.Helper()
+	r, err := ParseRecurrence(s)
+	if err != nil {
+		t.Fatalf("ParseRecurrence(%q): %v", s, err)
+	}
+	return r
+}
+
+func TestEmptyRecurrence(t *testing.T) {
+	r := Recurrence{}
+	if r.Satisfied(nil) {
+		t.Fatal("no observations must not satisfy")
+	}
+	if !r.Satisfied([]Observation{obsAt(42)}) {
+		t.Fatal("a single observation satisfies the empty formula")
+	}
+	if r.Satisfied([]Observation{{}}) {
+		t.Fatal("an empty observation must not satisfy")
+	}
+}
+
+func TestPaperExample2(t *testing.T) {
+	// "3.Weekdays * 2.Weeks": each observation within one weekday granule,
+	// >=3 distinct weekdays in one week, for >=2 weeks.
+	r := mustRec(t, "3.Weekdays * 2.Weeks")
+
+	// A commute observation: morning + evening requests the same day.
+	commute := func(week, dow int64) Observation {
+		return Observation{at(week, dow, 7), at(week, dow, 8), at(week, dow, 16), at(week, dow, 18)}
+	}
+
+	var obs []Observation
+	// Week 0: Mon, Tue, Wed. Week 1: Mon, Thu only (2 days).
+	obs = append(obs, commute(0, 0), commute(0, 1), commute(0, 2))
+	obs = append(obs, commute(1, 0), commute(1, 3))
+	if r.Satisfied(obs) {
+		t.Fatal("one full week + one 2-day week must not satisfy")
+	}
+	// Add Friday of week 1: now two complete weeks.
+	obs = append(obs, commute(1, 4))
+	if !r.Satisfied(obs) {
+		t.Fatal("two weeks with 3 weekdays each must satisfy")
+	}
+}
+
+func TestObservationSpanningDaysInvalid(t *testing.T) {
+	r := mustRec(t, "1.Weekdays")
+	// Observation straddling midnight: not within a single weekday granule.
+	spanning := Observation{at(0, 0, 23), at(0, 1, 1)}
+	if r.Satisfied([]Observation{spanning}) {
+		t.Fatal("observation spanning two days must not count")
+	}
+	if !r.Satisfied([]Observation{obsAt(at(0, 0, 9))}) {
+		t.Fatal("single-day observation must count")
+	}
+}
+
+func TestWeekendObservationsUncovered(t *testing.T) {
+	r := mustRec(t, "1.Weekdays")
+	// Saturday request: Weekdays has no granule there.
+	if r.Satisfied([]Observation{obsAt(at(0, 5, 10))}) {
+		t.Fatal("weekend observation must not count for Weekdays")
+	}
+}
+
+func TestSameDayObservationsCountOnce(t *testing.T) {
+	// Distinct-granule semantics: two observations on the same day count
+	// as one weekday.
+	r := mustRec(t, "2.Weekdays")
+	obs := []Observation{obsAt(at(0, 0, 9)), obsAt(at(0, 0, 17))}
+	if r.Satisfied(obs) {
+		t.Fatal("two same-day observations are one weekday granule")
+	}
+	obs = append(obs, obsAt(at(0, 1, 9)))
+	if !r.Satisfied(obs) {
+		t.Fatal("two distinct weekdays must satisfy")
+	}
+}
+
+func TestThreeLevelFormula(t *testing.T) {
+	r := mustRec(t, "2.Days * 2.Weeks * 2.Months")
+	var obs []Observation
+	// January 2006: weeks 0 and 1, two days each.
+	for _, d := range []int64{0, 1, 7, 8} {
+		obs = append(obs, obsAt(d*Day+10*Hour))
+	}
+	if r.Satisfied(obs) {
+		t.Fatal("one qualifying month must not satisfy 2.Months")
+	}
+	// March 2006 (engine days 58..): add two more qualifying weeks.
+	// 2006-03-06 is a Monday: engine day 63 (9 weeks after epoch).
+	for _, d := range []int64{63, 64, 70, 71} {
+		obs = append(obs, obsAt(d*Day+10*Hour))
+	}
+	if !r.Satisfied(obs) {
+		t.Fatal("two qualifying months must satisfy")
+	}
+}
+
+func TestWeekNotWithinMonthExcluded(t *testing.T) {
+	// A week straddling a month boundary must not count toward x.Months
+	// levels because the lower granule is not contained in the upper one.
+	r := mustRec(t, "1.Weeks * 1.Months")
+	// Engine week 4 starts Mon 2006-01-30 and ends in February.
+	obs := []Observation{obsAt(at(4, 0, 10))}
+	if r.Satisfied(obs) {
+		t.Fatal("straddling week must not be contained in any month")
+	}
+	// Week 1 (Jan 9-15) lies fully in January.
+	if !r.Satisfied([]Observation{obsAt(at(1, 0, 10))}) {
+		t.Fatal("contained week must satisfy")
+	}
+}
+
+func TestProgress(t *testing.T) {
+	r := mustRec(t, "3.Weekdays * 2.Weeks")
+	var obs []Observation
+	if got := r.Progress(obs); got != 0 {
+		t.Fatalf("empty progress = %d", got)
+	}
+	obs = append(obs, obsAt(at(0, 0, 9)), obsAt(at(0, 1, 9)), obsAt(at(0, 2, 9)))
+	if got := r.Progress(obs); got != 1 {
+		t.Fatalf("one full week: progress = %d want 1", got)
+	}
+	obs = append(obs, obsAt(at(1, 0, 9)), obsAt(at(1, 1, 9)), obsAt(at(1, 2, 9)))
+	if got := r.Progress(obs); got != 2 {
+		t.Fatalf("two full weeks: progress = %d want 2", got)
+	}
+	if !r.Satisfied(obs) {
+		t.Fatal("progress==len(terms) must imply satisfied")
+	}
+}
+
+func TestCompatibleWithSequence(t *testing.T) {
+	r := mustRec(t, "3.Weekdays * 2.Weeks")
+	if !r.CompatibleWithSequence([]int64{at(0, 0, 7), at(0, 0, 8)}) {
+		t.Fatal("same-day increasing times must be compatible")
+	}
+	if r.CompatibleWithSequence([]int64{at(0, 0, 8), at(0, 0, 7)}) {
+		t.Fatal("decreasing times must be incompatible")
+	}
+	if r.CompatibleWithSequence([]int64{at(0, 0, 7), at(0, 1, 8)}) {
+		t.Fatal("cross-day partial observation must be incompatible")
+	}
+	if !(Recurrence{}).CompatibleWithSequence([]int64{1, 2, 3}) {
+		t.Fatal("empty formula only requires ordering")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Recurrence{Terms: []Term{{R: 0, G: Days}}}
+	if bad.Validate() == nil {
+		t.Fatal("zero count must fail validation")
+	}
+	bad = Recurrence{Terms: []Term{{R: 1, G: nil}}}
+	if bad.Validate() == nil {
+		t.Fatal("nil granularity must fail validation")
+	}
+	good := Recurrence{Terms: []Term{{R: 2, G: Days}, {R: 3, G: Weeks}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRecurrenceString(t *testing.T) {
+	r := mustRec(t, "3.Weekdays * 2.Weeks")
+	if got := r.String(); got != "3.Weekdays * 2.Weeks" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Recurrence{}).String(); got != "1." {
+		t.Fatalf("empty String() = %q", got)
+	}
+}
+
+func TestParseRecurrenceErrors(t *testing.T) {
+	for _, s := range []string{"Weekdays", "x.Weekdays", "0.Weekdays", "-2.Days", "3.Nope", "3.Weekdays * "} {
+		if _, err := ParseRecurrence(s); err == nil {
+			t.Errorf("ParseRecurrence(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseRecurrenceRoundTrip(t *testing.T) {
+	for _, s := range []string{"3.Weekdays * 2.Weeks", "1.Days", "2.Mondays * 3.Months"} {
+		r := mustRec(t, s)
+		r2 := mustRec(t, r.String())
+		if r.String() != r2.String() {
+			t.Errorf("round trip changed %q -> %q", s, r2.String())
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package tgran
+
+import "fmt"
+
+// UInterval is an unanchored time interval (paper Def. 1): a recurring
+// daily window such as [7am, 9am]. It denotes the infinite set of
+// anchored intervals obtained by instantiating the window in every
+// granule of its period (a day by default).
+//
+// Start and End are offsets in seconds from the beginning of the period.
+// A window may wrap around the period boundary (Start > End), e.g.
+// [11pm, 1am].
+type UInterval struct {
+	Start, End int64 // offsets within the period, inclusive
+	Period     int64 // period length; 0 means Day
+}
+
+// NewUInterval returns a daily unanchored interval with the given
+// second-of-day offsets.
+func NewUInterval(start, end int64) UInterval {
+	return UInterval{Start: start, End: end, Period: Day}
+}
+
+func (u UInterval) period() int64 {
+	if u.Period == 0 {
+		return Day
+	}
+	return u.Period
+}
+
+// Validate reports offsets outside [0, period).
+func (u UInterval) Validate() error {
+	p := u.period()
+	if p <= 0 {
+		return fmt.Errorf("tgran: non-positive period %d", p)
+	}
+	if u.Start < 0 || u.Start >= p || u.End < 0 || u.End >= p {
+		return fmt.Errorf("tgran: offsets [%d,%d] outside period %d", u.Start, u.End, p)
+	}
+	return nil
+}
+
+// Contains reports whether the instant t falls inside one of the
+// anchored instantiations of the window.
+func (u UInterval) Contains(t int64) bool {
+	p := u.period()
+	off := mod64(t, p)
+	if u.Start <= u.End {
+		return off >= u.Start && off <= u.End
+	}
+	// Wrapping window.
+	return off >= u.Start || off <= u.End
+}
+
+// Anchor returns the anchored instance of the window that contains t.
+// ok is false when t is outside every instance.
+func (u UInterval) Anchor(t int64) (start, end int64, ok bool) {
+	if !u.Contains(t) {
+		return 0, 0, false
+	}
+	p := u.period()
+	base := t - mod64(t, p)
+	if u.Start <= u.End {
+		return base + u.Start, base + u.End, true
+	}
+	// Wrapping: the instance containing t starts either this period or
+	// the previous one.
+	if mod64(t, p) >= u.Start {
+		return base + u.Start, base + p + u.End, true
+	}
+	return base - p + u.Start, base + u.End, true
+}
+
+// Duration returns the window length in seconds.
+func (u UInterval) Duration() int64 {
+	if u.Start <= u.End {
+		return u.End - u.Start
+	}
+	return u.period() - u.Start + u.End
+}
+
+// NextStart returns the start of the first instance beginning at or
+// after t.
+func (u UInterval) NextStart(t int64) int64 {
+	p := u.period()
+	base := t - mod64(t, p)
+	s := base + u.Start
+	if s < t {
+		s += p
+	}
+	return s
+}
+
+func (u UInterval) String() string {
+	return fmt.Sprintf("[%s,%s]", formatOffset(u.Start), formatOffset(u.End))
+}
+
+func formatOffset(s int64) string {
+	h := s / Hour
+	m := (s % Hour) / Minute
+	sec := s % Minute
+	if sec != 0 {
+		return fmt.Sprintf("%02d:%02d:%02d", h, m, sec)
+	}
+	return fmt.Sprintf("%02d:%02d", h, m)
+}

@@ -1,0 +1,157 @@
+package tgran
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUIntervalContains(t *testing.T) {
+	u := NewUInterval(7*Hour, 9*Hour)
+	cases := []struct {
+		t    int64
+		want bool
+	}{
+		{7 * Hour, true},
+		{8 * Hour, true},
+		{9 * Hour, true},
+		{9*Hour + 1, false},
+		{6*Hour + 3599, false},
+		{Day + 8*Hour, true},     // next day, same window
+		{-Day + 8*Hour, true},    // day before epoch
+		{5*Day + 8*Hour, true},   // window recurs on weekends too
+		{3*Day + 12*Hour, false}, // noon
+	}
+	for _, c := range cases {
+		if got := u.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d)=%v want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestUIntervalWrap(t *testing.T) {
+	u := NewUInterval(23*Hour, 1*Hour) // [11pm, 1am]
+	if !u.Contains(23*Hour + 30*Minute) {
+		t.Fatal("23:30 must be inside")
+	}
+	if !u.Contains(Day + 30*Minute) {
+		t.Fatal("00:30 next day must be inside")
+	}
+	if u.Contains(12 * Hour) {
+		t.Fatal("noon must be outside")
+	}
+	if got := u.Duration(); got != 2*Hour {
+		t.Fatalf("Duration=%d want %d", got, 2*Hour)
+	}
+	// Anchor of an after-midnight instant points back to the previous day.
+	s, e, ok := u.Anchor(Day + 30*Minute)
+	if !ok || s != 23*Hour || e != Day+Hour {
+		t.Fatalf("Anchor=[%d,%d] ok=%v", s, e, ok)
+	}
+}
+
+func TestUIntervalAnchor(t *testing.T) {
+	u := NewUInterval(7*Hour, 9*Hour)
+	s, e, ok := u.Anchor(3*Day + 8*Hour)
+	if !ok || s != 3*Day+7*Hour || e != 3*Day+9*Hour {
+		t.Fatalf("Anchor=[%d,%d] ok=%v", s, e, ok)
+	}
+	if _, _, ok := u.Anchor(3 * Day); ok {
+		t.Fatal("midnight is outside [7am,9am]")
+	}
+}
+
+func TestUIntervalAnchorProperty(t *testing.T) {
+	f := func(startH, endH uint8, raw int32) bool {
+		u := NewUInterval(int64(startH%24)*Hour, int64(endH%24)*Hour)
+		tm := int64(raw) * 131
+		if !u.Contains(tm) {
+			_, _, ok := u.Anchor(tm)
+			return !ok
+		}
+		s, e, ok := u.Anchor(tm)
+		return ok && s <= tm && tm <= e && e-s == u.Duration()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUIntervalNextStart(t *testing.T) {
+	u := NewUInterval(7*Hour, 9*Hour)
+	if got := u.NextStart(0); got != 7*Hour {
+		t.Fatalf("NextStart(0)=%d", got)
+	}
+	if got := u.NextStart(8 * Hour); got != Day+7*Hour {
+		t.Fatalf("NextStart(8h)=%d", got)
+	}
+	if got := u.NextStart(7 * Hour); got != 7*Hour {
+		t.Fatalf("NextStart at the boundary=%d", got)
+	}
+}
+
+func TestUIntervalValidate(t *testing.T) {
+	if err := NewUInterval(7*Hour, 9*Hour).Validate(); err != nil {
+		t.Fatalf("valid interval rejected: %v", err)
+	}
+	if err := NewUInterval(-1, 9*Hour).Validate(); err == nil {
+		t.Fatal("negative offset must fail")
+	}
+	if err := NewUInterval(0, Day).Validate(); err == nil {
+		t.Fatal("offset == period must fail")
+	}
+	if err := (UInterval{Start: 0, End: 1, Period: -5}).Validate(); err == nil {
+		t.Fatal("negative period must fail")
+	}
+}
+
+func TestParseTimeOfDay(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"7am", 7 * Hour},
+		{"12am", 0},
+		{"12pm", 12 * Hour},
+		{"7pm", 19 * Hour},
+		{"7:30am", 7*Hour + 30*Minute},
+		{"16:00", 16 * Hour},
+		{"16:05:30", 16*Hour + 5*Minute + 30},
+		{"0700", 7 * Hour},
+		{" 9 PM ", 21 * Hour},
+		{"23:59", 23*Hour + 59*Minute},
+	}
+	for _, c := range cases {
+		got, err := ParseTimeOfDay(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseTimeOfDay(%q)=%d,%v want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "25:00", "13pm", "0am", "7:60", "x", "7:1:2:3"} {
+		if _, err := ParseTimeOfDay(bad); err == nil {
+			t.Errorf("ParseTimeOfDay(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseUInterval(t *testing.T) {
+	u, err := ParseUInterval("[7am,9am]")
+	if err != nil || u.Start != 7*Hour || u.End != 9*Hour {
+		t.Fatalf("ParseUInterval: %+v, %v", u, err)
+	}
+	u, err = ParseUInterval("16:00-18:30")
+	if err != nil || u.Start != 16*Hour || u.End != 18*Hour+30*Minute {
+		t.Fatalf("ParseUInterval dash form: %+v, %v", u, err)
+	}
+	if _, err := ParseUInterval("7am"); err == nil {
+		t.Fatal("expected error for missing separator")
+	}
+	if _, err := ParseUInterval("[7am,junk]"); err == nil {
+		t.Fatal("expected error for bad end time")
+	}
+}
+
+func TestUIntervalString(t *testing.T) {
+	if got := NewUInterval(7*Hour, 9*Hour+30*Minute).String(); got != "[07:00,09:30]" {
+		t.Fatalf("String=%q", got)
+	}
+}

@@ -1,0 +1,693 @@
+// Package ts implements the Trusted Server of the paper's service model
+// (§3) and its privacy-preservation strategy (§6.1):
+//
+//  1. Every incoming request is monitored against the user's LBQIDs.
+//     Requests that match the first element of a pattern, or extend a
+//     partially matched one, are generalized with Algorithm 1 before
+//     being forwarded (package generalize).
+//  2. When generalization fails — historical k-anonymity can no longer
+//     be preserved within the service's tolerance constraints — the TS
+//     tries to unlink future requests from past ones by rotating the
+//     user's pseudonym inside a mix zone (package mixzone), resetting
+//     all partially matched patterns. If unlinking is impossible the
+//     user is flagged "at risk" and, per policy, notified or cut off.
+//
+// Witness persistence: Definition 8 quantifies over *all* requests of
+// the user matching an LBQID, across recurrence rounds. The TS therefore
+// keeps one generalization session per (user, LBQID) exposure: the
+// witness set is chosen at the first matched element and only narrowed
+// afterwards, so every forwarded box of the exposure is LT-consistent
+// with each surviving witness. The session dies with the exposure (on
+// pseudonym rotation).
+package ts
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"histanon/internal/generalize"
+	"histanon/internal/geo"
+	"histanon/internal/lbqid"
+	"histanon/internal/link"
+	"histanon/internal/metrics"
+	"histanon/internal/mixzone"
+	"histanon/internal/phl"
+	"histanon/internal/pseudonym"
+	"histanon/internal/stindex"
+	"histanon/internal/wire"
+)
+
+// Level is the qualitative privacy degree of the paper's simplified user
+// interface: "low, medium, high".
+type Level int
+
+// The qualitative privacy levels.
+const (
+	Low Level = iota
+	Medium
+	High
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Policy is the quantitative translation of a user's privacy
+// preferences: the anonymity value k, the linkability threshold Θ and
+// the k′-decay schedule of §6.2.
+type Policy struct {
+	// K is the historical anonymity value to preserve.
+	K int
+	// Theta is the linkability likelihood above which two requests are
+	// considered linked by an attacker.
+	Theta float64
+	// Decay over-provisions witnesses at the start of a trace; zero
+	// values mean no over-provisioning.
+	Decay generalize.DecaySchedule
+	// SuppressAtRisk cuts service off (rather than merely flagging) when
+	// the user is at risk of identification.
+	SuppressAtRisk bool
+}
+
+// PolicyForLevel translates the qualitative degrees of concern into
+// concrete parameters (the TS performs this translation in §3).
+func PolicyForLevel(l Level) Policy {
+	switch l {
+	case Low:
+		return Policy{K: 2, Theta: 0.8}
+	case Medium:
+		return Policy{K: 5, Theta: 0.5,
+			Decay: generalize.DecaySchedule{Target: 5, Initial: 8, Step: 1}}
+	default: // High
+		return Policy{K: 10, Theta: 0.3,
+			Decay:          generalize.DecaySchedule{Target: 10, Initial: 16, Step: 2},
+			SuppressAtRisk: true}
+	}
+}
+
+// ServiceSpec describes one location-based service's tolerance
+// constraints (§6.1): the coarsest resolution at which it is still
+// useful.
+type ServiceSpec struct {
+	Name      string
+	Tolerance generalize.Tolerance
+}
+
+// Outbox receives the requests the TS forwards; in experiments it is the
+// (possibly adversarial) service provider.
+type Outbox interface {
+	Deliver(req *wire.Request)
+}
+
+// PolicyResolver chooses a per-request policy from the request context —
+// the "more involved rule-based policy specifications" of §3. The
+// internal/policy package provides a rule-language implementation.
+type PolicyResolver interface {
+	Resolve(service string, p geo.STPoint) Policy
+}
+
+// OutboxFunc adapts a function to the Outbox interface.
+type OutboxFunc func(req *wire.Request)
+
+// Deliver implements Outbox.
+func (f OutboxFunc) Deliver(req *wire.Request) { f(req) }
+
+// Config assembles a trusted server.
+type Config struct {
+	// Metric is the 3D metric of Algorithm 1.
+	Metric geo.STMetric
+	// GridCell and GridBucket size the spatio-temporal index
+	// (meters / seconds). Zero means 500 m / 900 s.
+	GridCell   float64
+	GridBucket int64
+	// Services maps service names to their tolerance constraints.
+	// Unknown services get unlimited tolerance.
+	Services map[string]ServiceSpec
+	// StaticZones are the deployment area's natural mix zones.
+	StaticZones *mixzone.Registry
+	// OnDemand configures on-demand mix-zone planning.
+	OnDemand mixzone.OnDemand
+	// DefaultPolicy applies to users registered without an explicit
+	// policy. Zero means PolicyForLevel(Medium).
+	DefaultPolicy Policy
+	// Policies, when non-nil, overrides the per-user policy on every
+	// request (rule-based policies). A user's registered policy remains
+	// the fallback for resolvers returning a zero policy.
+	Policies PolicyResolver
+	// RandomizeSeed, when non-zero, enables the §7 randomization defense:
+	// every generalized box is padded by bounded random amounts so its
+	// edges do not betray exact sample positions. The seed makes runs
+	// reproducible.
+	RandomizeSeed int64
+	// Tracker is the replicated attacker model (§5.2: "we assume the TS
+	// can replicate the techniques used by a possible attacker") used to
+	// size quiet windows against the policy's Θ. The zero value uses the
+	// tracking defaults.
+	Tracker link.Tracking
+	// WitnessSamples > 1 hardens boxes against density-weighted
+	// (Bayesian) attackers: every witness contributes that many samples
+	// to each box instead of one. See generalize.Generalizer and
+	// experiment E14.
+	WitnessSamples int
+}
+
+// Decision reports what the TS did with one request.
+type Decision struct {
+	// Forwarded is true when the request reached the service provider.
+	Forwarded bool
+	// Request is the forwarded form (nil when suppressed).
+	Request *wire.Request
+	// MatchedLBQID names the pattern the request matched, if any.
+	MatchedLBQID string
+	// Generalized is true when Algorithm 1 ran on this request.
+	Generalized bool
+	// HKAnonymity is Algorithm 1's verdict (true also for requests that
+	// needed no generalization).
+	HKAnonymity bool
+	// Unlinked is true when this request triggered a pseudonym rotation.
+	Unlinked bool
+	// AtRisk is true when generalization failed and unlinking was not
+	// possible: the user should be warned (paper §6.1 step 2).
+	AtRisk bool
+	// Suppressed is true when the request was withheld (inside an active
+	// on-demand mix zone, or at-risk under a suppressing policy).
+	Suppressed bool
+	// QIDExposed is true when a full LBQID (sequence and recurrence) has
+	// been matched under the current pseudonym: the quasi-identifier has
+	// been released to the SP.
+	QIDExposed bool
+}
+
+// userState is the per-user bookkeeping.
+type userState struct {
+	policy   Policy
+	patterns []*lbqid.LBQID
+	matchers []*lbqid.Matcher
+	sessions map[int]*generalize.Session // by pattern index
+	plan     *mixzone.Plan               // active on-demand zone, if any
+	atRisk   bool
+	lastSeen geo.STPoint
+}
+
+// Server is the trusted server. It is safe for concurrent use.
+type Server struct {
+	cfg   Config
+	out   Outbox
+	store *phl.Store
+	index stindex.Index
+	pseud *pseudonym.Manager
+	// gen is shared by all generalization sessions; its optional
+	// randomizer is guarded by mu (all generalization runs under it).
+	gen *generalize.Generalizer
+
+	mu       sync.Mutex
+	users    map[phl.UserID]*userState
+	nextID   wire.MsgID
+	notifier Notifier
+
+	// Response routing has its own lock: the SP may call DeliverResponse
+	// synchronously from inside Deliver, i.e. while Request still holds
+	// mu.
+	respMu  sync.Mutex
+	routes  map[wire.MsgID]phl.UserID
+	inboxes map[phl.UserID]Inbox
+
+	// Counters: requests, forwarded, generalized, hk_failures,
+	// unlinkings, at_risk, suppressed, exposures.
+	Counters *metrics.Counters
+	// AreaM2 and IntervalS summarize the resolution of forwarded
+	// generalized requests.
+	AreaM2    *metrics.Summary
+	IntervalS *metrics.Summary
+}
+
+// New returns a trusted server delivering to out.
+func New(cfg Config, out Outbox) *Server {
+	if cfg.GridCell == 0 {
+		cfg.GridCell = 500
+	}
+	if cfg.GridBucket == 0 {
+		cfg.GridBucket = 900
+	}
+	if cfg.DefaultPolicy.K == 0 {
+		cfg.DefaultPolicy = PolicyForLevel(Medium)
+	}
+	if cfg.StaticZones == nil {
+		cfg.StaticZones = mixzone.NewRegistry()
+	}
+	s := &Server{
+		cfg:       cfg,
+		out:       out,
+		store:     phl.NewStore(),
+		index:     stindex.NewGrid(cfg.GridCell, cfg.GridBucket),
+		pseud:     pseudonym.NewManager(),
+		users:     make(map[phl.UserID]*userState),
+		routes:    make(map[wire.MsgID]phl.UserID),
+		inboxes:   make(map[phl.UserID]Inbox),
+		Counters:  metrics.NewCounters(),
+		AreaM2:    &metrics.Summary{},
+		IntervalS: &metrics.Summary{},
+	}
+	s.gen = &generalize.Generalizer{
+		Index:  s.index,
+		Store:  s.store,
+		Metric: cfg.Metric,
+	}
+	if cfg.RandomizeSeed != 0 {
+		s.gen.Randomize = generalize.NewRandomizer(cfg.RandomizeSeed)
+	}
+	s.gen.WitnessSamples = cfg.WitnessSamples
+	return s
+}
+
+// Store exposes the PHL database (read-only use expected).
+func (s *Server) Store() *phl.Store { return s.store }
+
+// Pseudonyms exposes the pseudonym manager, which only the TS holds
+// (experiments use it as the re-identification ground truth).
+func (s *Server) Pseudonyms() *pseudonym.Manager { return s.pseud }
+
+// RegisterUser sets the user's privacy policy. Users not registered get
+// the default policy on first contact.
+func (s *Server) RegisterUser(u phl.UserID, p Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(u)
+	st.policy = p
+}
+
+// AddLBQID attaches a quasi-identifier specification to the user. The TS
+// "has access to the location-based quasi-identifier specifications"
+// (§3); deriving them is outside the paper's (and this library's) scope.
+func (s *Server) AddLBQID(u phl.UserID, q *lbqid.LBQID) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(u)
+	st.patterns = append(st.patterns, q)
+	st.matchers = append(st.matchers, lbqid.NewMatcher(q))
+	return nil
+}
+
+// AddLBQIDSpec parses a definition in the lbqid block format and
+// attaches every pattern it contains.
+func (s *Server) AddLBQIDSpec(u phl.UserID, def string) error {
+	qs, err := lbqid.ParseString(def)
+	if err != nil {
+		return err
+	}
+	for _, q := range qs {
+		if err := s.AddLBQID(u, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordLocation ingests a location update that carries no service
+// request (the PHL holds those too — Def. 6 explicitly includes them).
+func (s *Server) RecordLocation(u phl.UserID, p geo.STPoint) {
+	s.store.Record(u, p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index.Insert(u, p)
+	s.state(u).lastSeen = p
+}
+
+// state returns (creating if needed) the user's bookkeeping. Callers
+// hold s.mu.
+func (s *Server) state(u phl.UserID) *userState {
+	st, ok := s.users[u]
+	if !ok {
+		st = &userState{
+			policy:   s.cfg.DefaultPolicy,
+			sessions: make(map[int]*generalize.Session),
+		}
+		s.users[u] = st
+	}
+	return st
+}
+
+// tolerance returns the service's constraints.
+func (s *Server) tolerance(service string) generalize.Tolerance {
+	if spec, ok := s.cfg.Services[service]; ok {
+		return spec.Tolerance
+	}
+	return generalize.Unlimited
+}
+
+// Request processes one service request issued by user u from the exact
+// position/instant p (§3: the TS knows the exact point and time).
+func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[string]string) Decision {
+	// The request is also a location update.
+	s.store.Record(u, p)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index.Insert(u, p)
+	st := s.state(u)
+	st.lastSeen = p
+	s.Counters.Inc("requests")
+	// Assign the pseudonym up front: an unlinking action during this
+	// request must retire the pseudonym the SP has already seen (or
+	// would see).
+	s.pseud.Current(u)
+
+	// An active on-demand mix zone suppresses service inside its window.
+	if st.plan != nil {
+		if st.plan.Suppresses(p.P, p.T) {
+			s.Counters.Inc("suppressed")
+			return Decision{Suppressed: true}
+		}
+		if p.T > st.plan.Window.End {
+			st.plan = nil
+		}
+	}
+
+	s.nextID++
+	id := s.nextID
+	dec := Decision{HKAnonymity: true}
+
+	// Effective policy for this request: the rule resolver, when
+	// configured, overrides the user's registered policy.
+	pol := st.policy
+	if s.cfg.Policies != nil {
+		if resolved := s.cfg.Policies.Resolve(service, p); resolved.K > 0 {
+			pol = resolved
+		}
+	}
+
+	// Step 1 of §6.1: monitor all incoming requests for LBQID exposure.
+	// A request may match several patterns (the paper notes Algorithm 1
+	// "can be easily extended to consider multiple LBQIDs"): every
+	// matched pattern's session advances and the forwarded context is
+	// the union of their boxes. The union contains each session's box,
+	// so every session's witnesses remain LT-consistent with it.
+	var matched []int
+	for i, m := range st.matchers {
+		out := m.Offer(lbqid.RequestID(id), p)
+		if out.Matched {
+			matched = append(matched, i)
+			if dec.MatchedLBQID != "" {
+				dec.MatchedLBQID += ","
+			}
+			dec.MatchedLBQID += st.patterns[i].Name
+		}
+		if out.Satisfied {
+			dec.QIDExposed = true
+		}
+	}
+
+	ctx := geo.STBoxAround(p) // exact context unless generalized
+	if len(matched) > 0 {
+		dec.Generalized = true
+		s.Counters.Inc("generalized")
+		tol := s.tolerance(service)
+		for _, pi := range matched {
+			sess, ok := st.sessions[pi]
+			if !ok {
+				sess = generalize.NewSession(s.gen, u, s.decayFor(pol))
+				st.sessions[pi] = sess
+			}
+			res, found := sess.Generalize(p, tol)
+			if !found {
+				dec.HKAnonymity = false
+				continue
+			}
+			ctx = ctx.Union(res.Box)
+			dec.HKAnonymity = dec.HKAnonymity && res.HKAnonymity
+		}
+		// The union of several within-tolerance boxes can itself exceed
+		// the tolerance.
+		if !tol.Allows(ctx) {
+			dec.HKAnonymity = false
+			ctx = geo.STBox{
+				Area: ctx.Area.ShrinkToward(p.P, tolMaxW(tol, ctx), tolMaxH(tol, ctx)),
+				Time: ctx.Time.ShrinkToward(p.T, tolMaxD(tol, ctx)),
+			}
+		}
+		if !dec.HKAnonymity {
+			s.Counters.Inc("hk_failures")
+			// Step 2 of §6.1: try to unlink future requests.
+			s.unlink(u, st, pol, p, &dec)
+		}
+	}
+
+	if st.atRisk {
+		dec.AtRisk = true
+		if pol.SuppressAtRisk {
+			s.Counters.Inc("suppressed")
+			dec.Suppressed = true
+			return dec
+		}
+	}
+
+	req := &wire.Request{
+		ID:        id,
+		Pseudonym: s.pseud.Current(u),
+		Context:   ctx,
+		Service:   service,
+		Data:      data,
+	}
+	s.respMu.Lock()
+	s.routes[id] = u
+	s.respMu.Unlock()
+	s.out.Deliver(req)
+	dec.Forwarded = true
+	dec.Request = req
+	s.Counters.Inc("forwarded")
+	if dec.QIDExposed {
+		s.Counters.Inc("exposures")
+	}
+	if dec.Generalized {
+		s.AreaM2.Add(ctx.Area.Area())
+		s.IntervalS.Add(float64(ctx.Time.Duration()))
+	}
+	return dec
+}
+
+// decayFor turns the policy into a concrete schedule.
+func (s *Server) decayFor(p Policy) generalize.DecaySchedule {
+	d := p.Decay
+	if d.Target == 0 {
+		d.Target = p.K
+	}
+	if d.Target < p.K {
+		d.Target = p.K
+	}
+	return d
+}
+
+// unlink performs the §6.1 step-2 action: rotate the pseudonym — inside
+// a static mix zone the user recently crossed, or inside a freshly
+// planned on-demand zone — and reset all partially matched patterns. On
+// failure the user is flagged at risk. Callers hold s.mu.
+func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, dec *Decision) {
+	// A recent static-zone crossing makes rotation safe immediately.
+	lookback := p.T - 4*3600
+	if _, crossed := s.cfg.StaticZones.CrossedZone(s.store.History(u), lookback, p.T); crossed {
+		s.rotate(u, st)
+		dec.Unlinked = true
+		return
+	}
+	// Otherwise plan an on-demand mix zone around the user.
+	plan, ok := s.cfg.OnDemand.Plan(s.index, s.store, u, p.P, p.T, pol.K-1, s.cfg.Metric)
+	if ok {
+		// The Unlinking action is parameterized by Θ (§6.3): the TS
+		// replicates the attacker's tracking linker (§5.2) and sizes the
+		// quiet window so that tracking confidence across the rotation
+		// decays below the policy's threshold before service resumes.
+		if minQuiet := quietForTheta(pol.Theta, s.cfg.Tracker); plan.Window.Duration() < minQuiet {
+			plan.Window.End = plan.Window.Start + minQuiet
+		}
+		st.plan = &plan
+		s.rotate(u, st)
+		dec.Unlinked = true
+		s.Counters.Inc("ondemand_zones")
+		return
+	}
+	s.Counters.Inc("unlink_failures")
+	if !st.atRisk {
+		st.atRisk = true
+		s.Counters.Inc("at_risk")
+		if s.notifier != nil {
+			s.notifier.AtRisk(u, "generalization failed and no unlinking opportunity")
+		}
+	}
+}
+
+// rotate changes the pseudonym and resets all exposure evidence tied to
+// the old one. Callers hold s.mu.
+func (s *Server) rotate(u phl.UserID, st *userState) {
+	old, fresh := s.pseud.Rotate(u)
+	if s.notifier != nil {
+		s.notifier.Unlinked(u, old, fresh)
+	}
+	for _, m := range st.matchers {
+		m.Reset()
+	}
+	st.sessions = make(map[int]*generalize.Session)
+	st.atRisk = false
+	s.Counters.Inc("unlinkings")
+}
+
+// Rotations reports how many times the user's pseudonym was rotated — a
+// proxy for service discontinuity.
+func (s *Server) Rotations(u phl.UserID) int { return s.pseud.Rotations(u) }
+
+// AtRisk reports whether the user is currently flagged at risk of
+// identification.
+func (s *Server) AtRisk(u phl.UserID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state(u).atRisk
+}
+
+// tolMaxW/H/D resolve a tolerance bound, leaving the dimension
+// unchanged when unconstrained.
+func tolMaxW(t generalize.Tolerance, b geo.STBox) float64 {
+	if t.MaxWidth > 0 {
+		return t.MaxWidth
+	}
+	return b.Area.Width()
+}
+
+func tolMaxH(t generalize.Tolerance, b geo.STBox) float64 {
+	if t.MaxHeight > 0 {
+		return t.MaxHeight
+	}
+	return b.Area.Height()
+}
+
+func tolMaxD(t generalize.Tolerance, b geo.STBox) int64 {
+	if t.MaxDuration > 0 {
+		return t.MaxDuration
+	}
+	return b.Time.Duration()
+}
+
+// quietForTheta returns the quiet-window length after which the
+// replicated tracking attacker's confidence across a pseudonym change
+// drops below theta: confidence decays as 2^(−gap/halfLife), so the gap
+// must exceed halfLife·log2(1/theta). Theta 0 (never linkable) is
+// capped at four hours; theta >= 1 needs no quiet time.
+func quietForTheta(theta float64, tr link.Tracking) int64 {
+	const cap = int64(4 * 3600)
+	if theta >= 1 {
+		return 0
+	}
+	halfLife := tr.HalfLife
+	if halfLife == 0 {
+		halfLife = link.DefaultHalfLife
+	}
+	if theta <= 0 {
+		return cap
+	}
+	quiet := int64(math.Ceil(halfLife * math.Log2(1/theta)))
+	if quiet > cap {
+		return cap
+	}
+	return quiet
+}
+
+// WritePHLSnapshot persists the location database (see phl.WriteSnapshot).
+// LBQID registrations, pseudonyms and in-flight matcher state are not
+// part of the snapshot: patterns are re-registered at boot from their
+// specifications, and exposure state deliberately starts fresh (a
+// restart is an unlinking opportunity, not a liability).
+func (s *Server) WritePHLSnapshot(w io.Writer) error {
+	return s.store.WriteSnapshot(w)
+}
+
+// RestorePHL loads a snapshot written by WritePHLSnapshot into the
+// server, rebuilding the spatio-temporal index. It must be called
+// before traffic starts; concurrent requests during a restore see a
+// partially loaded database.
+func (s *Server) RestorePHL(r io.Reader) error {
+	loaded, err := phl.ReadSnapshot(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range loaded.Users() {
+		for _, p := range loaded.History(u).Points() {
+			s.store.Record(u, p)
+			s.index.Insert(u, p)
+		}
+	}
+	return nil
+}
+
+// Inbox receives service responses on a user's device.
+type Inbox interface {
+	Receive(resp *wire.Response)
+}
+
+// InboxFunc adapts a function to the Inbox interface.
+type InboxFunc func(resp *wire.Response)
+
+// Receive implements Inbox.
+func (f InboxFunc) Receive(resp *wire.Response) { f(resp) }
+
+// Notifier observes the privacy-relevant events of §6.1/§7: the
+// at-risk warning (the paper suggests an open/closed-lock style UI) and
+// unlinking actions. All methods are called with the server lock held;
+// implementations must not call back into the server.
+type Notifier interface {
+	AtRisk(u phl.UserID, reason string)
+	Unlinked(u phl.UserID, oldPseudonym, newPseudonym wire.Pseudonym)
+}
+
+// SetInbox registers the user's device callback for service responses.
+func (s *Server) SetInbox(u phl.UserID, in Inbox) {
+	s.respMu.Lock()
+	defer s.respMu.Unlock()
+	s.inboxes[u] = in
+}
+
+// SetNotifier registers the privacy-event observer.
+func (s *Server) SetNotifier(n Notifier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notifier = n
+}
+
+// DeliverResponse routes a service provider's answer back to the
+// issuing user's device (Fig. 1's return path). The msgid is the only
+// addressing information the SP holds. Unknown or expired msgids are
+// counted and dropped.
+func (s *Server) DeliverResponse(resp *wire.Response) {
+	s.respMu.Lock()
+	u, ok := s.routes[resp.ID]
+	if ok {
+		delete(s.routes, resp.ID)
+	}
+	var inbox Inbox
+	if ok {
+		inbox = s.inboxes[u]
+	}
+	s.respMu.Unlock()
+	s.Counters.Inc("responses")
+	if !ok {
+		s.Counters.Inc("responses_unroutable")
+	}
+	// Deliver outside the lock: inboxes are user code.
+	if inbox != nil {
+		inbox.Receive(resp)
+	}
+}
