@@ -7,6 +7,7 @@ package histanon
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"histanon/internal/baseline"
@@ -18,6 +19,7 @@ import (
 	"histanon/internal/mine"
 	"histanon/internal/mobility"
 	"histanon/internal/phl"
+	"histanon/internal/sim"
 	"histanon/internal/sp"
 	"histanon/internal/stindex"
 	"histanon/internal/tgran"
@@ -379,6 +381,38 @@ func BenchmarkE10_IndexQueries(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				idx.KNearestUsers(randQuery(rng), 5, m, nil)
 			}
+		})
+	}
+}
+
+// BenchmarkE11_ConcurrentThroughput measures whole-server Request
+// throughput (monitor → generalize → forward, all on the matching path)
+// at 1, 4 and 8 client goroutines, each goroutine issuing as a distinct
+// user. With the per-user session locks and the sharded index this
+// should scale with cores; the single-global-mutex design it replaced
+// was flat.
+func BenchmarkE11_ConcurrentThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", workers), func(b *testing.B) {
+			server := sim.NewThroughputServer(sim.ThroughputClients)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					per := b.N / workers
+					if w < b.N%workers {
+						per++
+					}
+					u := phl.UserID(w % sim.ThroughputClients)
+					for i := 0; i < per; i++ {
+						sim.ThroughputRequest(server, u, i)
+					}
+				}(w)
+			}
+			wg.Wait()
 		})
 	}
 }

@@ -6,6 +6,9 @@
 //	lbbench -e E2,E6    # run selected experiments
 //	lbbench -md         # emit GitHub-flavored markdown instead of text
 //	lbbench -list       # list experiment ids and titles
+//	lbbench -bench11 BENCH_e11.json
+//	                    # run the concurrent-throughput benchmark and
+//	                    # write the machine-readable perf record
 package main
 
 import (
@@ -23,12 +26,40 @@ func main() {
 		ids      = flag.String("e", "", "comma-separated experiment ids (default: all)")
 		markdown = flag.Bool("md", false, "render markdown tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		bench11  = flag.String("bench11", "", "run the E11 concurrency benchmark and write its JSON record to this path")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range sim.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *bench11 != "" {
+		f, err := os.Create(*bench11)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep := sim.RunE11Bench()
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tp := range rep.Throughput {
+			fmt.Printf("goroutines=%d  %.0f req/s  (%.2fx, %d allocs/op)\n",
+				tp.Goroutines, tp.OpsPerSec, tp.Speedup, tp.AllocsPerOp)
+		}
+		for _, hp := range rep.HotPaths {
+			fmt.Printf("%-32s %8.0f ns/op %6d B/op %4d allocs/op\n",
+				hp.Name, hp.NsPerOp, hp.BytesPerOp, hp.AllocsPerOp)
 		}
 		return
 	}

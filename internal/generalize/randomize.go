@@ -2,6 +2,7 @@ package generalize
 
 import (
 	"math/rand"
+	"sync"
 
 	"histanon/internal/geo"
 )
@@ -17,7 +18,12 @@ import (
 //   - the original (anonymity-certifying) box stays contained, and
 //   - the service's tolerance constraints are never violated: a padded
 //     box never changes Algorithm 1's HK-anonymity verdict.
+//
+// A Randomizer is safe for concurrent use: the underlying random
+// stream is guarded by its own mutex, so one Generalizer (and its
+// sessions) can serve many goroutines.
 type Randomizer struct {
+	mu  sync.Mutex
 	rng *rand.Rand
 	// MaxFrac bounds each side's padding to MaxFrac×(box dimension).
 	MaxFrac float64
@@ -66,6 +72,8 @@ func (r *Randomizer) Perturb(box geo.STBox, tol Tolerance) geo.STBox {
 	if r == nil {
 		return box
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := box
 
 	// Spatial padding budget per axis: tolerance slack (or unlimited),

@@ -16,7 +16,10 @@ type STMetric struct {
 // speed, a sensible default for urban location traces.
 const DefaultTimeScale = 1.0
 
-func (m STMetric) scale() float64 {
+// Scale returns the effective seconds→meters conversion factor,
+// resolving the zero value to DefaultTimeScale. Index implementations
+// use it to scale temporal pruning bounds consistently with Dist.
+func (m STMetric) Scale() float64 {
 	if m.TimeScale == 0 {
 		return DefaultTimeScale
 	}
@@ -26,7 +29,7 @@ func (m STMetric) scale() float64 {
 // Dist returns the scaled Euclidean distance between a and b in the
 // three-dimensional (x, y, scaled t) space.
 func (m STMetric) Dist(a, b STPoint) float64 {
-	dt := float64(a.T-b.T) * m.scale()
+	dt := float64(a.T-b.T) * m.Scale()
 	dx := a.P.X - b.P.X
 	dy := a.P.Y - b.P.Y
 	return math.Sqrt(dx*dx + dy*dy + dt*dt)
@@ -39,9 +42,9 @@ func (m STMetric) DistToBox(p STPoint, b STBox) float64 {
 	var dt float64
 	switch {
 	case p.T < b.Time.Start:
-		dt = float64(b.Time.Start-p.T) * m.scale()
+		dt = float64(b.Time.Start-p.T) * m.Scale()
 	case p.T > b.Time.End:
-		dt = float64(p.T-b.Time.End) * m.scale()
+		dt = float64(p.T-b.Time.End) * m.Scale()
 	}
 	return math.Hypot(ds, dt)
 }

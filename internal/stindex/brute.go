@@ -1,6 +1,8 @@
 package stindex
 
 import (
+	"sync"
+
 	"histanon/internal/geo"
 	"histanon/internal/phl"
 )
@@ -10,7 +12,11 @@ import (
 // Algorithm 1 ("considering the nearest neighbor in the PHL of each user
 // and then taking the closest k points" — a single scan computes the
 // per-user nearest neighbors).
+//
+// Concurrency: an RWMutex serializes Insert against queries; queries
+// run in parallel with each other.
 type Brute struct {
+	mu      sync.RWMutex
 	entries []UserPoint
 }
 
@@ -19,16 +25,25 @@ func NewBrute() *Brute { return &Brute{} }
 
 // Insert implements Index.
 func (b *Brute) Insert(u phl.UserID, p geo.STPoint) {
+	b.mu.Lock()
 	b.entries = append(b.entries, UserPoint{User: u, Point: p})
+	b.mu.Unlock()
 }
 
 // Len implements Index.
-func (b *Brute) Len() int { return len(b.entries) }
+func (b *Brute) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.entries)
+}
 
 // UsersInBox implements Index.
 func (b *Brute) UsersInBox(box geo.STBox) []phl.UserID {
-	seen := map[phl.UserID]bool{}
+	seen := getSeen()
+	defer putSeen(seen)
 	var out []phl.UserID
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	for _, e := range b.entries {
 		if !seen[e.User] && box.Contains(e.Point) {
 			seen[e.User] = true
@@ -40,8 +55,11 @@ func (b *Brute) UsersInBox(box geo.STBox) []phl.UserID {
 
 // CountUsersInBox implements Index.
 func (b *Brute) CountUsersInBox(box geo.STBox) int {
-	seen := map[phl.UserID]bool{}
+	seen := getSeen()
+	defer putSeen(seen)
 	n := 0
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	for _, e := range b.entries {
 		if !seen[e.User] && box.Contains(e.Point) {
 			seen[e.User] = true
@@ -56,15 +74,15 @@ func (b *Brute) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[
 	if k <= 0 {
 		return nil
 	}
-	best := map[phl.UserID]nearestCand{}
+	acc := getKNNAcc(k)
+	defer acc.release()
+	b.mu.RLock()
 	for _, e := range b.entries {
 		if exclude[e.User] {
 			continue
 		}
-		d := m.Dist(e.Point, q)
-		if cur, ok := best[e.User]; !ok || d < cur.dist {
-			best[e.User] = nearestCand{up: e, dist: d}
-		}
+		acc.offer(e, m.Dist(e.Point, q))
 	}
-	return collectKNearest(best, k)
+	b.mu.RUnlock()
+	return acc.result()
 }

@@ -2,21 +2,52 @@ package stindex
 
 import (
 	"math"
+	"sync"
 
 	"histanon/internal/geo"
 	"histanon/internal/phl"
 )
 
+// gridShardCount is the number of cell-map shards (power of two). With
+// hash-sharded locking, concurrent inserts into different cells and
+// concurrent readers contend only when they hash to the same shard.
+const gridShardCount = 64
+
+// gridShard holds one slice of the cell map under its own lock.
+type gridShard struct {
+	mu    sync.RWMutex
+	cells map[gridKey][]UserPoint
+}
+
 // Grid is a sparse uniform grid over space and time: samples hash into
 // cells of CellSize×CellSize meters and BucketLen seconds. Box queries
 // touch only overlapping cells; nearest-user queries expand outward in
 // shells until the running k-th best distance prunes the frontier.
+//
+// Concurrency: the cell map is split into gridShardCount shards, each
+// guarded by its own RWMutex, so inserts and queries touching different
+// shards proceed fully in parallel; global bookkeeping (sample count,
+// user set, populated bounds) sits behind a separate narrow RWMutex.
+// Cell payload slices are append-only: a reader that snapshot a slice
+// header under the shard lock can keep scanning its elements after
+// releasing the lock, because concurrent appends never mutate published
+// elements.
+//
+// Queries racing Inserts are best-effort in one bounded way: a
+// KNearestUsers sweep terminates once it has visited as many samples as
+// existed when it started, so samples inserted mid-sweep can displace
+// (not corrupt) its view of equally-old samples in yet-unvisited cells.
+// Any missed nearby witness only makes Algorithm 1 pick a farther one —
+// a conservative, privacy-preserving error direction.
 type Grid struct {
 	cellSize  float64
 	bucketLen int64
-	cells     map[gridKey][]UserPoint
-	n         int
-	users     map[phl.UserID]struct{}
+	shards    [gridShardCount]gridShard
+
+	// meta guards the cross-shard bookkeeping below.
+	meta  sync.RWMutex
+	n     int
+	users map[phl.UserID]struct{}
 	// Observed cell-coordinate bounds let shell expansion terminate when
 	// the whole populated grid has been visited.
 	min, max gridKey
@@ -32,12 +63,15 @@ func NewGrid(cellSize float64, bucketLen int64) *Grid {
 	if cellSize <= 0 || bucketLen <= 0 {
 		panic("stindex: grid cell dimensions must be positive")
 	}
-	return &Grid{
+	g := &Grid{
 		cellSize:  cellSize,
 		bucketLen: bucketLen,
-		cells:     make(map[gridKey][]UserPoint),
 		users:     make(map[phl.UserID]struct{}),
 	}
+	for i := range g.shards {
+		g.shards[i].cells = make(map[gridKey][]UserPoint)
+	}
+	return g
 }
 
 func (g *Grid) key(p geo.STPoint) gridKey {
@@ -46,6 +80,25 @@ func (g *Grid) key(p geo.STPoint) gridKey {
 		cy: int64(math.Floor(p.P.Y / g.cellSize)),
 		ct: floorDiv(p.T, g.bucketLen),
 	}
+}
+
+// shardOf hashes a cell key onto its shard.
+func (g *Grid) shardOf(k gridKey) *gridShard {
+	h := uint64(k.cx)*0x9e3779b185ebca87 ^ uint64(k.cy)*0xc2b2ae3d27d4eb4f ^ uint64(k.ct)*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return &g.shards[h&(gridShardCount-1)]
+}
+
+// loadCell snapshots one cell's entries. The returned slice is safe to
+// scan after the shard lock is released (payloads are append-only).
+func (g *Grid) loadCell(k gridKey) []UserPoint {
+	sh := g.shardOf(k)
+	sh.mu.RLock()
+	entries := sh.cells[k]
+	sh.mu.RUnlock()
+	return entries
 }
 
 // cellBox returns the spatio-temporal extent of a cell.
@@ -62,7 +115,12 @@ func (g *Grid) cellBox(k gridKey) geo.STBox {
 // Insert implements Index.
 func (g *Grid) Insert(u phl.UserID, p geo.STPoint) {
 	k := g.key(p)
-	g.cells[k] = append(g.cells[k], UserPoint{User: u, Point: p})
+	sh := g.shardOf(k)
+	sh.mu.Lock()
+	sh.cells[k] = append(sh.cells[k], UserPoint{User: u, Point: p})
+	sh.mu.Unlock()
+
+	g.meta.Lock()
 	g.users[u] = struct{}{}
 	if g.n == 0 {
 		g.min, g.max = k, k
@@ -75,14 +133,27 @@ func (g *Grid) Insert(u phl.UserID, p geo.STPoint) {
 		g.max.ct = max64(g.max.ct, k.ct)
 	}
 	g.n++
+	g.meta.Unlock()
 }
 
 // Len implements Index.
-func (g *Grid) Len() int { return g.n }
+func (g *Grid) Len() int {
+	g.meta.RLock()
+	defer g.meta.RUnlock()
+	return g.n
+}
+
+// snapshotMeta reads the cross-shard bookkeeping consistently.
+func (g *Grid) snapshotMeta() (n, users int, min, max gridKey) {
+	g.meta.RLock()
+	defer g.meta.RUnlock()
+	return g.n, len(g.users), g.min, g.max
+}
 
 // UsersInBox implements Index.
 func (g *Grid) UsersInBox(box geo.STBox) []phl.UserID {
-	seen := map[phl.UserID]bool{}
+	seen := getSeen()
+	defer putSeen(seen)
 	var out []phl.UserID
 	g.scanBox(box, func(e UserPoint) {
 		if !seen[e.User] {
@@ -95,22 +166,33 @@ func (g *Grid) UsersInBox(box geo.STBox) []phl.UserID {
 
 // CountUsersInBox implements Index.
 func (g *Grid) CountUsersInBox(box geo.STBox) int {
-	seen := map[phl.UserID]bool{}
-	g.scanBox(box, func(e UserPoint) { seen[e.User] = true })
-	return len(seen)
+	seen := getSeen()
+	defer putSeen(seen)
+	n := 0
+	g.scanBox(box, func(e UserPoint) {
+		if !seen[e.User] {
+			seen[e.User] = true
+			n++
+		}
+	})
+	return n
 }
 
 func (g *Grid) scanBox(box geo.STBox, visit func(UserPoint)) {
+	n, _, gmin, gmax := g.snapshotMeta()
+	if n == 0 {
+		return
+	}
 	lo := g.key(geo.STPoint{P: geo.Point{X: box.Area.MinX, Y: box.Area.MinY}, T: box.Time.Start})
 	hi := g.key(geo.STPoint{P: geo.Point{X: box.Area.MaxX, Y: box.Area.MaxY}, T: box.Time.End})
 	// Clamp to the populated region so huge query boxes stay cheap.
-	lo.cx, hi.cx = max64(lo.cx, g.min.cx), min64(hi.cx, g.max.cx)
-	lo.cy, hi.cy = max64(lo.cy, g.min.cy), min64(hi.cy, g.max.cy)
-	lo.ct, hi.ct = max64(lo.ct, g.min.ct), min64(hi.ct, g.max.ct)
+	lo.cx, hi.cx = max64(lo.cx, gmin.cx), min64(hi.cx, gmax.cx)
+	lo.cy, hi.cy = max64(lo.cy, gmin.cy), min64(hi.cy, gmax.cy)
+	lo.ct, hi.ct = max64(lo.ct, gmin.ct), min64(hi.ct, gmax.ct)
 	for cx := lo.cx; cx <= hi.cx; cx++ {
 		for cy := lo.cy; cy <= hi.cy; cy++ {
 			for ct := lo.ct; ct <= hi.ct; ct++ {
-				for _, e := range g.cells[gridKey{cx, cy, ct}] {
+				for _, e := range g.loadCell(gridKey{cx, cy, ct}) {
 					if box.Contains(e.Point) {
 						visit(e)
 					}
@@ -123,67 +205,52 @@ func (g *Grid) scanBox(box geo.STBox, visit func(UserPoint)) {
 // KNearestUsers implements Index. Cells are visited in expanding
 // Chebyshev shells around the query cell; the search stops when the
 // closest possible point in the next shell is farther than the current
-// k-th best per-user distance.
+// k-th best per-user distance. The k-th best distance is maintained
+// incrementally by the accumulator, so each shell costs one O(1) bound
+// read instead of a heap rebuild over all seen users.
 func (g *Grid) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[phl.UserID]bool) []UserPoint {
-	if k <= 0 || g.n == 0 {
+	n, userCount, gmin, gmax := g.snapshotMeta()
+	if k <= 0 || n == 0 {
 		return nil
 	}
 	center := g.key(q)
-	best := map[phl.UserID]nearestCand{}
+	acc := getKNNAcc(k)
+	defer acc.release()
 
 	// When k reaches the whole population the shell search cannot prune
 	// (the k-th best distance never materializes) and would sweep the
 	// entire — mostly empty — cube. Scan the populated cells directly.
-	if k >= len(g.users) {
-		for _, entries := range g.cells {
-			for _, e := range entries {
-				if exclude[e.User] {
-					continue
-				}
-				d := m.Dist(e.Point, q)
-				if cur, ok := best[e.User]; !ok || d < cur.dist {
-					best[e.User] = nearestCand{up: e, dist: d}
+	if k >= userCount {
+		for i := range g.shards {
+			sh := &g.shards[i]
+			sh.mu.RLock()
+			for _, entries := range sh.cells {
+				for _, e := range entries {
+					if exclude[e.User] {
+						continue
+					}
+					acc.offer(e, m.Dist(e.Point, q))
 				}
 			}
+			sh.mu.RUnlock()
 		}
-		return collectKNearest(best, k)
+		return acc.result()
 	}
 
-	// kthDist returns the current k-th smallest per-user distance, or
-	// +Inf when fewer than k users have been found.
-	kthDist := func() float64 {
-		if len(best) < k {
-			return math.Inf(1)
-		}
-		h := make(nearestHeap, 0, k)
-		for _, c := range best {
-			if len(h) < k {
-				h = append(h, c)
-				if len(h) == k {
-					initHeap(h)
-				}
-			} else if c.dist < h[0].dist {
-				h[0] = c
-				siftDown(h, 0)
-			}
-		}
-		return h[0].dist
-	}
-
-	maxShell := g.maxShellFrom(center)
+	maxShell := maxShellFrom(center, gmin, gmax)
+	minGap := math.Min(g.cellSize, float64(g.bucketLen)*m.Scale())
 	seen := 0 // entries encountered; all populated cells visited => stop
-	for s := int64(0); s <= maxShell && seen < g.n; s++ {
+	for s := int64(0); s <= maxShell && seen < n; s++ {
+		// One bound read serves both the shell early-exit check and the
+		// per-cell prune below.
+		bound := acc.bound()
 		// Earliest possible distance of any point in shell s: the shell's
 		// cells start (s-1) whole cells away in some axis.
-		if s > 1 {
-			minGap := math.Min(g.cellSize, float64(g.bucketLen)*timeScaleOf(m))
-			if float64(s-1)*minGap > kthDist() {
-				break
-			}
+		if s > 1 && float64(s-1)*minGap > bound {
+			break
 		}
-		bound := kthDist()
 		g.visitShell(center, s, func(key gridKey) {
-			entries := g.cells[key]
+			entries := g.loadCell(key)
 			if len(entries) == 0 {
 				return
 			}
@@ -195,21 +262,18 @@ func (g *Grid) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[p
 				if exclude[e.User] {
 					continue
 				}
-				d := m.Dist(e.Point, q)
-				if cur, ok := best[e.User]; !ok || d < cur.dist {
-					best[e.User] = nearestCand{up: e, dist: d}
-				}
+				acc.offer(e, m.Dist(e.Point, q))
 			}
 		})
 	}
-	return collectKNearest(best, k)
+	return acc.result()
 }
 
 // maxShellFrom returns the largest Chebyshev shell index that can still
 // contain populated cells when centered at c.
-func (g *Grid) maxShellFrom(c gridKey) int64 {
-	d := max64(absDiffRange(c.cx, g.min.cx, g.max.cx), absDiffRange(c.cy, g.min.cy, g.max.cy))
-	return max64(d, absDiffRange(c.ct, g.min.ct, g.max.ct))
+func maxShellFrom(c, gmin, gmax gridKey) int64 {
+	d := max64(absDiffRange(c.cx, gmin.cx, gmax.cx), absDiffRange(c.cy, gmin.cy, gmax.cy))
+	return max64(d, absDiffRange(c.ct, gmin.ct, gmax.ct))
 }
 
 func absDiffRange(v, lo, hi int64) int64 {
@@ -235,40 +299,6 @@ func (g *Grid) visitShell(c gridKey, s int64, fn func(gridKey)) {
 				fn(gridKey{c.cx + dx, c.cy + dy, c.ct + s})
 			}
 		}
-	}
-}
-
-func timeScaleOf(m geo.STMetric) float64 {
-	if m.TimeScale == 0 {
-		return geo.DefaultTimeScale
-	}
-	return m.TimeScale
-}
-
-// Minimal heap helpers for kthDist (avoiding container/heap allocation
-// in the hot path).
-func initHeap(h nearestHeap) {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		siftDown(h, i)
-	}
-}
-
-func siftDown(h nearestHeap, i int) {
-	n := len(h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		big := i
-		if l < n && h[l].dist > h[big].dist {
-			big = l
-		}
-		if r < n && h[r].dist > h[big].dist {
-			big = r
-		}
-		if big == i {
-			return
-		}
-		h[i], h[big] = h[big], h[i]
-		i = big
 	}
 }
 

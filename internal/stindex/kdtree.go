@@ -2,6 +2,7 @@ package stindex
 
 import (
 	"math"
+	"sync"
 
 	"histanon/internal/geo"
 	"histanon/internal/phl"
@@ -14,7 +15,12 @@ import (
 //
 // Coordinates are stored raw; the query metric's time scale is applied
 // during search, so the same tree serves any STMetric.
+//
+// Concurrency: an RWMutex serializes Insert against queries; queries
+// run in parallel with each other (a native lock-free design is not
+// worth it for a pointer-linked tree).
 type KDTree struct {
+	mu   sync.RWMutex
 	root *kdNode
 	n    int
 }
@@ -30,6 +36,8 @@ func NewKDTree() *KDTree { return &KDTree{} }
 // Insert implements Index.
 func (t *KDTree) Insert(u phl.UserID, p geo.STPoint) {
 	node := &kdNode{entry: UserPoint{User: u, Point: p}}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.n++
 	if t.root == nil {
 		t.root = node
@@ -54,7 +62,11 @@ func (t *KDTree) Insert(u phl.UserID, p geo.STPoint) {
 }
 
 // Len implements Index.
-func (t *KDTree) Len() int { return t.n }
+func (t *KDTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
 
 func coord(p geo.STPoint, axis int) float64 {
 	switch axis {
@@ -91,8 +103,11 @@ func boxMax(b geo.STBox, axis int) float64 {
 
 // UsersInBox implements Index.
 func (t *KDTree) UsersInBox(box geo.STBox) []phl.UserID {
-	seen := map[phl.UserID]bool{}
+	seen := getSeen()
+	defer putSeen(seen)
 	var out []phl.UserID
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.walkBox(t.root, 0, box, func(e UserPoint) {
 		if !seen[e.User] {
 			seen[e.User] = true
@@ -104,9 +119,18 @@ func (t *KDTree) UsersInBox(box geo.STBox) []phl.UserID {
 
 // CountUsersInBox implements Index.
 func (t *KDTree) CountUsersInBox(box geo.STBox) int {
-	seen := map[phl.UserID]bool{}
-	t.walkBox(t.root, 0, box, func(e UserPoint) { seen[e.User] = true })
-	return len(seen)
+	seen := getSeen()
+	defer putSeen(seen)
+	n := 0
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.walkBox(t.root, 0, box, func(e UserPoint) {
+		if !seen[e.User] {
+			seen[e.User] = true
+			n++
+		}
+	})
+	return n
 }
 
 func (t *KDTree) walkBox(n *kdNode, depth int, box geo.STBox, visit func(UserPoint)) {
@@ -128,29 +152,26 @@ func (t *KDTree) walkBox(n *kdNode, depth int, box geo.STBox, visit func(UserPoi
 
 // KNearestUsers implements Index. A branch is pruned when the distance
 // from the query to the splitting plane already exceeds the current
-// k-th best per-user distance.
+// k-th best per-user distance (read in O(1) from the accumulator).
 func (t *KDTree) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[phl.UserID]bool) []UserPoint {
-	if k <= 0 || t.root == nil {
+	if k <= 0 {
 		return nil
 	}
-	s := &kdSearch{
-		q: q, k: k, m: m, exclude: exclude,
-		scale: timeScaleOf(m),
-		best:  map[phl.UserID]nearestCand{},
-		bound: math.Inf(1),
-	}
+	acc := getKNNAcc(k)
+	defer acc.release()
+	s := &kdSearch{q: q, m: m, scale: m.Scale(), exclude: exclude, acc: acc}
+	t.mu.RLock()
 	s.visit(t.root, 0)
-	return collectKNearest(s.best, k)
+	t.mu.RUnlock()
+	return acc.result()
 }
 
 type kdSearch struct {
 	q       geo.STPoint
-	k       int
 	m       geo.STMetric
 	scale   float64
 	exclude map[phl.UserID]bool
-	best    map[phl.UserID]nearestCand
-	bound   float64 // current k-th best per-user distance
+	acc     *knnAcc
 }
 
 func (s *kdSearch) visit(n *kdNode, depth int) {
@@ -158,11 +179,7 @@ func (s *kdSearch) visit(n *kdNode, depth int) {
 		return
 	}
 	if !s.exclude[n.entry.User] {
-		d := s.m.Dist(n.entry.Point, s.q)
-		if cur, ok := s.best[n.entry.User]; !ok || d < cur.dist {
-			s.best[n.entry.User] = nearestCand{up: n.entry, dist: d}
-			s.refreshBound()
-		}
+		s.acc.offer(n.entry, s.m.Dist(n.entry.Point, s.q))
 	}
 	axis := depth % 3
 	qc := coord(s.q, axis)
@@ -176,29 +193,7 @@ func (s *kdSearch) visit(n *kdNode, depth int) {
 		near, far = n.right, n.left
 	}
 	s.visit(near, depth+1)
-	if planeDist <= s.bound {
+	if planeDist <= s.acc.bound() {
 		s.visit(far, depth+1)
 	}
-}
-
-// refreshBound recomputes the k-th best per-user distance. Called only
-// when a per-user best improves, which happens O(distinct users) times.
-func (s *kdSearch) refreshBound() {
-	if len(s.best) < s.k {
-		s.bound = math.Inf(1)
-		return
-	}
-	h := make(nearestHeap, 0, s.k)
-	for _, c := range s.best {
-		if len(h) < s.k {
-			h = append(h, c)
-			if len(h) == s.k {
-				initHeap(h)
-			}
-		} else if c.dist < h[0].dist {
-			h[0] = c
-			siftDown(h, 0)
-		}
-	}
-	s.bound = h[0].dist
 }

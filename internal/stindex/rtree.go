@@ -3,6 +3,7 @@ package stindex
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"histanon/internal/geo"
 	"histanon/internal/phl"
@@ -16,7 +17,12 @@ import (
 //
 // Like the metric queries of the other indexes, the time axis is scaled
 // by the query metric at search time; node boxes store raw coordinates.
+//
+// Concurrency: an RWMutex serializes Insert (which rewrites node boxes
+// and splits nodes in place) against queries; queries run in parallel
+// with each other.
 type RTree struct {
+	mu   sync.RWMutex
 	root *rtNode
 	n    int
 	// minFill/maxFill are the node occupancy bounds (R-tree "m"/"M").
@@ -80,6 +86,8 @@ func (b rtBox) distTo(q geo.STPoint, scale float64) float64 {
 
 // Insert implements Index.
 func (t *RTree) Insert(u phl.UserID, p geo.STPoint) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.n++
 	e := UserPoint{User: u, Point: p}
 	if t.root == nil {
@@ -208,12 +216,19 @@ func recomputeInternalBox(children []*rtNode) rtBox {
 }
 
 // Len implements Index.
-func (t *RTree) Len() int { return t.n }
+func (t *RTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
 
 // UsersInBox implements Index.
 func (t *RTree) UsersInBox(box geo.STBox) []phl.UserID {
-	seen := map[phl.UserID]bool{}
+	seen := getSeen()
+	defer putSeen(seen)
 	var out []phl.UserID
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.walkBox(t.root, box, func(e UserPoint) {
 		if !seen[e.User] {
 			seen[e.User] = true
@@ -225,9 +240,18 @@ func (t *RTree) UsersInBox(box geo.STBox) []phl.UserID {
 
 // CountUsersInBox implements Index.
 func (t *RTree) CountUsersInBox(box geo.STBox) int {
-	seen := map[phl.UserID]bool{}
-	t.walkBox(t.root, box, func(e UserPoint) { seen[e.User] = true })
-	return len(seen)
+	seen := getSeen()
+	defer putSeen(seen)
+	n := 0
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.walkBox(t.root, box, func(e UserPoint) {
+		if !seen[e.User] {
+			seen[e.User] = true
+			n++
+		}
+	})
+	return n
 }
 
 func (t *RTree) walkBox(n *rtNode, box geo.STBox, visit func(UserPoint)) {
@@ -247,45 +271,33 @@ func (t *RTree) walkBox(n *rtNode, box geo.STBox, visit func(UserPoint)) {
 	}
 }
 
+// rtQueued is one node on the best-first search frontier.
+type rtQueued struct {
+	node *rtNode
+	dist float64
+}
+
 // KNearestUsers implements Index: best-first traversal ordered by
 // box distance, with the per-user k-th best bound as the prune line
 // (same correctness argument as the grid: a pruned subtree's points are
 // farther than the running k-th best per-user distance, so they can
-// neither improve a winner nor introduce one).
+// neither improve a winner nor introduce one). The bound is maintained
+// incrementally by the accumulator.
 func (t *RTree) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[phl.UserID]bool) []UserPoint {
-	if k <= 0 || t.root == nil {
+	if k <= 0 {
 		return nil
 	}
-	scale := timeScaleOf(m)
-	best := map[phl.UserID]nearestCand{}
-	bound := math.Inf(1)
-
-	refresh := func() {
-		if len(best) < k {
-			bound = math.Inf(1)
-			return
-		}
-		h := make(nearestHeap, 0, k)
-		for _, c := range best {
-			if len(h) < k {
-				h = append(h, c)
-				if len(h) == k {
-					initHeap(h)
-				}
-			} else if c.dist < h[0].dist {
-				h[0] = c
-				siftDown(h, 0)
-			}
-		}
-		bound = h[0].dist
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == nil {
+		return nil
 	}
+	scale := m.Scale()
+	acc := getKNNAcc(k)
+	defer acc.release()
 
 	// Best-first queue over nodes by distance to q.
-	type queued struct {
-		node *rtNode
-		dist float64
-	}
-	queue := []queued{{t.root, t.root.box.distTo(q, scale)}}
+	queue := []rtQueued{{t.root, t.root.box.distTo(q, scale)}}
 	for len(queue) > 0 {
 		// Pop the nearest node (linear pop keeps the code simple; queue
 		// depth is O(height × fan-out)).
@@ -298,7 +310,7 @@ func (t *RTree) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[
 		cur := queue[bestIdx]
 		queue[bestIdx] = queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		if cur.dist > bound {
+		if cur.dist > acc.bound() {
 			continue
 		}
 		if cur.node.leaf {
@@ -306,19 +318,16 @@ func (t *RTree) KNearestUsers(q geo.STPoint, k int, m geo.STMetric, exclude map[
 				if exclude[e.User] {
 					continue
 				}
-				d := m.Dist(e.Point, q)
-				if c, ok := best[e.User]; !ok || d < c.dist {
-					best[e.User] = nearestCand{up: e, dist: d}
-					refresh()
-				}
+				acc.offer(e, m.Dist(e.Point, q))
 			}
 			continue
 		}
+		bound := acc.bound()
 		for _, c := range cur.node.children {
 			if d := c.box.distTo(q, scale); d <= bound {
-				queue = append(queue, queued{c, d})
+				queue = append(queue, rtQueued{c, d})
 			}
 		}
 	}
-	return collectKNearest(best, k)
+	return acc.result()
 }

@@ -1,0 +1,188 @@
+package ts
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+	"histanon/internal/tgran"
+	"histanon/internal/wire"
+)
+
+// concurrentServer builds a TS with a 60-user crowd and one commute
+// LBQID per client user, so concurrent requests exercise the full
+// monitor → generalize → forward pipeline, not just the fast path.
+func concurrentServer(t testing.TB, clients int) *Server {
+	server := New(Config{
+		DefaultPolicy: Policy{K: 5},
+		RandomizeSeed: 11, // exercise the shared randomizer too
+	}, OutboxFunc(func(*wire.Request) {}))
+	for c := 0; c < clients; c++ {
+		u := phl.UserID(c)
+		err := server.AddLBQIDSpec(u, fmt.Sprintf(`
+lbqid "commute%d" {
+    element area [0,400]x[0,400] time [06:00,10:00]
+    recurrence 1.Days
+}`, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(23))
+	for u := phl.UserID(1000); u < 1060; u++ {
+		for d := int64(0); d < 5; d++ {
+			server.RecordLocation(u, geo.STPoint{
+				P: geo.Point{X: rng.Float64() * 400, Y: rng.Float64() * 400},
+				T: d*tgran.Day + 7*tgran.Hour + int64(rng.Intn(7200)),
+			})
+		}
+	}
+	return server
+}
+
+// TestConcurrentRequests race-stresses the whole request pipeline:
+// several users issue matching (generalized) and non-matching requests
+// at once, interleaved with location updates, response deliveries and
+// at-risk probes. Counters must balance exactly afterwards.
+func TestConcurrentRequests(t *testing.T) {
+	const (
+		clients    = 8
+		perClient  = 40
+		extraReads = 20
+	)
+	server := concurrentServer(t, clients)
+
+	var forwardedIDs sync.Map
+	var delivered atomic.Int64
+	server.SetInbox(0, InboxFunc(func(*wire.Response) { delivered.Add(1) }))
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			u := phl.UserID(c)
+			rng := rand.New(rand.NewSource(int64(300 + c)))
+			for i := 0; i < perClient; i++ {
+				var p geo.STPoint
+				if i%2 == 0 {
+					// Matching window and area: generalization path.
+					p = pt(200, 200, int64(i%5)*tgran.Day+7*tgran.Hour+int64(rng.Intn(3600)))
+				} else {
+					p = pt(5000, 5000, int64(i%5)*tgran.Day+14*tgran.Hour+int64(rng.Intn(3600)))
+				}
+				dec := server.Request(u, p, "navigation", nil)
+				if dec.Forwarded {
+					if dec.Request == nil {
+						t.Error("forwarded decision without request")
+						return
+					}
+					if _, dup := forwardedIDs.LoadOrStore(dec.Request.ID, true); dup {
+						t.Errorf("duplicate msgid %d issued", dec.Request.ID)
+						return
+					}
+				}
+				server.RecordLocation(u, p)
+				server.AtRisk(u)
+			}
+		}(c)
+	}
+	// A reader goroutine exercising registry and snapshot paths during
+	// traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < extraReads; i++ {
+			server.Store().NumSamples()
+			server.Rotations(0)
+		}
+	}()
+	wg.Wait()
+
+	total := int64(clients * perClient)
+	if got := server.Counters.Get("requests"); got != total {
+		t.Fatalf("requests counter = %d, want %d", got, total)
+	}
+	var nForwarded int64
+	forwardedIDs.Range(func(_, _ interface{}) bool { nForwarded++; return true })
+	if got := server.Counters.Get("forwarded"); got != nForwarded {
+		t.Fatalf("forwarded counter = %d, but %d unique requests delivered", got, nForwarded)
+	}
+	if got := server.Counters.Get("generalized"); got == 0 {
+		t.Fatal("no request took the generalization path; test lost its teeth")
+	}
+}
+
+// TestConcurrentSameUser hammers one user from many goroutines: the
+// per-user lock must serialize the session so matcher and session state
+// stay consistent (the race detector checks the rest).
+func TestConcurrentSameUser(t *testing.T) {
+	server := concurrentServer(t, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				tm := int64(i%5)*tgran.Day + 7*tgran.Hour + int64(g*60+i)
+				server.Request(0, pt(200, 200, tm), "navigation", nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := server.Counters.Get("requests"); got != 200 {
+		t.Fatalf("requests counter = %d, want 200", got)
+	}
+}
+
+// TestConcurrentResponses routes SP responses back while requests are
+// still being issued.
+func TestConcurrentResponses(t *testing.T) {
+	var mu sync.Mutex
+	var pending []*wire.Request
+	server := New(Config{DefaultPolicy: Policy{K: 2}}, OutboxFunc(func(r *wire.Request) {
+		mu.Lock()
+		pending = append(pending, r)
+		mu.Unlock()
+	}))
+	var received atomic.Int64
+	for u := phl.UserID(0); u < 4; u++ {
+		server.SetInbox(u, InboxFunc(func(*wire.Response) { received.Add(1) }))
+	}
+	var wg sync.WaitGroup
+	for u := phl.UserID(0); u < 4; u++ {
+		wg.Add(1)
+		go func(u phl.UserID) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				server.Request(u, pt(float64(i), float64(i), int64(i)), "svc", nil)
+			}
+		}(u)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seen := 0
+		for seen < 200 {
+			mu.Lock()
+			batch := pending
+			pending = nil
+			mu.Unlock()
+			for _, r := range batch {
+				server.DeliverResponse(&wire.Response{ID: r.ID})
+				seen++
+			}
+		}
+	}()
+	wg.Wait()
+	if got := received.Load(); got != 200 {
+		t.Fatalf("received %d responses, want 200", got)
+	}
+	if got := server.Counters.Get("responses_unroutable"); got != 0 {
+		t.Fatalf("%d unroutable responses", got)
+	}
+}

@@ -19,6 +19,25 @@
 // afterwards, so every forwarded box of the exposure is LT-consistent
 // with each surviving witness. The session dies with the exposure (on
 // pseudonym rotation).
+//
+// # Concurrency model
+//
+// The server is safe for concurrent use and scales with cores: there is
+// no global request lock. Each user's session state (matchers,
+// generalization sessions, mix-zone plan, at-risk flag) is guarded by a
+// per-user mutex, so requests from independent users monitor, generalize
+// and forward fully in parallel; two concurrent requests from the same
+// user serialize on that user's lock. Cross-user state is confined to
+// components with their own narrow synchronization: the PHL store and
+// the spatio-temporal index (internally concurrency-safe), the
+// pseudonym manager, the metrics counters/summaries, the atomic message
+// counter, and the generalizer's mutex-guarded randomizer. The user
+// registry itself sits behind a short RWMutex taken only to look up or
+// create a user's state.
+//
+// Lock ordering: a request holds only its user's lock while running;
+// the registry lock and component-internal locks nest strictly inside
+// it and are never held across a call back into the server.
 package ts
 
 import (
@@ -26,6 +45,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"histanon/internal/generalize"
 	"histanon/internal/geo"
@@ -190,8 +210,10 @@ type Decision struct {
 	QIDExposed bool
 }
 
-// userState is the per-user bookkeeping.
+// userState is the per-user bookkeeping. Its mutex serializes the
+// requests of one user; requests of different users run in parallel.
 type userState struct {
+	mu       sync.Mutex
 	policy   Policy
 	patterns []*lbqid.LBQID
 	matchers []*lbqid.Matcher
@@ -201,21 +223,26 @@ type userState struct {
 	lastSeen geo.STPoint
 }
 
-// Server is the trusted server. It is safe for concurrent use.
+// Server is the trusted server. It is safe for concurrent use; see the
+// package comment for the locking model.
 type Server struct {
 	cfg   Config
 	out   Outbox
 	store *phl.Store
 	index stindex.Index
 	pseud *pseudonym.Manager
-	// gen is shared by all generalization sessions; its optional
-	// randomizer is guarded by mu (all generalization runs under it).
+	// gen is shared by all generalization sessions; its components
+	// (index, store, randomizer) each carry their own synchronization.
 	gen *generalize.Generalizer
 
-	mu       sync.Mutex
+	// stateMu guards only the user registry and the notifier pointer —
+	// never an individual user's state, and never a whole request.
+	stateMu  sync.RWMutex
 	users    map[phl.UserID]*userState
-	nextID   wire.MsgID
 	notifier Notifier
+
+	// nextID is the TS↔SP message counter.
+	nextID atomic.Int64
 
 	// Response routing has its own lock: the SP may call DeliverResponse
 	// synchronously from inside Deliver, i.e. while Request still holds
@@ -282,9 +309,9 @@ func (s *Server) Pseudonyms() *pseudonym.Manager { return s.pseud }
 // RegisterUser sets the user's privacy policy. Users not registered get
 // the default policy on first contact.
 func (s *Server) RegisterUser(u phl.UserID, p Policy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.state(u)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.policy = p
 }
 
@@ -295,9 +322,9 @@ func (s *Server) AddLBQID(u phl.UserID, q *lbqid.LBQID) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.state(u)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.patterns = append(st.patterns, q)
 	st.matchers = append(st.matchers, lbqid.NewMatcher(q))
 	return nil
@@ -322,24 +349,40 @@ func (s *Server) AddLBQIDSpec(u phl.UserID, def string) error {
 // request (the PHL holds those too — Def. 6 explicitly includes them).
 func (s *Server) RecordLocation(u phl.UserID, p geo.STPoint) {
 	s.store.Record(u, p)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.index.Insert(u, p)
-	s.state(u).lastSeen = p
+	st := s.state(u)
+	st.mu.Lock()
+	st.lastSeen = p
+	st.mu.Unlock()
 }
 
-// state returns (creating if needed) the user's bookkeeping. Callers
-// hold s.mu.
+// state returns (creating if needed) the user's bookkeeping. It takes
+// only the registry lock; callers lock the returned state themselves.
 func (s *Server) state(u phl.UserID) *userState {
-	st, ok := s.users[u]
-	if !ok {
-		st = &userState{
-			policy:   s.cfg.DefaultPolicy,
-			sessions: make(map[int]*generalize.Session),
-		}
-		s.users[u] = st
+	s.stateMu.RLock()
+	st := s.users[u]
+	s.stateMu.RUnlock()
+	if st != nil {
+		return st
 	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if st := s.users[u]; st != nil {
+		return st
+	}
+	st = &userState{
+		policy:   s.cfg.DefaultPolicy,
+		sessions: make(map[int]*generalize.Session),
+	}
+	s.users[u] = st
 	return st
+}
+
+// getNotifier reads the registered notifier under the registry lock.
+func (s *Server) getNotifier() Notifier {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.notifier
 }
 
 // tolerance returns the service's constraints.
@@ -352,14 +395,17 @@ func (s *Server) tolerance(service string) generalize.Tolerance {
 
 // Request processes one service request issued by user u from the exact
 // position/instant p (§3: the TS knows the exact point and time).
+// Requests from different users run concurrently; requests from the
+// same user serialize on the user's session lock.
 func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[string]string) Decision {
-	// The request is also a location update.
+	// The request is also a location update. Store and index carry their
+	// own synchronization, so ingestion happens outside any session lock.
 	s.store.Record(u, p)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.index.Insert(u, p)
+
 	st := s.state(u)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.lastSeen = p
 	s.Counters.Inc("requests")
 	// Assign the pseudonym up front: an unlinking action during this
@@ -378,8 +424,7 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 		}
 	}
 
-	s.nextID++
-	id := s.nextID
+	id := wire.MsgID(s.nextID.Add(1))
 	dec := Decision{HKAnonymity: true}
 
 	// Effective policy for this request: the rule resolver, when
@@ -495,7 +540,7 @@ func (s *Server) decayFor(p Policy) generalize.DecaySchedule {
 // unlink performs the §6.1 step-2 action: rotate the pseudonym — inside
 // a static mix zone the user recently crossed, or inside a freshly
 // planned on-demand zone — and reset all partially matched patterns. On
-// failure the user is flagged at risk. Callers hold s.mu.
+// failure the user is flagged at risk. Callers hold st.mu.
 func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, dec *Decision) {
 	// A recent static-zone crossing makes rotation safe immediately.
 	lookback := p.T - 4*3600
@@ -524,18 +569,18 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 	if !st.atRisk {
 		st.atRisk = true
 		s.Counters.Inc("at_risk")
-		if s.notifier != nil {
-			s.notifier.AtRisk(u, "generalization failed and no unlinking opportunity")
+		if n := s.getNotifier(); n != nil {
+			n.AtRisk(u, "generalization failed and no unlinking opportunity")
 		}
 	}
 }
 
 // rotate changes the pseudonym and resets all exposure evidence tied to
-// the old one. Callers hold s.mu.
+// the old one. Callers hold st.mu.
 func (s *Server) rotate(u phl.UserID, st *userState) {
 	old, fresh := s.pseud.Rotate(u)
-	if s.notifier != nil {
-		s.notifier.Unlinked(u, old, fresh)
+	if n := s.getNotifier(); n != nil {
+		n.Unlinked(u, old, fresh)
 	}
 	for _, m := range st.matchers {
 		m.Reset()
@@ -552,9 +597,10 @@ func (s *Server) Rotations(u phl.UserID) int { return s.pseud.Rotations(u) }
 // AtRisk reports whether the user is currently flagged at risk of
 // identification.
 func (s *Server) AtRisk(u phl.UserID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.state(u).atRisk
+	st := s.state(u)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.atRisk
 }
 
 // tolMaxW/H/D resolve a tolerance bound, leaving the dimension
@@ -622,8 +668,6 @@ func (s *Server) RestorePHL(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, u := range loaded.Users() {
 		for _, p := range loaded.History(u).Points() {
 			s.store.Record(u, p)
@@ -646,8 +690,10 @@ func (f InboxFunc) Receive(resp *wire.Response) { f(resp) }
 
 // Notifier observes the privacy-relevant events of §6.1/§7: the
 // at-risk warning (the paper suggests an open/closed-lock style UI) and
-// unlinking actions. All methods are called with the server lock held;
-// implementations must not call back into the server.
+// unlinking actions. Methods are called with the affected user's
+// session lock held (possibly from many goroutines at once, for
+// different users); implementations must be safe for concurrent use and
+// must not call back into the server.
 type Notifier interface {
 	AtRisk(u phl.UserID, reason string)
 	Unlinked(u phl.UserID, oldPseudonym, newPseudonym wire.Pseudonym)
@@ -662,8 +708,8 @@ func (s *Server) SetInbox(u phl.UserID, in Inbox) {
 
 // SetNotifier registers the privacy-event observer.
 func (s *Server) SetNotifier(n Notifier) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	s.notifier = n
 }
 
