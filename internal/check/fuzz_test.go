@@ -1,0 +1,87 @@
+package check
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"histanon/internal/generalize"
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// fuzzBytes pads data so shape bytes always exist; the first 8 bytes
+// seed the workload RNG, the rest select sizes. Fuzzed inputs therefore
+// explore both the RNG stream and the workload geometry.
+func fuzzBytes(data []byte) []byte {
+	for len(data) < 16 {
+		data = append(data, 0)
+	}
+	return data
+}
+
+// FuzzIndexAgreement is the differential oracle as a native fuzz
+// target: any input on which a non-brute index disagrees with brute
+// force becomes a crasher and, once fixed, a regression corpus entry.
+func FuzzIndexAgreement(f *testing.F) {
+	f.Add([]byte("index-agreement"))
+	f.Add([]byte("degenerate boxes + knn over population"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		data = fuzzBytes(data)
+		cfg := WorkloadConfig{
+			Seed:       int64(binary.LittleEndian.Uint64(data[:8])),
+			Users:      1 + int(data[8]%32),
+			Samples:    10 + int(data[9]),
+			BoxQueries: 1 + int(data[10]%6),
+			KNNQueries: 1 + int(data[11]%6),
+			MaxK:       1 + int(data[12]%16),
+			TimeScale:  0.25 * float64(1+data[13]%8),
+		}
+		w := NewWorkload(cfg)
+		for _, d := range RunDifferential(w) {
+			t.Errorf("%s", d)
+		}
+	})
+}
+
+// FuzzAlgorithm1Invariants fuzzes the privacy layer end to end: random
+// populations, k values, tolerances and traces, all checked against the
+// Algorithm 1 / Def. 8 contract.
+func FuzzAlgorithm1Invariants(f *testing.F) {
+	f.Add([]byte("algorithm-one"))
+	f.Add([]byte("tight tolerance tiny population"))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 200, 3, 64, 5, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		data = fuzzBytes(data)
+		pop := NewPopulation(PopulationConfig{
+			Seed:           int64(binary.LittleEndian.Uint64(data[:8])),
+			Users:          1 + int(data[8]%32),
+			SamplesPerUser: 1 + int(data[9]%10),
+		}, nil)
+		k := 1 + int(data[10]%36) // may exceed the population
+		issuer := phl.UserID(int(data[11]) % pop.Cfg.Users)
+		var tol generalize.Tolerance
+		if data[12]%2 == 1 {
+			tol = generalize.Tolerance{
+				MaxWidth:    float64(1+data[13]) * 4,
+				MaxHeight:   float64(1+data[14]) * 4,
+				MaxDuration: int64(1+data[15]) * 8,
+			}
+		}
+		g := pop.Generalizer(int64(data[12] % 3))
+		if err := CheckFirstElement(pop, g, pop.RandomQuery(), issuer, k, tol); err != nil {
+			t.Fatal(err)
+		}
+		trace := make([]geo.STPoint, 1+int(data[14]%4))
+		for i := range trace {
+			trace[i] = pop.RandomQuery()
+		}
+		sched := generalize.DecaySchedule{Target: 1 + int(data[10]%6), Initial: 1 + int(data[13]%8)}
+		if err := CheckSession(pop, g, issuer, trace, sched, tol); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckKMonotone(pop, pop.RandomQuery(), issuer, 1+int(data[15]%10)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

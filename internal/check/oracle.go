@@ -1,0 +1,284 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+	"histanon/internal/stindex"
+)
+
+// distEps is the tolerance for comparing metric distances. All index
+// implementations call geo.STMetric.Dist on identical float64 inputs, so
+// matching results agree bit-for-bit; the epsilon only forgives future
+// implementations that reassociate the arithmetic.
+const distEps = 1e-9
+
+// RunDifferential builds every index, applies the workload's inserts,
+// runs every query against every implementation, and returns all
+// divergences from the brute-force baseline. An empty slice means full
+// agreement.
+func RunDifferential(w *Workload) []Divergence {
+	indexes := buildAll(w)
+	return diffAll(w, indexes, ownership(w))
+}
+
+// RunConcurrent replays the workload with writers goroutines inserting
+// while two reader goroutines issue the query mix against the live
+// index. During mutation only structural invariants are checked (exact
+// agreement is unobservable mid-insert); after all writers join, the
+// quiescent indexes must agree with brute force exactly. Run under
+// -race: the interleaving itself is the point.
+func RunConcurrent(w *Workload, writers int) []Divergence {
+	if writers < 1 {
+		writers = 1
+	}
+	owners := ownership(w)
+	var (
+		mu   sync.Mutex
+		divs []Divergence
+	)
+	report := func(d Divergence) {
+		mu.Lock()
+		divs = append(divs, d)
+		mu.Unlock()
+	}
+
+	indexes := map[string]stindex.Index{}
+	for name, mk := range Indexes(w.Cfg) {
+		indexes[name] = mk()
+	}
+	var wg sync.WaitGroup
+	for name, idx := range indexes {
+		name, idx := name, idx
+		for wr := 0; wr < writers; wr++ {
+			wg.Add(1)
+			go func(wr int) {
+				defer wg.Done()
+				for i := wr; i < len(w.Inserts); i += writers {
+					idx.Insert(w.Inserts[i].User, w.Inserts[i].Point)
+				}
+			}(wr)
+		}
+		// Two readers: one sweeps box queries, one KNN queries, both
+		// racing the writers.
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for qi, box := range w.Boxes {
+				users := idx.UsersInBox(box)
+				for _, d := range checkBoxStructure(name, qi, box, users, owners) {
+					report(d)
+				}
+				idx.CountUsersInBox(box)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for qi, q := range w.KNNs {
+				got := idx.KNearestUsers(q.Q, q.K, w.Metric, q.Exclude)
+				for _, d := range checkKNNStructure(name, qi, q, got, w.Metric, owners) {
+					report(d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Quiescent phase: with every insert published, all implementations
+	// must agree with brute force exactly.
+	divs = append(divs, diffAll(w, indexes, owners)...)
+	return divs
+}
+
+// buildAll constructs and fully populates every index sequentially.
+func buildAll(w *Workload) map[string]stindex.Index {
+	indexes := map[string]stindex.Index{}
+	for name, mk := range Indexes(w.Cfg) {
+		idx := mk()
+		for _, in := range w.Inserts {
+			idx.Insert(in.User, in.Point)
+		}
+		indexes[name] = idx
+	}
+	return indexes
+}
+
+// ownership maps each user to the set of samples inserted for them, so
+// structural checks can verify that query results only ever surface
+// points that were actually inserted for the claimed user.
+func ownership(w *Workload) map[phl.UserID]map[geo.STPoint]bool {
+	owners := map[phl.UserID]map[geo.STPoint]bool{}
+	for _, in := range w.Inserts {
+		set := owners[in.User]
+		if set == nil {
+			set = map[geo.STPoint]bool{}
+			owners[in.User] = set
+		}
+		set[in.Point] = true
+	}
+	return owners
+}
+
+// diffAll compares every non-brute index against brute on every query.
+func diffAll(w *Workload, indexes map[string]stindex.Index, owners map[phl.UserID]map[geo.STPoint]bool) []Divergence {
+	var divs []Divergence
+	brute := indexes["brute"]
+	names := make([]string, 0, len(indexes))
+	for name := range indexes {
+		if name != "brute" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	if want := len(w.Inserts); brute.Len() != want {
+		divs = append(divs, Divergence{Index: "brute", Kind: "len", Query: -1,
+			Detail: fmt.Sprintf("Len=%d want %d", brute.Len(), want)})
+	}
+	for _, name := range names {
+		if got, want := indexes[name].Len(), brute.Len(); got != want {
+			divs = append(divs, Divergence{Index: name, Kind: "len", Query: -1,
+				Detail: fmt.Sprintf("Len=%d brute has %d", got, want)})
+		}
+	}
+
+	for qi, box := range w.Boxes {
+		want := userSet(brute.UsersInBox(box))
+		divs = append(divs, checkBoxStructure("brute", qi, box, brute.UsersInBox(box), owners)...)
+		for _, name := range names {
+			idx := indexes[name]
+			got := idx.UsersInBox(box)
+			divs = append(divs, checkBoxStructure(name, qi, box, got, owners)...)
+			if !equalSets(want, userSet(got)) {
+				divs = append(divs, Divergence{Index: name, Kind: "box-users", Query: qi,
+					Detail: fmt.Sprintf("box %v: got %v want %v", box, sorted(userSet(got)), sorted(want))})
+			}
+			if n := idx.CountUsersInBox(box); n != len(want) {
+				divs = append(divs, Divergence{Index: name, Kind: "box-count", Query: qi,
+					Detail: fmt.Sprintf("box %v: count %d want %d", box, n, len(want))})
+			}
+		}
+	}
+
+	for qi, q := range w.KNNs {
+		want := brute.KNearestUsers(q.Q, q.K, w.Metric, q.Exclude)
+		divs = append(divs, checkKNNStructure("brute", qi, q, want, w.Metric, owners)...)
+		for _, name := range names {
+			got := indexes[name].KNearestUsers(q.Q, q.K, w.Metric, q.Exclude)
+			divs = append(divs, checkKNNStructure(name, qi, q, got, w.Metric, owners)...)
+			if len(got) != len(want) {
+				divs = append(divs, Divergence{Index: name, Kind: "knn-len", Query: qi,
+					Detail: fmt.Sprintf("k=%d: %d results, brute has %d", q.K, len(got), len(want))})
+				continue
+			}
+			// Distances must agree pointwise. User identities may differ
+			// only where distances tie, so the i-th distance — and in
+			// particular the k-th distance bound — is the oracle.
+			for i := range got {
+				gd := w.Metric.Dist(got[i].Point, q.Q)
+				wd := w.Metric.Dist(want[i].Point, q.Q)
+				if math.Abs(gd-wd) > distEps {
+					divs = append(divs, Divergence{Index: name, Kind: "knn-dist", Query: qi,
+						Detail: fmt.Sprintf("k=%d result %d: dist %g, brute %g", q.K, i, gd, wd)})
+					break
+				}
+			}
+		}
+	}
+	return divs
+}
+
+// checkBoxStructure verifies implementation-independent facts about one
+// box-query result: distinct users, and every reported user really has
+// an inserted sample inside the box.
+func checkBoxStructure(name string, qi int, box geo.STBox, users []phl.UserID, owners map[phl.UserID]map[geo.STPoint]bool) []Divergence {
+	var divs []Divergence
+	seen := map[phl.UserID]bool{}
+	for _, u := range users {
+		if seen[u] {
+			divs = append(divs, Divergence{Index: name, Kind: "box-dup", Query: qi,
+				Detail: fmt.Sprintf("user %v listed twice", u)})
+		}
+		seen[u] = true
+		found := false
+		for p := range owners[u] {
+			if box.Contains(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			divs = append(divs, Divergence{Index: name, Kind: "box-member", Query: qi,
+				Detail: fmt.Sprintf("user %v has no inserted sample in %v", u, box)})
+		}
+	}
+	return divs
+}
+
+// checkKNNStructure verifies implementation-independent facts about one
+// KNN result: at most k entries, distinct users, excluded users absent,
+// non-decreasing distances, and points that belong to the claimed user.
+func checkKNNStructure(name string, qi int, q KNNQuery, got []stindex.UserPoint, m geo.STMetric, owners map[phl.UserID]map[geo.STPoint]bool) []Divergence {
+	var divs []Divergence
+	if len(got) > q.K {
+		divs = append(divs, Divergence{Index: name, Kind: "knn-over", Query: qi,
+			Detail: fmt.Sprintf("%d results for k=%d", len(got), q.K)})
+	}
+	seen := map[phl.UserID]bool{}
+	prev := math.Inf(-1)
+	for i, e := range got {
+		if seen[e.User] {
+			divs = append(divs, Divergence{Index: name, Kind: "knn-dup", Query: qi,
+				Detail: fmt.Sprintf("user %v appears twice", e.User)})
+		}
+		seen[e.User] = true
+		if q.Exclude[e.User] {
+			divs = append(divs, Divergence{Index: name, Kind: "knn-excluded", Query: qi,
+				Detail: fmt.Sprintf("excluded user %v returned", e.User)})
+		}
+		d := m.Dist(e.Point, q.Q)
+		if d < prev-distEps {
+			divs = append(divs, Divergence{Index: name, Kind: "knn-order", Query: qi,
+				Detail: fmt.Sprintf("result %d dist %g < previous %g", i, d, prev)})
+		}
+		prev = d
+		if !owners[e.User][e.Point] {
+			divs = append(divs, Divergence{Index: name, Kind: "knn-member", Query: qi,
+				Detail: fmt.Sprintf("point %v was never inserted for user %v", e.Point, e.User)})
+		}
+	}
+	return divs
+}
+
+func userSet(ids []phl.UserID) map[phl.UserID]bool {
+	s := make(map[phl.UserID]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+func equalSets(a, b map[phl.UserID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sorted(s map[phl.UserID]bool) []phl.UserID {
+	out := make([]phl.UserID, 0, len(s))
+	for u := range s {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,35 @@
+package check
+
+import "testing"
+
+// Pinned regression seeds. The first full oracle run (200 sweep
+// workloads, 40 tiny populations, 6 concurrent schedules) surfaced no
+// index disagreement, so per policy the passing run is frozen here as
+// explicit WorkloadConfig literals. These must never be regenerated or
+// renumbered: if an index change makes one diverge, that seed is the
+// reproducer. New divergences found later get appended, not merged into
+// the sweeps.
+var pinnedWorkloads = []WorkloadConfig{
+	// Extremes of the passing sweep in TestDifferentialOracle.
+	{Seed: 1, Users: 9, Samples: 200, BoxQueries: 10, KNNQueries: 10, TimeScale: 0.5},
+	{Seed: 64, Users: 32, Samples: 440, BoxQueries: 10, KNNQueries: 10, TimeScale: 0.25},
+	{Seed: 199, Users: 47, Samples: 440, BoxQueries: 10, KNNQueries: 10, TimeScale: 1.0},
+	// Tiny-population corner from TestDifferentialOracleTinyPopulations.
+	{Seed: 3, Users: 1, Samples: 4, BoxQueries: 4, KNNQueries: 6, MaxK: 5},
+	{Seed: 38, Users: 3, Samples: 4, BoxQueries: 4, KNNQueries: 6, MaxK: 5},
+	// Concurrent-schedule seeds from TestConcurrentOracle (replayed
+	// sequentially here; TestConcurrentOracle keeps the racing replay).
+	{Seed: 1001, Users: 24, Samples: 600, BoxQueries: 8, KNNQueries: 8},
+	{Seed: 1006, Users: 24, Samples: 600, BoxQueries: 8, KNNQueries: 8},
+}
+
+func TestPinnedRegressionSeeds(t *testing.T) {
+	for _, cfg := range pinnedWorkloads {
+		if divs := RunDifferential(NewWorkload(cfg)); len(divs) > 0 {
+			for _, d := range divs {
+				t.Errorf("pinned cfg %+v: %s", cfg, d)
+			}
+			t.Fatalf("pinned regression seed %d diverged", cfg.Seed)
+		}
+	}
+}

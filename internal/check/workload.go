@@ -1,0 +1,207 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+	"histanon/internal/stindex"
+)
+
+// WorkloadConfig parameterizes one randomized workload. The zero value
+// of any field selects a sensible default, so a workload is fully
+// reproducible from {Seed} alone.
+type WorkloadConfig struct {
+	// Seed drives every random choice in the workload.
+	Seed int64
+	// Users is the number of distinct users.
+	Users int
+	// Samples is the total number of location samples across users.
+	Samples int
+	// Extent is the side (meters) of the square the trajectories roam;
+	// walks are centered on the origin so negative coordinates occur.
+	Extent float64
+	// TimeSpan is the trajectory duration in seconds.
+	TimeSpan int64
+	// BoxQueries and KNNQueries size the query mix.
+	BoxQueries int
+	KNNQueries int
+	// MaxK bounds the k of KNN queries; some queries deliberately exceed
+	// the user count to exercise the k >= population paths.
+	MaxK int
+	// TimeScale is the metric's seconds-to-meters factor.
+	TimeScale float64
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Users <= 0 {
+		c.Users = 32
+	}
+	if c.Samples <= 0 {
+		c.Samples = 400
+	}
+	if c.Extent <= 0 {
+		c.Extent = 2000
+	}
+	if c.TimeSpan <= 0 {
+		c.TimeSpan = 7200
+	}
+	if c.BoxQueries < 0 {
+		c.BoxQueries = 0
+	}
+	if c.KNNQueries < 0 {
+		c.KNNQueries = 0
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 12
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 0.5
+	}
+	return c
+}
+
+// KNNQuery is one k-nearest-users query of a workload.
+type KNNQuery struct {
+	Q       geo.STPoint
+	K       int
+	Exclude map[phl.UserID]bool
+}
+
+// Workload is a reproducible insert-and-query schedule. Inserts are
+// interleaved across users in trajectory (time) order, so a prefix of
+// the insert list is itself a meaningful smaller workload and concurrent
+// writers each replay a coherent slice.
+type Workload struct {
+	Cfg     WorkloadConfig
+	Metric  geo.STMetric
+	Inserts []stindex.UserPoint
+	Boxes   []geo.STBox
+	KNNs    []KNNQuery
+}
+
+// NewWorkload generates the workload determined by cfg.
+func NewWorkload(cfg WorkloadConfig) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{Cfg: cfg, Metric: geo.STMetric{TimeScale: cfg.TimeScale}}
+
+	w.Inserts = genTrajectories(rng, cfg)
+	for i := 0; i < cfg.BoxQueries; i++ {
+		w.Boxes = append(w.Boxes, genBox(rng, cfg, w.Inserts))
+	}
+	for i := 0; i < cfg.KNNQueries; i++ {
+		w.KNNs = append(w.KNNs, genKNN(rng, cfg))
+	}
+	return w
+}
+
+// genTrajectories random-walks every user through the extent and
+// interleaves the samples in time order. A fraction of samples is
+// snapped to a coarse lattice so exact duplicates, shared positions
+// across users, and boundary-exact query hits all occur.
+func genTrajectories(rng *rand.Rand, cfg WorkloadConfig) []stindex.UserPoint {
+	half := cfg.Extent / 2
+	step := cfg.Extent / 20
+	pos := make([]geo.Point, cfg.Users)
+	for u := range pos {
+		pos[u] = geo.Point{X: rng.Float64()*cfg.Extent - half, Y: rng.Float64()*cfg.Extent - half}
+	}
+	out := make([]stindex.UserPoint, 0, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		u := i % cfg.Users
+		p := pos[u]
+		p.X = clamp(p.X+rng.NormFloat64()*step, -half, half)
+		p.Y = clamp(p.Y+rng.NormFloat64()*step, -half, half)
+		pos[u] = p
+		t := int64(float64(cfg.TimeSpan) * float64(i) / float64(cfg.Samples))
+		t += int64(rng.Intn(7)) - 3 // jitter so per-user times are not perfectly regular
+		sample := geo.STPoint{P: p, T: t}
+		if rng.Intn(8) == 0 {
+			// Lattice-snapped sample: collides with other snapped samples
+			// and with lattice-aligned query-box edges.
+			sample.P.X = math.Round(sample.P.X/step) * step
+			sample.P.Y = math.Round(sample.P.Y/step) * step
+			sample.T = t - t%60
+		}
+		out = append(out, stindex.UserPoint{User: phl.UserID(u), Point: sample})
+		if rng.Intn(32) == 0 && len(out) > 1 {
+			// Exact duplicate of an earlier sample, possibly re-attributed
+			// to a different user: distance ties and multi-owner points.
+			dup := out[rng.Intn(len(out)-1)]
+			if rng.Intn(2) == 0 {
+				dup.User = phl.UserID(rng.Intn(cfg.Users))
+			}
+			out = append(out, dup)
+		}
+	}
+	return out
+}
+
+// genBox produces a box query: usually centered on an inserted sample
+// (so it is non-empty), sometimes degenerate (zero width or duration),
+// sometimes disjoint from the data, sometimes covering everything.
+func genBox(rng *rand.Rand, cfg WorkloadConfig, ins []stindex.UserPoint) geo.STBox {
+	switch rng.Intn(10) {
+	case 0: // whole-world box
+		return geo.STBox{
+			Area: geo.Rect{MinX: -2 * cfg.Extent, MinY: -2 * cfg.Extent, MaxX: 2 * cfg.Extent, MaxY: 2 * cfg.Extent},
+			Time: geo.Interval{Start: -cfg.TimeSpan, End: 2 * cfg.TimeSpan},
+		}
+	case 1: // far outside the populated region
+		return geo.STBox{
+			Area: geo.Rect{MinX: 10 * cfg.Extent, MinY: 10 * cfg.Extent, MaxX: 11 * cfg.Extent, MaxY: 11 * cfg.Extent},
+			Time: geo.Interval{Start: 0, End: cfg.TimeSpan},
+		}
+	case 2: // degenerate: exactly one inserted point
+		p := ins[rng.Intn(len(ins))].Point
+		return geo.STBoxAround(p)
+	}
+	c := ins[rng.Intn(len(ins))].Point
+	w := rng.Float64() * cfg.Extent / 4
+	h := rng.Float64() * cfg.Extent / 4
+	dt := int64(rng.Intn(int(cfg.TimeSpan/4) + 1))
+	if rng.Intn(6) == 0 {
+		w = 0 // zero-width slab
+	}
+	if rng.Intn(6) == 0 {
+		dt = 0 // single-instant slab
+	}
+	return geo.STBox{
+		Area: geo.Rect{MinX: c.P.X - w, MinY: c.P.Y - h, MaxX: c.P.X + w, MaxY: c.P.Y + h},
+		Time: geo.Interval{Start: c.T - dt, End: c.T + dt},
+	}
+}
+
+// genKNN produces a k-nearest query with varied k (including k greater
+// than the population) and exclusion sets of size 0..3.
+func genKNN(rng *rand.Rand, cfg WorkloadConfig) KNNQuery {
+	half := cfg.Extent / 2
+	q := geo.STPoint{
+		P: geo.Point{X: rng.Float64()*cfg.Extent*1.5 - half*1.5, Y: rng.Float64()*cfg.Extent*1.5 - half*1.5},
+		T: int64(rng.Float64() * float64(cfg.TimeSpan)),
+	}
+	k := 1 + rng.Intn(cfg.MaxK)
+	if rng.Intn(8) == 0 {
+		k = cfg.Users + rng.Intn(4) // k >= population: no-prune path
+	}
+	var exclude map[phl.UserID]bool
+	if n := rng.Intn(4); n > 0 {
+		exclude = make(map[phl.UserID]bool, n)
+		for i := 0; i < n; i++ {
+			exclude[phl.UserID(rng.Intn(cfg.Users))] = true
+		}
+	}
+	return KNNQuery{Q: q, K: k, Exclude: exclude}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,147 @@
+package httpapi
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"histanon/internal/tgran"
+	"histanon/internal/ts"
+	"histanon/internal/wire"
+)
+
+// newHTTPServer exposes an existing ts.Server (with a custom outbox)
+// over httptest, unlike newTestServer which builds its own.
+func newHTTPServer(t *testing.T, srv *ts.Server) *httptest.Server {
+	t.Helper()
+	hts := httptest.NewServer(New(srv))
+	t.Cleanup(hts.Close)
+	return hts
+}
+
+// TestConcurrentRequestStress race-stresses the HTTP layer the way
+// internal/ts/concurrency_test.go stresses the server directly: several
+// clients issue matching and non-matching requests over real HTTP while
+// recording locations and polling stats. The outbox captures every
+// forwarded wire.Request server-side (DecisionResponse does not carry
+// the msgid), so msgid uniqueness and counter balance are checked
+// end to end through the JSON encode/decode path. Run under -race.
+func TestConcurrentRequestStress(t *testing.T) {
+	const (
+		clients   = 8
+		perClient = 30
+	)
+
+	var forwardedIDs sync.Map
+	var outboxCount int64
+	var outboxMu sync.Mutex
+	srv := ts.New(ts.Config{
+		DefaultPolicy: ts.Policy{K: 5},
+		RandomizeSeed: 11,
+	}, ts.OutboxFunc(func(r *wire.Request) {
+		if _, dup := forwardedIDs.LoadOrStore(r.ID, true); dup {
+			t.Errorf("duplicate msgid %d forwarded", r.ID)
+		}
+		outboxMu.Lock()
+		outboxCount++
+		outboxMu.Unlock()
+	}))
+	hts := newHTTPServer(t, srv)
+
+	setup := NewClient(hts.URL)
+	for c := 0; c < clients; c++ {
+		spec := fmt.Sprintf(`
+lbqid "commute%d" {
+    element area [0,400]x[0,400] time [06:00,10:00]
+    recurrence 1.Days
+}`, c)
+		if err := setup.AddLBQID(int64(c), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crowd population so the generalization path can reach k=5.
+	rng := rand.New(rand.NewSource(23))
+	for u := int64(1000); u < 1060; u++ {
+		for d := int64(0); d < 5; d++ {
+			tm := d*tgran.Day + 7*tgran.Hour + int64(rng.Intn(7200))
+			if err := setup.RecordLocation(u, rng.Float64()*400, rng.Float64()*400, tm); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := NewClient(hts.URL)
+			rng := rand.New(rand.NewSource(int64(300 + c)))
+			for i := 0; i < perClient; i++ {
+				req := ServiceRequest{User: int64(c), Service: "navigation"}
+				if i%2 == 0 {
+					// Inside the LBQID window and area: generalization path.
+					req.X, req.Y = 200, 200
+					req.T = int64(i%5)*tgran.Day + 7*tgran.Hour + int64(rng.Intn(3600))
+				} else {
+					req.X, req.Y = 5000, 5000
+					req.T = int64(i%5)*tgran.Day + 14*tgran.Hour + int64(rng.Intn(3600))
+				}
+				dec, err := client.Request(req)
+				if err != nil {
+					t.Errorf("client %d request %d: %v", c, i, err)
+					return
+				}
+				if dec.Forwarded && dec.Context == nil {
+					t.Errorf("client %d: forwarded decision without context", c)
+					return
+				}
+				if dec.Forwarded && dec.Pseudonym == "" {
+					t.Errorf("client %d: forwarded decision without pseudonym", c)
+					return
+				}
+				if err := client.RecordLocation(int64(c), req.X, req.Y, req.T); err != nil {
+					t.Errorf("client %d location: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	// A stats poller racing the writers through the same HTTP handler.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := NewClient(hts.URL)
+		for i := 0; i < 20; i++ {
+			if _, err := client.Stats(); err != nil {
+				t.Errorf("stats poll: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	stats, err := setup.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stats.Counters["requests"], int64(clients*perClient); got != want {
+		t.Fatalf("requests counter = %d, want %d", got, want)
+	}
+	var unique int64
+	forwardedIDs.Range(func(_, _ interface{}) bool { unique++; return true })
+	if got := stats.Counters["forwarded"]; got != unique {
+		t.Fatalf("forwarded counter = %d, but outbox saw %d unique msgids", got, unique)
+	}
+	outboxMu.Lock()
+	sent := outboxCount
+	outboxMu.Unlock()
+	if sent != unique {
+		t.Fatalf("outbox delivered %d requests but only %d unique msgids", sent, unique)
+	}
+	if stats.Counters["generalized"] == 0 {
+		t.Fatal("no request took the generalization path; test lost its teeth")
+	}
+}

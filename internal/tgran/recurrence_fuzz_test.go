@@ -1,0 +1,127 @@
+package tgran
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// fuzzGranularity maps a selector byte to a granularity. The palette
+// deliberately includes degenerate members: a zero-span Uniform (granule
+// [start,start) contains no instant at all), a one-second period, and
+// gappy granularities (single weekdays, business days).
+func fuzzGranularity(sel, param byte) Granularity {
+	switch sel % 8 {
+	case 0:
+		return Hours
+	case 1:
+		return Days
+	case 2:
+		return Weeks
+	case 3:
+		return WeekdaysG
+	case 4:
+		return DayOfWeek(time.Weekday(int(param) % 7))
+	case 5:
+		return Group("group", Days, 1+int64(param%4))
+	case 6:
+		// Zero-length granules: GranuleOf never succeeds.
+		return &Uniform{GName: "empty", Origin: int64(param) * Hour, Period: Day, Span: 0}
+	default:
+		// Gappy: covers only the first param+1 hours of each day.
+		return &Uniform{GName: "gappy", Origin: 0, Period: Day, Span: (1 + int64(param%23)) * Hour}
+	}
+}
+
+// fuzzRecurrence builds a structurally valid recurrence from spec bytes,
+// three bytes per term (count, granularity selector, parameter). Counts
+// include r=1 terms, the ISSUE's degenerate case.
+func fuzzRecurrence(spec []byte) Recurrence {
+	var terms []Term
+	for i := 0; i+2 < len(spec) && len(terms) < 4; i += 3 {
+		terms = append(terms, Term{
+			R: 1 + int64(spec[i]%4),
+			G: fuzzGranularity(spec[i+1], spec[i+2]),
+		})
+	}
+	return Recurrence{Terms: terms}
+}
+
+// fuzzObservations decodes timestamps from bytes (two bytes per instant,
+// scaled so the stream spans about a year) and chunks them into
+// observations of one to three instants.
+func fuzzObservations(times []byte) []Observation {
+	var instants []int64
+	for i := 0; i+1 < len(times) && len(instants) < 64; i += 2 {
+		instants = append(instants, (int64(times[i])<<8|int64(times[i+1]))*450)
+	}
+	var obs []Observation
+	for i := 0; i < len(instants); {
+		n := 1 + i%3
+		if i+n > len(instants) {
+			n = len(instants) - i
+		}
+		obs = append(obs, Observation(instants[i:i+n]))
+		i += n
+	}
+	return obs
+}
+
+// FuzzRecurrenceSatisfied exercises Satisfied/Progress over arbitrary
+// formulas and observation sets and asserts the semantic laws that hold
+// for every input: validity of constructed formulas, Progress bounds and
+// its agreement with Satisfied, monotonicity under added observations,
+// idempotence under duplication, and CompatibleWithSequence accepting
+// every single-granule sorted observation.
+func FuzzRecurrenceSatisfied(f *testing.F) {
+	f.Add([]byte{0, 1, 0}, []byte{0, 0, 0, 1, 0, 2})                   // 1.Days, instants near epoch
+	f.Add([]byte{1, 2, 0, 0, 2, 0}, []byte{1, 0, 2, 0, 40, 0, 80, 0}) // 2.Weeks * 1.Weeks
+	f.Add([]byte{0, 6, 5}, []byte{9, 9})                              // r=1 over zero-span granules
+	f.Add([]byte{3, 3, 0, 1, 5, 1}, []byte{})                         // weekday formula, no observations
+	f.Fuzz(func(t *testing.T, spec, times []byte) {
+		r := fuzzRecurrence(spec)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("constructed recurrence %v invalid: %v", r, err)
+		}
+		obs := fuzzObservations(times)
+
+		sat := r.Satisfied(obs)
+		prog := r.Progress(obs)
+		if prog < 0 || prog > len(r.Terms) {
+			t.Fatalf("%v: Progress=%d outside [0,%d]", r, prog, len(r.Terms))
+		}
+		if len(r.Terms) > 0 && sat != (prog == len(r.Terms)) {
+			t.Fatalf("%v: Satisfied=%v but Progress=%d of %d", r, sat, prog, len(r.Terms))
+		}
+
+		// Monotone: a satisfied prefix of the observations stays satisfied
+		// with the rest appended, and Progress never decreases.
+		half := obs[:len(obs)/2]
+		if r.Satisfied(half) && !sat {
+			t.Fatalf("%v: adding observations unsatisfied the formula", r)
+		}
+		if hp := r.Progress(half); hp > prog {
+			t.Fatalf("%v: Progress dropped from %d to %d as observations grew", r, hp, prog)
+		}
+
+		// Idempotent: duplicating every observation changes nothing.
+		if r.Satisfied(append(append([]Observation{}, obs...), obs...)) != sat {
+			t.Fatalf("%v: duplication changed Satisfied", r)
+		}
+
+		// Any sorted observation lying in one granule of the innermost
+		// granularity is a compatible in-progress sequence.
+		if len(r.Terms) > 0 {
+			for _, o := range obs {
+				if _, ok := observationGranule(r.Terms[0].G, o); !ok {
+					continue
+				}
+				s := append([]int64{}, o...)
+				sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+				if !r.CompatibleWithSequence(s) {
+					t.Fatalf("%v: single-granule observation %v reported incompatible", r, s)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"histanon/internal/geo"
+)
+
+// Text codec for the TS↔SP channel. One request or response per line:
+//
+//	REQ v1 <id> <pseudonym> <service> <minx> <miny> <maxx> <maxy> <start> <end> <data>
+//	RESP v1 <id> <service> <data>
+//
+// Pseudonym, service and data are percent-encoded so the frame splits
+// unambiguously on single spaces. Data is url.Values-encoded with keys
+// sorted, or "-" when empty, making encoding canonical: equal messages
+// encode to equal strings. Floats use strconv 'g' with full precision,
+// so Encode/Parse round-trips contexts exactly.
+
+const codecVersion = "v1"
+
+// Validate reports whether r is a well-formed request: non-empty
+// pseudonym and service, and a valid, finite context box.
+func (r *Request) Validate() error {
+	if r.Pseudonym == "" {
+		return fmt.Errorf("wire: empty pseudonym")
+	}
+	if r.Service == "" {
+		return fmt.Errorf("wire: empty service")
+	}
+	if !r.Context.Area.Valid() || !r.Context.Time.Valid() {
+		return fmt.Errorf("wire: invalid context %v", r.Context)
+	}
+	for _, v := range []float64{r.Context.Area.MinX, r.Context.Area.MinY, r.Context.Area.MaxX, r.Context.Area.MaxY} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("wire: non-finite context coordinate %v", v)
+		}
+	}
+	return nil
+}
+
+// EncodeRequest renders r in the canonical text framing. It fails when
+// r does not Validate, so malformed requests cannot leave the TS.
+func EncodeRequest(r *Request) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	a := r.Context.Area
+	return strings.Join([]string{
+		"REQ", codecVersion,
+		strconv.FormatInt(int64(r.ID), 10),
+		url.QueryEscape(string(r.Pseudonym)),
+		url.QueryEscape(r.Service),
+		formatFloat(a.MinX), formatFloat(a.MinY), formatFloat(a.MaxX), formatFloat(a.MaxY),
+		strconv.FormatInt(r.Context.Time.Start, 10),
+		strconv.FormatInt(r.Context.Time.End, 10),
+		encodeData(r.Data),
+	}, " "), nil
+}
+
+// ParseRequest is the inverse of EncodeRequest. It rejects anything
+// EncodeRequest cannot produce, including non-canonical data encodings
+// and contexts that fail Validate.
+func ParseRequest(s string) (*Request, error) {
+	f := strings.Split(s, " ")
+	if len(f) != 12 {
+		return nil, fmt.Errorf("wire: request has %d fields, want 12", len(f))
+	}
+	if f[0] != "REQ" {
+		return nil, fmt.Errorf("wire: bad frame tag %q", f[0])
+	}
+	if f[1] != codecVersion {
+		return nil, fmt.Errorf("wire: unsupported version %q", f[1])
+	}
+	id, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad msgid %q: %v", f[2], err)
+	}
+	pseudo, err := unescape(f[3])
+	if err != nil {
+		return nil, err
+	}
+	svc, err := unescape(f[4])
+	if err != nil {
+		return nil, err
+	}
+	var coords [4]float64
+	for i, field := range f[5:9] {
+		coords[i], err = parseFloat(field)
+		if err != nil {
+			return nil, err
+		}
+	}
+	start, err := strconv.ParseInt(f[9], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad interval start %q: %v", f[9], err)
+	}
+	end, err := strconv.ParseInt(f[10], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad interval end %q: %v", f[10], err)
+	}
+	data, err := parseData(f[11])
+	if err != nil {
+		return nil, err
+	}
+	r := &Request{
+		ID:        MsgID(id),
+		Pseudonym: Pseudonym(pseudo),
+		Service:   svc,
+		Context: geo.STBox{
+			Area: geo.Rect{MinX: coords[0], MinY: coords[1], MaxX: coords[2], MaxY: coords[3]},
+			Time: geo.Interval{Start: start, End: end},
+		},
+		Data: data,
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// EncodeResponse renders a response frame.
+func EncodeResponse(r *Response) (string, error) {
+	if r.Service == "" {
+		return "", fmt.Errorf("wire: empty service")
+	}
+	return strings.Join([]string{
+		"RESP", codecVersion,
+		strconv.FormatInt(int64(r.ID), 10),
+		url.QueryEscape(r.Service),
+		encodeData(r.Payload),
+	}, " "), nil
+}
+
+// ParseResponse is the inverse of EncodeResponse.
+func ParseResponse(s string) (*Response, error) {
+	f := strings.Split(s, " ")
+	if len(f) != 5 {
+		return nil, fmt.Errorf("wire: response has %d fields, want 5", len(f))
+	}
+	if f[0] != "RESP" {
+		return nil, fmt.Errorf("wire: bad frame tag %q", f[0])
+	}
+	if f[1] != codecVersion {
+		return nil, fmt.Errorf("wire: unsupported version %q", f[1])
+	}
+	id, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad msgid %q: %v", f[2], err)
+	}
+	svc, err := unescape(f[3])
+	if err != nil {
+		return nil, err
+	}
+	if svc == "" {
+		return nil, fmt.Errorf("wire: empty service")
+	}
+	payload, err := parseData(f[4])
+	if err != nil {
+		return nil, err
+	}
+	return &Response{ID: MsgID(id), Service: svc, Payload: payload}, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func parseFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad coordinate %q: %v", s, err)
+	}
+	return v, nil
+}
+
+func unescape(s string) (string, error) {
+	out, err := url.QueryUnescape(s)
+	if err != nil {
+		return "", fmt.Errorf("wire: bad escaping in %q: %v", s, err)
+	}
+	return out, nil
+}
+
+// encodeData renders a data map canonically: keys sorted, url-escaped,
+// "-" for an empty or nil map.
+func encodeData(m map[string]string) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = url.QueryEscape(k) + "=" + url.QueryEscape(m[k])
+	}
+	return strings.Join(parts, "&")
+}
+
+// parseData is the inverse of encodeData. It rejects empty keys and
+// duplicate keys (which encodeData cannot produce).
+func parseData(s string) (map[string]string, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	if s == "" {
+		return nil, fmt.Errorf("wire: empty data field (want \"-\")")
+	}
+	m := map[string]string{}
+	for _, pair := range strings.Split(s, "&") {
+		k, v, found := strings.Cut(pair, "=")
+		if !found {
+			return nil, fmt.Errorf("wire: data pair %q has no '='", pair)
+		}
+		key, err := unescape(k)
+		if err != nil {
+			return nil, err
+		}
+		if key == "" {
+			return nil, fmt.Errorf("wire: empty data key in %q", pair)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("wire: duplicate data key %q", key)
+		}
+		val, err := unescape(v)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = val
+	}
+	return m, nil
+}

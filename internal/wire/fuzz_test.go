@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRequest asserts that the parser never panics, and that every
+// frame it accepts re-encodes to a frame that parses to the same
+// request — accepted inputs land inside the codec's round-trip closure.
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		"REQ v1 1 p s 0 0 1 1 0 1 -",
+		"REQ v1 -9 p+2 traffic+info -5.25 -1e+09 5.25 1e+09 -100 100 lang=it&q=nearest+fuel",
+		"REQ v1 3 p s 0 0 1 1 0 1 a=1",
+		"RESP v1 1 s -",
+		"REQ v1 3 p s NaN 0 1 1 0 1 -",
+		"REQ v1 3 p s 0 0 1 1 0 1 a=1&a=2",
+		"REQ v1 9223372036854775807 %CF%80 svc 0.1 0.2 0.30000000000000004 1e+300 -42 42 k%26%3D=v+%2B%25",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, frame string) {
+		r, err := ParseRequest(frame)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("ParseRequest(%q) returned invalid request: %v", frame, err)
+		}
+		enc, err := EncodeRequest(r)
+		if err != nil {
+			t.Fatalf("accepted frame %q failed to re-encode: %v", frame, err)
+		}
+		r2, err := ParseRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame %q failed to parse: %v", enc, err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip drift:\n first %+v\nsecond %+v", r, r2)
+		}
+	})
+}
+
+// FuzzParseResponse mirrors FuzzParseRequest for the answer channel.
+func FuzzParseResponse(f *testing.F) {
+	f.Add("RESP v1 1 s -")
+	f.Add("RESP v1 -1 traffic+info eta=12+min&route=A4%26A8")
+	f.Add("REQ v1 1 p s 0 0 1 1 0 1 -")
+	f.Fuzz(func(t *testing.T, frame string) {
+		r, err := ParseResponse(frame)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeResponse(r)
+		if err != nil {
+			t.Fatalf("accepted frame %q failed to re-encode: %v", frame, err)
+		}
+		r2, err := ParseResponse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame %q failed to parse: %v", enc, err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip drift:\n first %+v\nsecond %+v", r, r2)
+		}
+	})
+}
