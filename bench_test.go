@@ -417,6 +417,22 @@ func BenchmarkE11_ConcurrentThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEObs_Overhead measures the instrumented request pipeline at
+// each span-sampling setting (EXPERIMENTS.md E-obs; `lbbench -obsbench`
+// emits the machine-readable record).
+func BenchmarkEObs_Overhead(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		sample float64
+	}{
+		{"sampling=off", 0},
+		{"sampling=1pct", 0.01},
+		{"sampling=100pct", 1},
+	} {
+		b.Run(c.name, func(b *testing.B) { sim.BenchObsSample(b, c.sample) })
+	}
+}
+
 // BenchmarkE11_DeployAnalyze measures the deployment-area analyzer on a
 // mid-size city.
 func BenchmarkE11_DeployAnalyze(b *testing.B) {

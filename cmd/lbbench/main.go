@@ -9,6 +9,10 @@
 //	lbbench -bench11 BENCH_e11.json
 //	                    # run the concurrent-throughput benchmark and
 //	                    # write the machine-readable perf record
+//	lbbench -obsbench BENCH_obs.json
+//	                    # run the E-obs instrumentation-overhead benchmark
+//	                    # (sampling off / 1% / 100% / 100%+audit) and
+//	                    # write its record; the table goes to stdout
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 		markdown = flag.Bool("md", false, "render markdown tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		bench11  = flag.String("bench11", "", "run the E11 concurrency benchmark and write its JSON record to this path")
+		obsbench = flag.String("obsbench", "", "run the E-obs instrumentation-overhead benchmark and write its JSON record to this path")
 	)
 	flag.Parse()
 
@@ -60,6 +65,29 @@ func main() {
 		for _, hp := range rep.HotPaths {
 			fmt.Printf("%-32s %8.0f ns/op %6d B/op %4d allocs/op\n",
 				hp.Name, hp.NsPerOp, hp.BytesPerOp, hp.AllocsPerOp)
+		}
+		return
+	}
+
+	if *obsbench != "" {
+		f, err := os.Create(*obsbench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep := sim.RunObsBench()
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, row := range rep.Rows {
+			fmt.Printf("%-24s %8.0f req/s  %8.0f ns/op  %3d allocs/op  (%.3fx vs off)\n",
+				row.Mode, row.OpsPerSec, row.NsPerOp, row.AllocsPerOp, row.VsOff)
 		}
 		return
 	}

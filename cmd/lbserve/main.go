@@ -8,6 +8,13 @@
 //	lbserve -addr :7408 -k 5 -print-forwarded
 //	curl -s localhost:7408/healthz
 //	curl -s -XPOST localhost:7408/v1/request -d '{"user":1,"x":10,"y":10,"t":25500,"service":"navigation"}'
+//
+// Observability (see OBSERVABILITY.md for the full reference):
+//
+//	lbserve -trace-sample 0.01 -audit audit.jsonl -pprof
+//	curl -s localhost:7408/metrics     # Prometheus text exposition
+//	curl -s localhost:7408/v1/spans    # recent sampled request spans
+//	go tool pprof localhost:7408/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"histanon/internal/httpapi"
 	"histanon/internal/mixzone"
+	"histanon/internal/obs"
 	"histanon/internal/policy"
 	"histanon/internal/ts"
 	"histanon/internal/wire"
@@ -35,6 +43,10 @@ func main() {
 		policyFile = flag.String("policies", "", "rule-based policy file (see internal/policy)")
 		printFwd   = flag.Bool("print-forwarded", false, "log every request forwarded to the SP side")
 		snapshot   = flag.String("snapshot", "", "PHL snapshot file: loaded at boot, written on SIGINT/SIGTERM")
+		sample     = flag.Float64("trace-sample", 0.01, "fraction of requests to trace into /v1/spans and the stage histograms (0 = off, 1 = all)")
+		traceBuf   = flag.Int("trace-buffer", obs.DefaultRingSize, "span ring-buffer capacity")
+		auditPath  = flag.String("audit", "", "privacy audit log (JSON lines), appended; flushed on SIGINT/SIGTERM")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator networks only)")
 	)
 	flag.Parse()
 
@@ -68,6 +80,23 @@ func main() {
 	})
 	srv := ts.New(cfg, out)
 
+	// Observability knobs: span sampling, ring size, audit sink. All are
+	// safe to configure here, before traffic starts.
+	if *traceBuf != obs.DefaultRingSize {
+		srv.Obs.Tracer = obs.NewTracer(*traceBuf)
+	}
+	srv.Obs.Tracer.SetSampleRate(*sample)
+	var audit *obs.AuditLog
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("lbserve: opening audit log: %v", err)
+		}
+		audit = obs.NewAuditLog(f)
+		srv.Obs.SetAudit(audit)
+		log.Printf("audit log appending to %s", *auditPath)
+	}
+
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
 			if err := srv.RestorePHL(f); err != nil {
@@ -82,22 +111,36 @@ func main() {
 		}
 	}
 
+	handler := httpapi.New(srv)
+	writeTimeout := 10 * time.Second
+	if *pprofOn {
+		handler.EnablePprof()
+		// CPU profiles stream for their whole duration; leave room for
+		// /debug/pprof/profile?seconds=30.
+		writeTimeout = 60 * time.Second
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      httpapi.New(srv),
+		Handler:      handler,
 		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 10 * time.Second,
+		WriteTimeout: writeTimeout,
 	}
 
-	if *snapshot != "" {
+	if *snapshot != "" || audit != nil {
 		sigCh := make(chan os.Signal, 1)
 		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sigCh
-			if err := saveSnapshot(srv, *snapshot); err != nil {
-				log.Printf("lbserve: saving snapshot: %v", err)
-			} else {
-				log.Printf("snapshot written to %s", *snapshot)
+			if *snapshot != "" {
+				if err := saveSnapshot(srv, *snapshot); err != nil {
+					log.Printf("lbserve: saving snapshot: %v", err)
+				} else {
+					log.Printf("snapshot written to %s", *snapshot)
+				}
+			}
+			if err := audit.Close(); err != nil {
+				log.Printf("lbserve: closing audit log: %v", err)
 			}
 			httpSrv.Close()
 		}()

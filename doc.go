@@ -45,6 +45,30 @@
 // pipeline, including the adversarial service provider and the
 // experiment suite of EXPERIMENTS.md.
 //
+// # Observability
+//
+// The trusted server carries a built-in observability layer
+// (internal/obs): Prometheus metrics, sampled request spans, and a
+// JSON-lines privacy audit log, all documented in OBSERVABILITY.md.
+// The daemon form exposes them directly:
+//
+//	lbserve -trace-sample 0.01 -audit audit.jsonl
+//	curl -s localhost:7408/metrics   # achieved-k distribution, stage latencies, …
+//	curl -s localhost:7408/v1/spans  # recent sampled spans
+//
+// An embedded server offers the same data programmatically — the
+// privacy histograms are always on, and the audit log replays into
+// exactly the live distributions:
+//
+//	f, _ := os.Create("audit.jsonl")
+//	server.Obs.SetAudit(histanon.NewAuditLog(f))
+//	server.Obs.Tracer.SetSampleRate(0.01)
+//	// … serve traffic …
+//	server.Obs.AuditSink().Flush()
+//	server.MetricsRegistry().WritePrometheus(os.Stdout)
+//	log, _ := os.Open("audit.jsonl")
+//	h, _ := histanon.ReplayAchievedK(log)   // equals server.Obs.AchievedK
+//
 // # Package layout
 //
 // The root package is a facade over the internal engine:
@@ -57,6 +81,8 @@
 //   - internal/generalize — Algorithm 1 and the k′-decay strategy
 //   - internal/mixzone, internal/pseudonym — unlinking machinery
 //   - internal/ts, internal/sp — trusted server and (adversarial) provider
+//   - internal/obs, internal/metrics — request tracing, privacy audit
+//     log, Prometheus metrics (see OBSERVABILITY.md)
 //   - internal/mobility, internal/baseline, internal/sim — synthetic
 //     workloads, prior-art cloaking baselines, experiment harness
 package histanon

@@ -8,9 +8,11 @@ import (
 	"histanon/internal/geo"
 	"histanon/internal/httpapi"
 	"histanon/internal/lbqid"
+	"histanon/internal/metrics"
 	"histanon/internal/mine"
 	"histanon/internal/mixzone"
 	"histanon/internal/mobility"
+	"histanon/internal/obs"
 	"histanon/internal/phl"
 	"histanon/internal/policy"
 	"histanon/internal/sp"
@@ -193,6 +195,32 @@ func AnalyzeDeployment(in DeployInput) (DeployReport, error) { return deploy.Ana
 func MineLBQIDs(store *phl.Store, cfg MineConfig) []MinedCandidate {
 	return mine.Mine(store, cfg)
 }
+
+// Observability types (see OBSERVABILITY.md for the full reference).
+type (
+	// Observer bundles request tracing, the privacy histograms and the
+	// audit sink; every TrustedServer carries one as its Obs field.
+	Observer = obs.Observer
+	// AuditLog records privacy-relevant decisions as JSON lines.
+	AuditLog = obs.AuditLog
+	// AuditEvent is one audit record.
+	AuditEvent = obs.Event
+	// Span is one sampled request's per-stage timing and outcome.
+	Span = obs.Span
+	// Histogram is a fixed-bucket, wait-free histogram.
+	Histogram = metrics.Histogram
+)
+
+// NewAuditLog returns an audit sink writing JSON lines to w; install it
+// with server.Obs.SetAudit.
+func NewAuditLog(w io.Writer) *AuditLog { return obs.NewAuditLog(w) }
+
+// ReadAuditEvents parses a JSON-lines audit stream back into events.
+func ReadAuditEvents(r io.Reader) ([]AuditEvent, error) { return obs.ReadEvents(r) }
+
+// ReplayAchievedK rebuilds the achieved-k histogram from an audit
+// stream; it equals the live server.Obs.AchievedK distribution.
+func ReplayAchievedK(r io.Reader) (*Histogram, error) { return obs.ReplayAchievedK(r) }
 
 // NewAPIHandler exposes a trusted server over HTTP/JSON.
 func NewAPIHandler(srv *TrustedServer) *APIHandler { return httpapi.New(srv) }

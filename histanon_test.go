@@ -1,6 +1,7 @@
 package histanon_test
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -46,6 +47,61 @@ lbqid "commute" {
 	}
 	if reqs[0].Context.Area.Area() <= 0 {
 		t.Fatalf("context not generalized: %v", reqs[0].Context)
+	}
+}
+
+// TestPublicAPIObservability exercises the facade's observability
+// surface the way doc.go's Observability section does.
+func TestPublicAPIObservability(t *testing.T) {
+	provider := histanon.NewProvider()
+	server := histanon.NewTrustedServer(histanon.Config{}, provider)
+
+	var audit bytes.Buffer
+	server.Obs.SetAudit(histanon.NewAuditLog(&audit))
+	server.Obs.Tracer.SetSampleRate(1)
+
+	const alice = histanon.UserID(1)
+	server.RegisterUser(alice, histanon.PolicyForLevel(histanon.Medium))
+	if err := server.AddLBQIDSpec(alice, `
+lbqid "commute" {
+    element area [0,200]x[0,200] time [07:00,08:00]
+    recurrence 3.Weekdays * 2.Weeks
+}`); err != nil {
+		t.Fatal(err)
+	}
+	for u := histanon.UserID(2); u <= 9; u++ {
+		dx := float64(u) * 12
+		server.RecordLocation(u, histanon.STPoint{
+			P: histanon.Point{X: 40 + dx, Y: 30 + dx/2}, T: 7*histanon.Hour + int64(u)*40,
+		})
+	}
+	server.Request(alice,
+		histanon.STPoint{P: histanon.Point{X: 50, Y: 40}, T: 7*histanon.Hour + 600},
+		"navigation", nil)
+
+	var exposition strings.Builder
+	if err := server.MetricsRegistry().WritePrometheus(&exposition); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exposition.String(), `histanon_ts_events_total{event="requests"} 1`) {
+		t.Fatalf("exposition missing request counter:\n%s", exposition.String())
+	}
+	if err := server.Obs.AuditSink().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := histanon.ReadAuditEvents(bytes.NewReader(audit.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("generalized request produced no audit events")
+	}
+	h, err := histanon.ReplayAchievedK(bytes.NewReader(audit.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != server.Obs.AchievedK.Count() {
+		t.Fatalf("replayed %d observations, live %d", h.Count(), server.Obs.AchievedK.Count())
 	}
 }
 

@@ -31,11 +31,58 @@ package generalize
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"histanon/internal/geo"
 	"histanon/internal/phl"
 	"histanon/internal/stindex"
 )
+
+// Timings splits one generalization step's wall time (nanoseconds)
+// across Algorithm 1's three phases, for request tracing: the index
+// query for witness trajectories (lines 2–6), the construction of the
+// enclosing box (lines 7 and the density balancing), and the tolerance
+// check with its clamp and randomization (lines 8–13). Timing is
+// opt-in per call — see Session.Trace — so the untraced hot path pays
+// only a nil check.
+type Timings struct {
+	KNNNanos       int64
+	BoxNanos       int64
+	ToleranceNanos int64
+}
+
+// The Timings phases, for lap.
+const (
+	phaseKNN = iota
+	phaseBox
+	phaseTolerance
+)
+
+// lap adds the time since *t to the given phase and re-arms *t, when tm
+// is non-nil.
+func (tm *Timings) lap(phase int, t *time.Time) {
+	if tm == nil {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(*t).Nanoseconds()
+	switch phase {
+	case phaseKNN:
+		tm.KNNNanos += d
+	case phaseBox:
+		tm.BoxNanos += d
+	default:
+		tm.ToleranceNanos += d
+	}
+	*t = now
+}
+
+// start stamps the lap timer when tm is non-nil.
+func (tm *Timings) start(t *time.Time) {
+	if tm != nil {
+		*t = time.Now()
+	}
+}
 
 // Tolerance is a service's coarsest acceptable spatial and temporal
 // resolution (§6.1): "the coarsest spatial and temporal granularity for
@@ -128,11 +175,19 @@ type Generalizer struct {
 // ok is false when fewer than k−1 other users exist at all; no box is
 // produced in that case.
 func (g *Generalizer) FirstElement(q geo.STPoint, issuer phl.UserID, k int, tol Tolerance) (Result, bool) {
+	return g.firstElement(q, issuer, k, tol, nil)
+}
+
+// firstElement is FirstElement with optional phase timing.
+func (g *Generalizer) firstElement(q geo.STPoint, issuer phl.UserID, k int, tol Tolerance, tm *Timings) (Result, bool) {
 	if k < 1 {
 		return Result{}, false
 	}
+	var t time.Time
+	tm.start(&t)
 	exclude := map[phl.UserID]bool{issuer: true}
 	box, members, found := stindex.SmallestEnclosingBox(g.Index, q, k-1, g.Metric, exclude)
+	tm.lap(phaseKNN, &t)
 	if !found {
 		return Result{}, false
 	}
@@ -147,6 +202,7 @@ func (g *Generalizer) FirstElement(q geo.STPoint, issuer phl.UserID, k int, tol 
 		res.Points[i] = m.Point
 	}
 	res.Box = g.balanceDensity(res.Box, q, res.Users)
+	tm.lap(phaseBox, &t)
 	if !tol.Allows(res.Box) {
 		res.HKAnonymity = false
 		res.Box = tol.clamp(res.Box, q)
@@ -154,6 +210,7 @@ func (g *Generalizer) FirstElement(q geo.STPoint, issuer phl.UserID, k int, tol 
 	if g.Randomize != nil {
 		res.Box = g.Randomize.Perturb(res.Box, tol)
 	}
+	tm.lap(phaseTolerance, &t)
 	return res, true
 }
 
@@ -162,6 +219,15 @@ func (g *Generalizer) FirstElement(q geo.STPoint, issuer phl.UserID, k int, tol 
 // finds the PHL point closest to the exact request point q and encloses
 // all of them together with q. Users with an empty history are dropped.
 func (g *Generalizer) NextElement(q geo.STPoint, users []phl.UserID, tol Tolerance) Result {
+	return g.nextElement(q, users, tol, nil)
+}
+
+// nextElement is NextElement with optional phase timing. The per-witness
+// closest-point lookups count as the KNN phase; box assembly and density
+// balancing as the box phase.
+func (g *Generalizer) nextElement(q geo.STPoint, users []phl.UserID, tol Tolerance, tm *Timings) Result {
+	var t time.Time
+	tm.start(&t)
 	res := Result{Box: geo.STBoxAround(q), HKAnonymity: true}
 	for _, u := range users {
 		h := g.Store.History(u)
@@ -176,7 +242,9 @@ func (g *Generalizer) NextElement(q geo.STPoint, users []phl.UserID, tol Toleran
 		res.Points = append(res.Points, p)
 		res.Box = res.Box.Extend(p)
 	}
+	tm.lap(phaseKNN, &t)
 	res.Box = g.balanceDensity(res.Box, q, res.Users)
+	tm.lap(phaseBox, &t)
 	if !tol.Allows(res.Box) {
 		res.HKAnonymity = false
 		res.Box = tol.clamp(res.Box, q)
@@ -184,6 +252,7 @@ func (g *Generalizer) NextElement(q geo.STPoint, users []phl.UserID, tol Toleran
 	if g.Randomize != nil {
 		res.Box = g.Randomize.Perturb(res.Box, tol)
 	}
+	tm.lap(phaseTolerance, &t)
 	return res
 }
 
@@ -230,6 +299,12 @@ type Session struct {
 	issuer phl.UserID
 	step   int
 	users  []phl.UserID
+
+	// Trace, when non-nil, accumulates per-phase wall time for the next
+	// Generalize call (request tracing; see internal/obs). The caller
+	// owns the pointer and may set it per request — typically non-nil
+	// only for sampled requests.
+	Trace *Timings
 }
 
 // NewSession starts a trace-generalization session for one user and one
@@ -252,7 +327,7 @@ func (s *Session) Users() []phl.UserID { return s.users }
 func (s *Session) Generalize(q geo.STPoint, tol Tolerance) (Result, bool) {
 	defer func() { s.step++ }()
 	if s.step == 0 {
-		res, ok := s.g.FirstElement(q, s.issuer, s.sched.kAt(0), tol)
+		res, ok := s.g.firstElement(q, s.issuer, s.sched.kAt(0), tol, s.Trace)
 		if !ok {
 			return Result{}, false
 		}
@@ -266,7 +341,7 @@ func (s *Session) Generalize(q geo.STPoint, tol Tolerance) (Result, bool) {
 	if want < len(s.users) {
 		s.users = s.nearestSubset(q, want)
 	}
-	res := s.g.NextElement(q, s.users, tol)
+	res := s.g.nextElement(q, s.users, tol, s.Trace)
 	s.users = res.Users
 	if len(s.users)+1 < s.sched.Target {
 		// Witnesses fell below k (dropped empty histories): the box can

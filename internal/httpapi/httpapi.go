@@ -2,7 +2,7 @@
 // deployable form of the paper's Fig. 1, where mobile devices talk to
 // the TS over the network and only the TS talks to service providers.
 //
-// Endpoints (all JSON):
+// Endpoints (JSON unless noted):
 //
 //	POST /v1/location   {"user":1,"x":10,"y":20,"t":25500}
 //	POST /v1/request    {"user":1,"x":10,"y":20,"t":25500,
@@ -12,8 +12,12 @@
 //	POST /v1/mine       {"weekdaysOnly":true}            -> mined candidate LBQIDs
 //	POST /v1/deploy     {"k":5,"maxWidth":1000,...}      -> feasibility verdict
 //	GET  /v1/stats
+//	GET  /v1/spans      -> recent sampled request spans (see internal/obs)
+//	GET  /metrics       -> Prometheus text exposition (OBSERVABILITY.md)
 //	GET  /healthz
 //
+// Handler.EnablePprof additionally mounts net/http/pprof under
+// /debug/pprof/ (opt-in; lbserve exposes it behind the -pprof flag).
 // The matching Client lives in the same package.
 package httpapi
 
@@ -21,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"histanon/internal/deploy"
 	"histanon/internal/generalize"
@@ -120,10 +125,46 @@ func New(srv *ts.Server) *Handler {
 	h.mux.HandleFunc("/v1/mine", h.postOnly(h.handleMine))
 	h.mux.HandleFunc("/v1/deploy", h.postOnly(h.handleDeploy))
 	h.mux.HandleFunc("/v1/stats", h.handleStats)
+	h.mux.HandleFunc("/v1/spans", h.handleSpans)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return h
+}
+
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Call it only on operator-facing listeners: profiles
+// expose internals (goroutine dumps, heap contents) that must never be
+// reachable from the public device API.
+func (h *Handler) EnablePprof() {
+	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Errors past the first byte surface as a truncated scrape.
+	_ = h.srv.MetricsRegistry().WritePrometheus(w)
+}
+
+// handleSpans returns the tracer's buffered spans, oldest first. An
+// operator turns sampling on (lbserve -trace-sample) and reads recent
+// per-stage timings here without attaching a profiler.
+func (h *Handler) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, h.srv.Obs.Tracer.Spans())
 }
 
 // ServeHTTP implements http.Handler.

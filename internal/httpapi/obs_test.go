@@ -1,0 +1,132 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"histanon/internal/obs"
+	"histanon/internal/sp"
+	"histanon/internal/tgran"
+	"histanon/internal/ts"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	hts, _, _ := newTestServer(t)
+	c := NewClient(hts.URL)
+	if err := c.RecordLocation(1, 100, 100, 7*tgran.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Request(ServiceRequest{
+		User: 1, X: 100, Y: 100, T: 7*tgran.Hour + 600, Service: "weather",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type=%q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, name := range obs.MetricNames() {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Fatalf("/metrics lacks family %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, `histanon_ts_events_total{event="requests"} 1`) {
+		t.Fatalf("requests counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, "histanon_phl_users 1") {
+		t.Fatalf("PHL gauge missing:\n%s", out)
+	}
+
+	// Only GET is a scrape.
+	postResp, err := http.Post(hts.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status=%d", postResp.StatusCode)
+	}
+}
+
+func TestSpansEndpoint(t *testing.T) {
+	hts, srv, _ := newTestServer(t)
+	srv.Obs.Tracer.SetSampleRate(1)
+	c := NewClient(hts.URL)
+	if _, err := c.Request(ServiceRequest{
+		User: 1, X: 50, Y: 50, T: 1000, Service: "weather",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hts.URL + "/v1/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var spans []obs.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	sp := spans[0]
+	if sp.User != 1 || sp.Service != "weather" || sp.Outcome != obs.OutcomeForwarded {
+		t.Fatalf("span = %+v", sp)
+	}
+	if sp.TotalNs <= 0 {
+		t.Fatalf("span lacks a total duration: %+v", sp)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	hts, _, _ := newTestServer(t)
+	// Off by default.
+	resp, err := http.Get(hts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof must be off by default, status=%d", resp.StatusCode)
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	h := New(ts.New(ts.Config{}, sp.NewProvider()))
+	h.EnablePprof()
+	hts := httptest.NewServer(h)
+	t.Cleanup(hts.Close)
+	resp, err := http.Get(hts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "pprof") {
+		t.Fatal("pprof index not served")
+	}
+}

@@ -1,0 +1,110 @@
+// Labeled counters: a CounterVec is one logical metric family whose
+// time series are distinguished by label values, mirroring the
+// Prometheus data model ("requests_total{outcome=...}") without any
+// external dependency.
+
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CounterVec is a family of monotone counters keyed by a fixed set of
+// label names. It is safe for concurrent use: the common case (the
+// label combination already exists) takes only a read lock and an
+// atomic add.
+type CounterVec struct {
+	labelNames []string
+	mu         sync.RWMutex
+	m          map[string]*atomic.Int64
+}
+
+// NewCounterVec returns a counter family with the given label names
+// (order matters: Inc/Add/Get take values in the same order).
+func NewCounterVec(labelNames ...string) *CounterVec {
+	return &CounterVec{
+		labelNames: append([]string(nil), labelNames...),
+		m:          make(map[string]*atomic.Int64),
+	}
+}
+
+// LabelNames returns the family's label names.
+func (c *CounterVec) LabelNames() []string { return c.labelNames }
+
+// key joins label values; \xff never appears in sane label values and
+// keeps distinct tuples distinct.
+func (c *CounterVec) key(labelValues []string) string {
+	if len(labelValues) != len(c.labelNames) {
+		panic(fmt.Sprintf("metrics: CounterVec got %d label values, want %d",
+			len(labelValues), len(c.labelNames)))
+	}
+	return strings.Join(labelValues, "\xff")
+}
+
+func (c *CounterVec) cell(labelValues []string) *atomic.Int64 {
+	k := c.key(labelValues)
+	c.mu.RLock()
+	cell := c.m[k]
+	c.mu.RUnlock()
+	if cell != nil {
+		return cell
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cell := c.m[k]; cell != nil {
+		return cell
+	}
+	cell = new(atomic.Int64)
+	c.m[k] = cell
+	return cell
+}
+
+// Inc adds one to the series with the given label values.
+func (c *CounterVec) Inc(labelValues ...string) { c.cell(labelValues).Add(1) }
+
+// Add adds n to the series with the given label values.
+func (c *CounterVec) Add(n int64, labelValues ...string) { c.cell(labelValues).Add(n) }
+
+// Get returns the series value (zero when never incremented).
+func (c *CounterVec) Get(labelValues ...string) int64 {
+	k := c.key(labelValues)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if cell := c.m[k]; cell != nil {
+		return cell.Load()
+	}
+	return 0
+}
+
+// LabeledValue is one series of a CounterVec snapshot.
+type LabeledValue struct {
+	LabelValues []string
+	Value       int64
+}
+
+// Snapshot returns every series, sorted by label values, for exposition.
+func (c *CounterVec) Snapshot() []LabeledValue {
+	c.mu.RLock()
+	out := make([]LabeledValue, 0, len(c.m))
+	for k, cell := range c.m {
+		out = append(out, LabeledValue{
+			LabelValues: strings.Split(k, "\xff"),
+			Value:       cell.Load(),
+		})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].LabelValues, out[j].LabelValues
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,182 @@
+// Fixed-bucket histograms: the distribution-shaped complement to the
+// Counters/Summary pair. A Histogram is lock-free on the Observe path
+// (atomic adds only), mergeable across shards or replay runs, and
+// renders natively into the Prometheus exposition format (see
+// prometheus.go).
+
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets. Bucket i holds the
+// observations v with v ≤ bounds[i] (and > bounds[i−1]); one implicit
+// overflow bucket (+Inf) catches everything above the last bound. The
+// zero value is not usable — construct with NewHistogram.
+//
+// Observe is wait-free (a binary search plus two atomic adds), so a
+// Histogram can sit on a request hot path shared by many goroutines.
+type Histogram struct {
+	bounds  []float64 // sorted, strictly increasing, finite
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram returns a histogram over the given finite upper bounds.
+// Bounds are sorted and deduplicated; +Inf entries are dropped (an
+// overflow bucket always exists). It panics when no finite bound
+// remains, or when any bound is NaN.
+func NewHistogram(bounds []float64) *Histogram {
+	cleaned := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if math.IsNaN(b) {
+			panic("metrics: NaN histogram bound")
+		}
+		if !math.IsInf(b, 0) {
+			cleaned = append(cleaned, b)
+		}
+	}
+	sort.Float64s(cleaned)
+	uniq := cleaned[:0]
+	for i, b := range cleaned {
+		if i == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	if len(uniq) == 0 {
+		panic("metrics: histogram needs at least one finite bound")
+	}
+	return &Histogram{
+		bounds: uniq,
+		counts: make([]atomic.Int64, len(uniq)+1),
+	}
+}
+
+// LinearBuckets returns n bounds start, start+width, … — the natural
+// choice for small integer-valued distributions such as achieved k.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start·factor, … — the
+// natural choice for latencies and areas spanning orders of magnitude.
+// It panics when start ≤ 0 or factor ≤ 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 {
+		panic("metrics: ExponentialBuckets needs start > 0 and factor > 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Observe records one sample. NaN observations are dropped (they would
+// poison the sum and fit no bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// sort.SearchFloat64s finds the first bound ≥ v, i.e. the lowest
+	// bucket whose upper bound admits v; misses land in the overflow slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the finite bucket upper bounds (not including +Inf).
+// The returned slice is shared; callers must not modify it.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the overflow (+Inf) bucket. Under concurrent Observe calls
+// the snapshot is per-slot atomic but not globally consistent.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Merge adds o's observations into h. The histograms must have
+// identical bucket bounds; Merge returns an error otherwise. Merging a
+// histogram into itself is a no-op error.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == o {
+		return fmt.Errorf("metrics: cannot merge a histogram into itself")
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("metrics: merge bounds mismatch: %d vs %d buckets", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("metrics: merge bounds mismatch at %d: %g vs %g", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range o.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.count.Add(o.count.Load())
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+o.Sum())) {
+			return nil
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts
+// by linear interpolation inside the owning bucket. It returns NaN with
+// no observations; observations in the overflow bucket resolve to the
+// highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if cum+c >= rank {
+			if i >= len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,7 +1,23 @@
-// Package metrics provides the small statistics toolkit the experiment
-// harness and the trusted server use to report quality-of-service and
-// privacy numbers: streaming summaries (mean, quantiles, extrema) and
-// named counters.
+// Package metrics provides the dependency-free statistics toolkit the
+// experiment harness and the trusted server use to report
+// quality-of-service and privacy numbers:
+//
+//   - Summary — streaming order statistics (mean, quantiles, extrema)
+//     over an in-memory sample set, with an incrementally maintained
+//     sorted view so interleaved Add/Quantile traffic stays cheap.
+//   - Counters — named monotone counters ("requests", "unlinkings", …).
+//   - CounterVec — labeled counter families in the Prometheus data
+//     model (countervec.go).
+//   - Histogram — fixed-bucket, wait-free histograms with merge and
+//     quantile estimation, for latency and distribution metrics on the
+//     request hot path (histogram.go).
+//   - Registry / WritePrometheus — text exposition of all of the above
+//     in the Prometheus 0.0.4 format, served by internal/httpapi at
+//     GET /metrics (prometheus.go).
+//
+// Everything is safe for concurrent use. OBSERVABILITY.md at the
+// repository root documents the concrete metric families the trusted
+// server registers.
 package metrics
 
 import (
@@ -14,10 +30,18 @@ import (
 
 // Summary accumulates float64 samples and answers order statistics.
 // It is safe for concurrent use.
+//
+// Quantile queries are served from a cached sorted view that is
+// invalidated by Add and rebuilt incrementally: only the samples added
+// since the last query are sorted and merged into the cache, so an
+// interleaved Add/Quantile workload costs O(new·log new + n) per query
+// instead of re-sorting all n samples every time (see
+// BenchmarkSummaryInterleaved).
 type Summary struct {
 	mu      sync.Mutex
-	samples []float64
-	sorted  bool
+	samples []float64 // in arrival order; samples[:ns] are merged into sorted
+	sorted  []float64 // cached ascending view of samples[:ns]
+	ns      int       // how many samples the cache covers
 	sum     float64
 }
 
@@ -26,7 +50,6 @@ func (s *Summary) Add(v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.samples = append(s.samples, v)
-	s.sorted = false
 	s.sum += v
 }
 
@@ -56,10 +79,7 @@ func (s *Summary) Quantile(q float64) float64 {
 	if n == 0 {
 		return math.NaN()
 	}
-	if !s.sorted {
-		sort.Float64s(s.samples)
-		s.sorted = true
-	}
+	s.refreshSorted()
 	idx := int(math.Ceil(q*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
@@ -67,7 +87,37 @@ func (s *Summary) Quantile(q float64) float64 {
 	if idx >= n {
 		idx = n - 1
 	}
-	return s.samples[idx]
+	return s.sorted[idx]
+}
+
+// refreshSorted folds samples added since the last query into the
+// sorted cache: sort just the new tail, then merge the two runs.
+// Callers hold s.mu.
+func (s *Summary) refreshSorted() {
+	if s.ns == len(s.samples) {
+		return
+	}
+	tail := append([]float64(nil), s.samples[s.ns:]...)
+	sort.Float64s(tail)
+	if len(s.sorted) == 0 {
+		s.sorted = tail
+	} else {
+		merged := make([]float64, 0, len(s.sorted)+len(tail))
+		i, j := 0, 0
+		for i < len(s.sorted) && j < len(tail) {
+			if s.sorted[i] <= tail[j] {
+				merged = append(merged, s.sorted[i])
+				i++
+			} else {
+				merged = append(merged, tail[j])
+				j++
+			}
+		}
+		merged = append(merged, s.sorted[i:]...)
+		merged = append(merged, tail[j:]...)
+		s.sorted = merged
+	}
+	s.ns = len(s.samples)
 }
 
 // Min returns the smallest sample, or NaN with no samples.

@@ -1,0 +1,265 @@
+// Prometheus text exposition (format version 0.0.4) over a dependency-
+// free registry. A Registry is a fixed catalog of metric families wired
+// to live data sources — value callbacks, CounterVecs, Histograms —
+// rendered on demand by WritePrometheus; nothing is cached between
+// scrapes.
+
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels is a fixed label set attached to one registered series.
+type Labels map[string]string
+
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered time series (or sub-family, for vecs).
+type series struct {
+	labels Labels
+	intFn  func() int64   // counters
+	fltFn  func() float64 // gauges
+	hist   *Histogram
+	vec    *CounterVec // counter vec: label values appended dynamically
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   familyKind
+	series []*series
+}
+
+// Registry is an ordered catalog of metric families for exposition. All
+// Register* methods panic on malformed or conflicting registrations
+// (they run at wiring time, not on the request path) and are safe for
+// concurrent use with WritePrometheus.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) familyFor(name, help string, kind familyKind) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s already registered as %s, not %s", name, f.kind, kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+func checkLabels(labels Labels) {
+	for k := range labels {
+		if !validName(k) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", k))
+		}
+	}
+}
+
+// RegisterCounterFunc exposes fn as a counter series. Registering the
+// same name again with different labels adds a series to the family.
+func (r *Registry) RegisterCounterFunc(name, help string, labels Labels, fn func() int64) {
+	checkLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindCounter)
+	f.series = append(f.series, &series{labels: labels, intFn: fn})
+}
+
+// RegisterGaugeFunc exposes fn as a gauge series.
+func (r *Registry) RegisterGaugeFunc(name, help string, labels Labels, fn func() float64) {
+	checkLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindGauge)
+	f.series = append(f.series, &series{labels: labels, fltFn: fn})
+}
+
+// RegisterHistogram exposes h under the family name; several histograms
+// may share a family when distinguished by labels (e.g. one per
+// pipeline stage).
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histogram) {
+	checkLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindHistogram)
+	f.series = append(f.series, &series{labels: labels, hist: h})
+}
+
+// RegisterCounterVec exposes every series of vec under the family name;
+// extra fixed labels, when given, are merged into each series.
+func (r *Registry) RegisterCounterVec(name, help string, labels Labels, vec *CounterVec) {
+	checkLabels(labels)
+	for _, n := range vec.LabelNames() {
+		if !validName(n) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", n))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyFor(name, help, kindCounter)
+	f.series = append(f.series, &series{labels: labels, vec: vec})
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatLabels renders {a="x",b="y"} with names sorted; extra wins over
+// base on collision.
+func formatLabels(base Labels, extraNames, extraValues []string) string {
+	merged := make(map[string]string, len(base)+len(extraNames))
+	for k, v := range base {
+		merged[k] = v
+	}
+	for i, n := range extraNames {
+		merged[n] = extraValues[i]
+	}
+	if len(merged) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(merged))
+	for k := range merged {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(merged[n]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.vec != nil:
+		names := s.vec.LabelNames()
+		for _, lv := range s.vec.Snapshot() {
+			_, err := fmt.Fprintf(w, "%s%s %d\n",
+				f.name, formatLabels(s.labels, names, lv.LabelValues), lv.Value)
+			if err != nil {
+				return err
+			}
+		}
+	case s.hist != nil:
+		var cum int64
+		counts := s.hist.BucketCounts()
+		for i, bound := range s.hist.Bounds() {
+			cum += counts[i]
+			_, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, formatLabels(s.labels, []string{"le"}, []string{formatFloat(bound)}), cum)
+			if err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, formatLabels(s.labels, []string{"le"}, []string{"+Inf"}), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.name, formatLabels(s.labels, nil, nil), formatFloat(s.hist.Sum())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n",
+			f.name, formatLabels(s.labels, nil, nil), cum); err != nil {
+			return err
+		}
+	case s.intFn != nil:
+		if _, err := fmt.Fprintf(w, "%s%s %d\n",
+			f.name, formatLabels(s.labels, nil, nil), s.intFn()); err != nil {
+			return err
+		}
+	case s.fltFn != nil:
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			f.name, formatLabels(s.labels, nil, nil), formatFloat(s.fltFn())); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden locks the text exposition byte-for-byte: a
+// scraper-visible format change must show up as a diff here.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	r.RegisterCounterFunc("app_requests_total", "Requests seen.", nil, func() int64 { return 42 })
+	r.RegisterCounterFunc("app_events_total", "Events by kind.", Labels{"event": "forwarded"}, func() int64 { return 40 })
+	r.RegisterCounterFunc("app_events_total", "Events by kind.", Labels{"event": "suppressed"}, func() int64 { return 2 })
+	r.RegisterGaugeFunc("app_users", "Known users.", nil, func() float64 { return 7 })
+
+	vec := NewCounterVec("outcome")
+	vec.Add(3, "ok")
+	vec.Add(1, `needs "escaping"
+badly\`)
+	r.RegisterCounterVec("app_outcomes_total", "Outcomes.", Labels{"shard": "0"}, vec)
+
+	h := NewHistogram([]float64{0.25, 0.5, 1})
+	for _, v := range []float64{0.1, 0.3, 0.3, 0.75, 2} {
+		h.Observe(v)
+	}
+	r.RegisterHistogram("app_latency_seconds", "Latency.", Labels{"stage": "knn"}, h)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP app_requests_total Requests seen.
+# TYPE app_requests_total counter
+app_requests_total 42
+# HELP app_events_total Events by kind.
+# TYPE app_events_total counter
+app_events_total{event="forwarded"} 40
+app_events_total{event="suppressed"} 2
+# HELP app_users Known users.
+# TYPE app_users gauge
+app_users 7
+# HELP app_outcomes_total Outcomes.
+# TYPE app_outcomes_total counter
+app_outcomes_total{outcome="needs \"escaping\"\nbadly\\",shard="0"} 1
+app_outcomes_total{outcome="ok",shard="0"} 3
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.25",stage="knn"} 1
+app_latency_seconds_bucket{le="0.5",stage="knn"} 3
+app_latency_seconds_bucket{le="1",stage="knn"} 4
+app_latency_seconds_bucket{le="+Inf",stage="knn"} 5
+app_latency_seconds_sum{stage="knn"} 3.45
+app_latency_seconds_count{stage="knn"} 5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	for name, reg := range map[string]func(*Registry){
+		"invalid metric name": func(r *Registry) {
+			r.RegisterCounterFunc("9bad", "", nil, func() int64 { return 0 })
+		},
+		"invalid label name": func(r *Registry) {
+			r.RegisterGaugeFunc("ok_name", "", Labels{"bad-label": "x"}, func() float64 { return 0 })
+		},
+		"kind conflict": func(r *Registry) {
+			r.RegisterCounterFunc("twice", "", nil, func() int64 { return 0 })
+			r.RegisterGaugeFunc("twice", "", nil, func() float64 { return 0 })
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			reg(NewRegistry())
+		})
+	}
+}

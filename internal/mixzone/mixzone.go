@@ -224,7 +224,16 @@ type Plan struct {
 	// Participants are the users mixed inside the zone (the issuer is
 	// added by the caller).
 	Participants []phl.UserID
+	// Fallback marks a temporal-only plan formed via FallbackRadius
+	// because too few diverging users were available. Fallback zones
+	// give weaker mixing guarantees, so the audit log distinguishes
+	// them from trajectory-diverging zones.
+	Fallback bool
 }
+
+// MixSet returns the size of the mixing set the plan provides: the
+// participants plus the issuer.
+func (pl Plan) MixSet() int { return len(pl.Participants) + 1 }
 
 // Plan computes an on-demand mix zone for the issuer at ⟨p,t⟩ with k
 // fellow participants. ok is false when not enough diverging users are
@@ -245,6 +254,7 @@ func (o OnDemand) Plan(idx stindex.Index, store *phl.Store, issuer phl.UserID,
 			Area:         geo.RectAround(p).Expand(o.FallbackRadius),
 			Window:       geo.Interval{Start: t, End: t + quiet},
 			Participants: users,
+			Fallback:     true,
 		}, true
 	}
 	area := geo.RectAround(p)

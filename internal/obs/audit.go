@@ -1,0 +1,201 @@
+// The privacy audit log: one JSON-lines record per privacy-relevant
+// decision the trusted server takes, so the privacy story of a
+// production deployment can be reconstructed — and the EXPERIMENTS
+// tables recomputed — from the log alone. OBSERVABILITY.md documents
+// every field.
+
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"histanon/internal/metrics"
+)
+
+// Audit event kinds.
+const (
+	// KindRequest is a monitored request decision (only requests that
+	// matched an LBQID, were suppressed, or found the user at risk are
+	// privacy-relevant; plain pass-through requests are not logged).
+	KindRequest = "request"
+	// KindRotation is a pseudonym rotation (an Unlinking action).
+	KindRotation = "rotation"
+)
+
+// Event is one audit record. Numeric identity fields are int64 so logs
+// survive a round trip through other tooling without float truncation.
+type Event struct {
+	// T is the logical timestamp of the triggering request (seconds, the
+	// simulation/deployment clock the whole system runs on).
+	T int64 `json:"t"`
+	// Kind is KindRequest or KindRotation.
+	Kind string `json:"kind"`
+	// User is the issuing user's internal id (never shown to SPs).
+	User int64 `json:"user"`
+	// MsgID is the TS↔SP message id, when one was assigned.
+	MsgID int64 `json:"msgid,omitempty"`
+	// Service names the requested service.
+	Service string `json:"service,omitempty"`
+	// Matched lists the LBQID names the request matched, comma-joined.
+	Matched string `json:"matched,omitempty"`
+	// RequestedK is the policy's k for this request.
+	RequestedK int `json:"requested_k,omitempty"`
+	// AchievedK is the number of users (including the issuer) whose
+	// histories remain consistent with the forwarded boxes: witnesses+1.
+	// 1 means generalization found no witnesses at all.
+	AchievedK int `json:"achieved_k,omitempty"`
+	// AreaM2 and IntervalS are the forwarded context's spatial area (m²)
+	// and temporal extent (seconds) — the generalization expansion over
+	// the exact point the TS received.
+	AreaM2    float64 `json:"area_m2,omitempty"`
+	IntervalS int64   `json:"interval_s,omitempty"`
+	// AreaTolFrac and TimeTolFrac are the expansion factors relative to
+	// the service's tolerance constraint: forwarded extent divided by the
+	// maximum the service accepts (0 when the tolerance is unlimited).
+	// Values near 1 mean generalization is about to start failing.
+	AreaTolFrac float64 `json:"area_tol_frac,omitempty"`
+	TimeTolFrac float64 `json:"time_tol_frac,omitempty"`
+	// HKAnonymity is Algorithm 1's verdict for the request.
+	HKAnonymity bool `json:"hk"`
+	// Outcome is OutcomeForwarded or OutcomeSuppressed.
+	Outcome string `json:"outcome,omitempty"`
+	// Unlinked and AtRisk mirror the ts.Decision flags.
+	Unlinked bool `json:"unlinked,omitempty"`
+	AtRisk   bool `json:"at_risk,omitempty"`
+	// Zone names the mix zone that enabled a rotation: a static zone's
+	// name, "ondemand" for a planned trajectory-diverging zone, or
+	// "ondemand_fallback" for a temporal-only fallback zone.
+	Zone string `json:"zone,omitempty"`
+	// OldPseudonym and NewPseudonym record a rotation's before/after
+	// identifiers (KindRotation only).
+	OldPseudonym string `json:"old_pseudonym,omitempty"`
+	NewPseudonym string `json:"new_pseudonym,omitempty"`
+}
+
+// AuditLog writes events as JSON lines. It is safe for concurrent use;
+// writes are buffered, so callers must Flush (or Close) before reading
+// the destination. A nil *AuditLog is a valid no-op sink.
+type AuditLog struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	events atomic.Int64
+	errs   atomic.Int64
+	closer io.Closer
+}
+
+// NewAuditLog returns an audit log writing to w. When w is also an
+// io.Closer, Close closes it.
+func NewAuditLog(w io.Writer) *AuditLog {
+	bw := bufio.NewWriter(w)
+	a := &AuditLog{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		a.closer = c
+	}
+	return a
+}
+
+// Log appends one event. Encoding errors are counted, not returned: the
+// audit log must never fail a request.
+func (a *AuditLog) Log(e Event) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	err := a.enc.Encode(e)
+	a.mu.Unlock()
+	if err != nil {
+		a.errs.Add(1)
+		return
+	}
+	a.events.Add(1)
+}
+
+// Events returns how many events were logged successfully.
+func (a *AuditLog) Events() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.events.Load()
+}
+
+// Errors returns how many events failed to encode or flush.
+func (a *AuditLog) Errors() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.errs.Load()
+}
+
+// Flush forces buffered events to the underlying writer.
+func (a *AuditLog) Flush() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.bw.Flush(); err != nil {
+		a.errs.Add(1)
+		return err
+	}
+	return nil
+}
+
+// Close flushes and, when the destination is closable, closes it.
+func (a *AuditLog) Close() error {
+	if a == nil {
+		return nil
+	}
+	err := a.Flush()
+	if a.closer != nil {
+		if cerr := a.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadEvents parses a JSON-lines audit stream back into events. It
+// stops at the first malformed line, returning the events read so far
+// alongside the error.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return out, fmt.Errorf("obs: audit line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// ReplayAchievedK rebuilds the achieved-k histogram from an audit
+// stream. The result uses the same buckets as Observer.AchievedK, so a
+// production log replays into exactly the distribution the live
+// /metrics endpoint reported — the property the correctness tests pin.
+func ReplayAchievedK(r io.Reader) (*metrics.Histogram, error) {
+	events, err := ReadEvents(r)
+	if err != nil {
+		return nil, err
+	}
+	h := metrics.NewHistogram(AchievedKBuckets())
+	for _, e := range events {
+		if e.Kind == KindRequest && e.AchievedK > 0 {
+			h.Observe(float64(e.AchievedK))
+		}
+	}
+	return h, nil
+}

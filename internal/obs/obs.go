@@ -1,0 +1,138 @@
+// Package obs is the trusted server's observability layer: request
+// tracing, privacy metrics, and the privacy audit log. It exists so an
+// operator of a production TS can answer, from the outside, the three
+// questions the paper's §6.1 loop raises continuously — where is
+// request time going, why was a request generalized or suppressed, and
+// how close is the population to anonymity failure.
+//
+// Three components, all wired through the Observer façade:
+//
+//   - Tracer (trace.go) — per-request spans recording wall time and
+//     outcome for each pipeline stage (LBQID match, KNN lookup, box
+//     construction, tolerance check, unlink decision, forward),
+//     captured into a fixed-size ring buffer behind a sampling knob.
+//     With sampling off the per-request cost is one atomic load.
+//
+//   - Privacy metrics — always-on counters and fixed-bucket histograms
+//     (achieved-k distribution, generalized area/interval) built on
+//     internal/metrics and exposed in Prometheus text format by
+//     internal/httpapi at GET /metrics.
+//
+//   - AuditLog (audit.go) — a JSON-lines record of every
+//     privacy-relevant decision: which LBQID matched, achieved k vs
+//     requested k, generalization expansion factors, pseudonym
+//     rotations. ReplayAchievedK rebuilds the live achieved-k histogram
+//     from a log, so EXPERIMENTS-style tables can be recomputed from a
+//     production deployment's audit trail.
+//
+// OBSERVABILITY.md at the repository root documents every metric name,
+// span stage and audit field, plus the operator runbook.
+package obs
+
+import (
+	"sync/atomic"
+
+	"histanon/internal/metrics"
+)
+
+// Metric family names registered by the trusted server. Keeping them as
+// constants gives the documentation checker a single source of truth.
+const (
+	MetricEvents       = "histanon_ts_events_total"
+	MetricStageSeconds = "histanon_stage_duration_seconds"
+	MetricAchievedK    = "histanon_achieved_k"
+	MetricGenArea      = "histanon_generalization_area_m2"
+	MetricGenInterval  = "histanon_generalization_interval_seconds"
+	MetricRotations    = "histanon_pseudonym_rotations_total"
+	MetricGenFailures  = "histanon_generalization_failures_total"
+	MetricPHLUsers     = "histanon_phl_users"
+	MetricPHLSamples   = "histanon_phl_samples"
+	MetricSpansSampled = "histanon_trace_spans_sampled_total"
+	MetricAuditEvents  = "histanon_audit_events_total"
+	MetricAuditErrors  = "histanon_audit_errors_total"
+)
+
+// MetricNames lists every metric family the server registers, for the
+// documentation-coverage check.
+func MetricNames() []string {
+	return []string{
+		MetricEvents, MetricStageSeconds, MetricAchievedK, MetricGenArea,
+		MetricGenInterval, MetricRotations, MetricGenFailures, MetricPHLUsers,
+		MetricPHLSamples, MetricSpansSampled, MetricAuditEvents, MetricAuditErrors,
+	}
+}
+
+// AchievedKBuckets returns the bucket bounds of the achieved-k
+// histogram: one bucket per k in [1, 20]. Shared by the live Observer
+// and ReplayAchievedK so the two always agree.
+func AchievedKBuckets() []float64 { return metrics.LinearBuckets(1, 1, 20) }
+
+// StageSecondsBuckets returns the latency buckets (seconds) of the
+// per-stage histograms: 1 µs … ≈4.2 s, ×4 per bucket.
+func StageSecondsBuckets() []float64 { return metrics.ExponentialBuckets(1e-6, 4, 12) }
+
+// GenAreaBuckets returns the buckets (m²) of the generalized-area
+// histogram: 1 m² … 10¹¹ m², ×10 per bucket.
+func GenAreaBuckets() []float64 { return metrics.ExponentialBuckets(1, 10, 12) }
+
+// GenIntervalBuckets returns the buckets (seconds) of the
+// generalized-interval histogram: 1 s … ≈4.2 Ms, ×4 per bucket.
+func GenIntervalBuckets() []float64 { return metrics.ExponentialBuckets(1, 4, 12) }
+
+// Observer bundles the tracer, the privacy histograms and the audit
+// sink into the single handle the trusted server threads through its
+// request path. The zero value is not usable — construct with New.
+type Observer struct {
+	// Tracer samples request spans; never nil.
+	Tracer *Tracer
+	// StageSeconds holds one latency histogram per pipeline stage,
+	// indexed by Stage, fed only for sampled requests.
+	StageSeconds [NumStages]*metrics.Histogram
+	// AchievedK is the always-on distribution of achieved anonymity
+	// (witnesses+1) over generalized requests.
+	AchievedK *metrics.Histogram
+	// GenAreaM2 and GenIntervalS are the always-on distributions of the
+	// forwarded generalized context's spatial and temporal extent.
+	GenAreaM2    *metrics.Histogram
+	GenIntervalS *metrics.Histogram
+
+	audit atomic.Pointer[AuditLog]
+}
+
+// New returns an observer with sampling off and no audit sink: the
+// configuration every server starts with, costing nothing until an
+// operator turns a knob.
+func New() *Observer {
+	o := &Observer{
+		Tracer:       NewTracer(DefaultRingSize),
+		AchievedK:    metrics.NewHistogram(AchievedKBuckets()),
+		GenAreaM2:    metrics.NewHistogram(GenAreaBuckets()),
+		GenIntervalS: metrics.NewHistogram(GenIntervalBuckets()),
+	}
+	for i := range o.StageSeconds {
+		o.StageSeconds[i] = metrics.NewHistogram(StageSecondsBuckets())
+	}
+	return o
+}
+
+// SetAudit installs (or, with nil, removes) the audit sink. Safe to
+// call while requests are in flight.
+func (o *Observer) SetAudit(a *AuditLog) { o.audit.Store(a) }
+
+// AuditSink returns the current audit sink; nil when auditing is off
+// (and a nil *AuditLog is itself a valid no-op sink).
+func (o *Observer) AuditSink() *AuditLog { return o.audit.Load() }
+
+// Audit logs one event if an audit sink is installed.
+func (o *Observer) Audit(e Event) { o.audit.Load().Log(e) }
+
+// RecordSpan stores a finished span in the ring and feeds the per-stage
+// latency histograms.
+func (o *Observer) RecordSpan(sp *Span) {
+	o.Tracer.Record(sp)
+	for i, ns := range sp.StageNs {
+		if ns > 0 {
+			o.StageSeconds[i].Observe(float64(ns) / 1e9)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Request tracing: per-request spans that record where the TS pipeline
+// spent its time and what it decided, sampled into a fixed-size ring
+// buffer. The unsampled fast path is a single atomic load, so tracing
+// can stay compiled into the hot path at zero practical cost.
+
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one instrumented phase of the TS request pipeline,
+// in execution order.
+type Stage int
+
+// The pipeline stages. StageMatch is LBQID monitoring; StageKNN,
+// StageBox and StageTolerance split Algorithm 1 into its index query,
+// box construction and tolerance-check parts; StageUnlink covers the
+// §6.1 step-2 mix-zone/rotation decision; StageForward is delivery to
+// the service provider.
+const (
+	StageMatch Stage = iota
+	StageKNN
+	StageBox
+	StageTolerance
+	StageUnlink
+	StageForward
+	NumStages // not a stage: the count, for arrays indexed by Stage
+)
+
+// String returns the snake_case stage name used as the "stage" label of
+// the latency histograms.
+func (s Stage) String() string {
+	switch s {
+	case StageMatch:
+		return "lbqid_match"
+	case StageKNN:
+		return "knn_lookup"
+	case StageBox:
+		return "box_construct"
+	case StageTolerance:
+		return "tolerance_check"
+	case StageUnlink:
+		return "unlink"
+	case StageForward:
+		return "forward"
+	default:
+		return "unknown"
+	}
+}
+
+// Stages lists every real stage (excluding NumStages) in order.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Span outcomes.
+const (
+	OutcomeForwarded  = "forwarded"
+	OutcomeSuppressed = "suppressed"
+)
+
+// Span is one sampled request's timing and outcome record.
+type Span struct {
+	// Start is the wall-clock start of the request, in Unix nanoseconds.
+	Start int64 `json:"start"`
+	// MsgID is the TS↔SP message id assigned to the request (0 when the
+	// request was suppressed before an id was assigned).
+	MsgID int64 `json:"msgid"`
+	// User is the issuing user.
+	User int64 `json:"user"`
+	// Service names the requested service.
+	Service string `json:"service"`
+	// StageNs holds per-stage wall time in nanoseconds, indexed by Stage.
+	// Stages the request never reached stay zero.
+	StageNs [NumStages]int64 `json:"stageNs"`
+	// TotalNs is the whole-request wall time in nanoseconds.
+	TotalNs int64 `json:"totalNs"`
+	// Outcome is OutcomeForwarded or OutcomeSuppressed.
+	Outcome string `json:"outcome"`
+	// Generalized, Unlinked and AtRisk mirror the ts.Decision flags.
+	Generalized bool `json:"generalized"`
+	Unlinked    bool `json:"unlinked"`
+	AtRisk      bool `json:"atRisk"`
+
+	began time.Time // set by Begin; zero for unsampled spans
+	mark  time.Time
+}
+
+// Begin stamps the span's start; subsequent Mark calls attribute
+// elapsed time to stages.
+func (sp *Span) Begin() {
+	now := time.Now()
+	sp.Start = now.UnixNano()
+	sp.began = now
+	sp.mark = now
+}
+
+// Mark attributes the time since the previous Mark (or Begin) to the
+// given stage.
+func (sp *Span) Mark(s Stage) {
+	now := time.Now()
+	sp.StageNs[s] += now.Sub(sp.mark).Nanoseconds()
+	sp.mark = now
+}
+
+// AddStage attributes externally measured nanoseconds to a stage (used
+// for the Algorithm 1 sub-stages timed inside package generalize).
+func (sp *Span) AddStage(s Stage, ns int64) {
+	sp.StageNs[s] += ns
+}
+
+// Sync re-arms the lap timer without attributing the elapsed time to
+// any stage — for skipping bookkeeping code between stages.
+func (sp *Span) Sync() { sp.mark = time.Now() }
+
+// finish stamps the total duration.
+func (sp *Span) finish() {
+	if !sp.began.IsZero() {
+		sp.TotalNs = time.Since(sp.began).Nanoseconds()
+	}
+}
+
+// Tracer decides which requests get a span and keeps the most recent
+// spans in a ring buffer. The sampling knob is nanosecond-cheap when
+// off: Sample is one atomic load. Sampled spans pay one short mutex
+// acquisition to enter the ring — "lock-cheap" because only every Nth
+// request takes it.
+type Tracer struct {
+	every   atomic.Int64 // sample every Nth request; 0 = off
+	seq     atomic.Int64
+	sampled atomic.Int64 // total spans recorded
+
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+}
+
+// DefaultRingSize is the span capacity of a NewTracer ring.
+const DefaultRingSize = 1024
+
+// NewTracer returns a tracer with the given ring capacity (≤ 0 means
+// DefaultRingSize) and sampling off.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// SetSampleRate sets the sampled fraction of requests: 0 disables
+// tracing, 1 traces everything, and an intermediate f traces every
+// round(1/f)-th request (deterministic, not probabilistic, so overhead
+// is stable and tests are reproducible).
+func (t *Tracer) SetSampleRate(f float64) {
+	switch {
+	case f <= 0:
+		t.every.Store(0)
+	case f >= 1:
+		t.every.Store(1)
+	default:
+		n := int64(1/f + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		t.every.Store(n)
+	}
+}
+
+// SampleEvery returns the current every-Nth setting (0 = off).
+func (t *Tracer) SampleEvery() int64 { return t.every.Load() }
+
+// Sample reports whether the current request should carry a span.
+func (t *Tracer) Sample() bool {
+	every := t.every.Load()
+	if every == 0 {
+		return false
+	}
+	return t.seq.Add(1)%every == 0
+}
+
+// Sampled returns how many spans have been recorded in total (including
+// ones the ring has since overwritten).
+func (t *Tracer) Sampled() int64 { return t.sampled.Load() }
+
+// Record finishes the span and stores it in the ring, overwriting the
+// oldest entry when full.
+func (t *Tracer) Record(sp *Span) {
+	sp.finish()
+	t.sampled.Add(1)
+	t.mu.Lock()
+	t.ring[t.next] = *sp
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the buffered spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.full {
+		out = make([]Span, 0, len(t.ring))
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring[:t.next]...)
+	}
+	return out
+}

@@ -14,11 +14,12 @@ import (
 
 // Manager assigns and rotates pseudonyms. It is safe for concurrent use.
 type Manager struct {
-	mu      sync.Mutex
-	seq     int64
-	current map[phl.UserID]wire.Pseudonym
-	owner   map[wire.Pseudonym]phl.UserID
-	past    map[phl.UserID][]wire.Pseudonym
+	mu        sync.Mutex
+	seq       int64
+	rotations int64
+	current   map[phl.UserID]wire.Pseudonym
+	owner     map[wire.Pseudonym]phl.UserID
+	past      map[phl.UserID][]wire.Pseudonym
 }
 
 // NewManager returns an empty manager.
@@ -57,7 +58,17 @@ func (m *Manager) Rotate(u phl.UserID) (old, fresh wire.Pseudonym) {
 	fresh = m.fresh()
 	m.current[u] = fresh
 	m.owner[fresh] = u
+	m.rotations++
 	return old, fresh
+}
+
+// TotalRotations returns the rotation count across all users — the
+// fleet-wide unlinking activity the observability layer exposes as the
+// histanon_pseudonym_rotations_total counter.
+func (m *Manager) TotalRotations() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rotations
 }
 
 // Owner resolves a pseudonym (current or retired) to its user.

@@ -1,0 +1,110 @@
+// E-obs: instrumentation-overhead benchmark. Measures the whole-server
+// request pipeline (the BENCH_e11 single-goroutine workload) under the
+// observability layer's settings: span sampling off, at 1%, at 100%,
+// and at 100% with the audit log on. cmd/lbbench -obsbench regenerates
+// the EXPERIMENTS.md E-obs table from this.
+
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"testing"
+
+	"histanon/internal/obs"
+	"histanon/internal/phl"
+)
+
+// ObsBenchRow is one overhead measurement of the instrumented pipeline.
+type ObsBenchRow struct {
+	// Mode names the observability setting ("sampling off", …).
+	Mode        string  `json:"mode"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// VsOff is this row's throughput relative to the sampling-off row.
+	VsOff float64 `json:"vs_off"`
+}
+
+// ObsBenchReport is the machine-readable E-obs record.
+type ObsBenchReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Rows       []ObsBenchRow `json:"rows"`
+}
+
+// WriteJSON emits the report for BENCH-style records.
+func (r ObsBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// obsBenchCase configures one RunObsBench row.
+type obsBenchCase struct {
+	mode   string
+	sample float64
+	audit  bool
+}
+
+// obsBenchRounds is how many times each mode is measured; the fastest
+// round is reported. Best-of-N damps scheduler noise, which on shared
+// machines easily exceeds the few-percent differences being measured.
+const obsBenchRounds = 3
+
+// RunObsBench measures the single-goroutine request pipeline under each
+// observability setting. The workload is identical to the BENCH_e11
+// goroutines=1 row, so "sampling off" here is directly comparable to
+// that record.
+func RunObsBench() ObsBenchReport {
+	rep := ObsBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	cases := []obsBenchCase{
+		{mode: "sampling off", sample: 0},
+		{mode: "sampling 1%", sample: 0.01},
+		{mode: "sampling 100%", sample: 1},
+		{mode: "sampling 100% + audit", sample: 1, audit: true},
+	}
+	for _, c := range cases {
+		c := c
+		best := ObsBenchRow{Mode: c.mode}
+		for round := 0; round < obsBenchRounds; round++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				server := NewThroughputServer(ThroughputClients)
+				server.Obs.Tracer.SetSampleRate(c.sample)
+				if c.audit {
+					server.Obs.SetAudit(obs.NewAuditLog(io.Discard))
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				u := phl.UserID(0)
+				for i := 0; i < b.N; i++ {
+					ThroughputRequest(server, u, i)
+				}
+			})
+			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			if ops := 1e9 / nsPerOp; ops > best.OpsPerSec {
+				best.OpsPerSec = ops
+				best.NsPerOp = nsPerOp
+				best.AllocsPerOp = r.AllocsPerOp()
+			}
+		}
+		rep.Rows = append(rep.Rows, best)
+	}
+	base := rep.Rows[0].OpsPerSec
+	for i := range rep.Rows {
+		rep.Rows[i].VsOff = rep.Rows[i].OpsPerSec / base
+	}
+	return rep
+}
+
+// BenchObsSample exposes the overhead workload to `go test -bench`:
+// the one-goroutine pipeline at the given sampling rate.
+func BenchObsSample(b *testing.B, sample float64) {
+	server := NewThroughputServer(ThroughputClients)
+	server.Obs.Tracer.SetSampleRate(sample)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ThroughputRequest(server, phl.UserID(0), i)
+	}
+}

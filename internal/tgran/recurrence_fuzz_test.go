@@ -74,7 +74,7 @@ func fuzzObservations(times []byte) []Observation {
 // idempotence under duplication, and CompatibleWithSequence accepting
 // every single-granule sorted observation.
 func FuzzRecurrenceSatisfied(f *testing.F) {
-	f.Add([]byte{0, 1, 0}, []byte{0, 0, 0, 1, 0, 2})                   // 1.Days, instants near epoch
+	f.Add([]byte{0, 1, 0}, []byte{0, 0, 0, 1, 0, 2})                  // 1.Days, instants near epoch
 	f.Add([]byte{1, 2, 0, 0, 2, 0}, []byte{1, 0, 2, 0, 40, 0, 80, 0}) // 2.Weeks * 1.Weeks
 	f.Add([]byte{0, 6, 5}, []byte{9, 9})                              // r=1 over zero-span granules
 	f.Add([]byte{3, 3, 0, 1, 5, 1}, []byte{})                         // weekday formula, no observations

@@ -53,6 +53,7 @@ import (
 	"histanon/internal/link"
 	"histanon/internal/metrics"
 	"histanon/internal/mixzone"
+	"histanon/internal/obs"
 	"histanon/internal/phl"
 	"histanon/internal/pseudonym"
 	"histanon/internal/stindex"
@@ -258,6 +259,15 @@ type Server struct {
 	// generalized requests.
 	AreaM2    *metrics.Summary
 	IntervalS *metrics.Summary
+
+	// Obs is the observability layer: span tracer (sampling off by
+	// default), privacy histograms and the optional audit sink. See
+	// OBSERVABILITY.md for the operator-facing reference.
+	Obs *obs.Observer
+
+	// regOnce/registry lazily build the Prometheus registry.
+	regOnce  sync.Once
+	registry *metrics.Registry
 }
 
 // New returns a trusted server delivering to out.
@@ -286,6 +296,7 @@ func New(cfg Config, out Outbox) *Server {
 		Counters:  metrics.NewCounters(),
 		AreaM2:    &metrics.Summary{},
 		IntervalS: &metrics.Summary{},
+		Obs:       obs.New(),
 	}
 	s.gen = &generalize.Generalizer{
 		Index:  s.index,
@@ -305,6 +316,68 @@ func (s *Server) Store() *phl.Store { return s.store }
 // Pseudonyms exposes the pseudonym manager, which only the TS holds
 // (experiments use it as the re-identification ground truth).
 func (s *Server) Pseudonyms() *pseudonym.Manager { return s.pseud }
+
+// counterEvents is the closed set of event counter names the server
+// increments; each becomes one series of the histanon_ts_events_total
+// family. OBSERVABILITY.md documents their meanings.
+var counterEvents = []string{
+	"requests", "forwarded", "generalized", "hk_failures", "unlinkings",
+	"at_risk", "suppressed", "exposures", "ondemand_zones",
+	"unlink_failures", "responses", "responses_unroutable",
+}
+
+// MetricsRegistry returns the server's Prometheus registry, building it
+// on first use. internal/httpapi serves it at GET /metrics; every
+// family it registers is documented in OBSERVABILITY.md.
+func (s *Server) MetricsRegistry() *metrics.Registry {
+	s.regOnce.Do(func() {
+		r := metrics.NewRegistry()
+		for _, name := range counterEvents {
+			name := name
+			r.RegisterCounterFunc(obs.MetricEvents,
+				"Trusted-server pipeline events by type.",
+				metrics.Labels{"event": name},
+				func() int64 { return s.Counters.Get(name) })
+		}
+		for _, stage := range obs.Stages() {
+			r.RegisterHistogram(obs.MetricStageSeconds,
+				"Per-stage request latency (sampled spans only).",
+				metrics.Labels{"stage": stage.String()}, s.Obs.StageSeconds[stage])
+		}
+		r.RegisterHistogram(obs.MetricAchievedK,
+			"Achieved anonymity (witnesses+1) per generalized request.",
+			nil, s.Obs.AchievedK)
+		r.RegisterHistogram(obs.MetricGenArea,
+			"Forwarded generalized context area in square meters.",
+			nil, s.Obs.GenAreaM2)
+		r.RegisterHistogram(obs.MetricGenInterval,
+			"Forwarded generalized context time interval in seconds.",
+			nil, s.Obs.GenIntervalS)
+		r.RegisterCounterFunc(obs.MetricGenFailures,
+			"Requests whose generalization could not preserve historical k-anonymity.",
+			nil, func() int64 { return s.Counters.Get("hk_failures") })
+		r.RegisterCounterFunc(obs.MetricRotations,
+			"Pseudonym rotations (unlinking actions) across all users.",
+			nil, s.pseud.TotalRotations)
+		r.RegisterGaugeFunc(obs.MetricPHLUsers,
+			"Users with at least one PHL sample.",
+			nil, func() float64 { return float64(s.store.NumUsers()) })
+		r.RegisterGaugeFunc(obs.MetricPHLSamples,
+			"Location samples in the PHL store.",
+			nil, func() float64 { return float64(s.store.NumSamples()) })
+		r.RegisterCounterFunc(obs.MetricSpansSampled,
+			"Request spans captured by the tracer.",
+			nil, s.Obs.Tracer.Sampled)
+		r.RegisterCounterFunc(obs.MetricAuditEvents,
+			"Audit records written successfully.",
+			nil, func() int64 { return s.Obs.AuditSink().Events() })
+		r.RegisterCounterFunc(obs.MetricAuditErrors,
+			"Audit records dropped on encoding or flush errors.",
+			nil, func() int64 { return s.Obs.AuditSink().Errors() })
+		s.registry = r
+	})
+	return s.registry
+}
 
 // RegisterUser sets the user's privacy policy. Users not registered get
 // the default policy on first contact.
@@ -398,6 +471,16 @@ func (s *Server) tolerance(service string) generalize.Tolerance {
 // Requests from different users run concurrently; requests from the
 // same user serialize on the user's session lock.
 func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[string]string) Decision {
+	// Span sampling decides up front whether this request pays for
+	// timing: one atomic load when tracing is off.
+	var sp obs.Span
+	sampled := s.Obs.Tracer.Sample()
+	if sampled {
+		sp.User = int64(u)
+		sp.Service = service
+		sp.Begin()
+	}
+
 	// The request is also a location update. Store and index carry their
 	// own synchronization, so ingestion happens outside any session lock.
 	s.store.Record(u, p)
@@ -417,7 +500,10 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 	if st.plan != nil {
 		if st.plan.Suppresses(p.P, p.T) {
 			s.Counters.Inc("suppressed")
-			return Decision{Suppressed: true}
+			dec := Decision{Suppressed: true}
+			s.finishRequest(sampled, &sp, u, p, service, &dec,
+				0, 0, 0, generalize.Unlimited, geo.STBox{}, "ondemand")
+			return dec
 		}
 		if p.T > st.plan.Window.End {
 			st.plan = nil
@@ -442,6 +528,9 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 	// matched pattern's session advances and the forwarded context is
 	// the union of their boxes. The union contains each session's box,
 	// so every session's witnesses remain LT-consistent with it.
+	if sampled {
+		sp.Sync()
+	}
 	var matched []int
 	for i, m := range st.matchers {
 		out := m.Offer(lbqid.RequestID(id), p)
@@ -456,22 +545,41 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 			dec.QIDExposed = true
 		}
 	}
+	if sampled {
+		sp.Mark(obs.StageMatch)
+	}
+
+	// tm collects Algorithm 1's per-phase time across all matched
+	// patterns' sessions; nil (no timing) unless this span is sampled.
+	var tm *generalize.Timings
+	if sampled {
+		tm = new(generalize.Timings)
+	}
+	achievedK := 0 // witnesses+1, minimum over matched patterns
+	tol := generalize.Unlimited
+	zone := ""
 
 	ctx := geo.STBoxAround(p) // exact context unless generalized
 	if len(matched) > 0 {
 		dec.Generalized = true
 		s.Counters.Inc("generalized")
-		tol := s.tolerance(service)
+		tol = s.tolerance(service)
+		achievedK = int(^uint(0) >> 1)
 		for _, pi := range matched {
 			sess, ok := st.sessions[pi]
 			if !ok {
 				sess = generalize.NewSession(s.gen, u, s.decayFor(pol))
 				st.sessions[pi] = sess
 			}
+			sess.Trace = tm
 			res, found := sess.Generalize(p, tol)
 			if !found {
 				dec.HKAnonymity = false
+				achievedK = 1 // only the issuer's own history fits
 				continue
+			}
+			if got := len(res.Users) + 1; got < achievedK {
+				achievedK = got
 			}
 			ctx = ctx.Union(res.Box)
 			dec.HKAnonymity = dec.HKAnonymity && res.HKAnonymity
@@ -485,10 +593,22 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 				Time: ctx.Time.ShrinkToward(p.T, tolMaxD(tol, ctx)),
 			}
 		}
+		if sampled {
+			sp.AddStage(obs.StageKNN, tm.KNNNanos)
+			sp.AddStage(obs.StageBox, tm.BoxNanos)
+			sp.AddStage(obs.StageTolerance, tm.ToleranceNanos)
+		}
+		s.Obs.AchievedK.Observe(float64(achievedK))
 		if !dec.HKAnonymity {
 			s.Counters.Inc("hk_failures")
 			// Step 2 of §6.1: try to unlink future requests.
-			s.unlink(u, st, pol, p, &dec)
+			if sampled {
+				sp.Sync()
+			}
+			zone = s.unlink(u, st, pol, p, &dec)
+			if sampled {
+				sp.Mark(obs.StageUnlink)
+			}
 		}
 	}
 
@@ -497,6 +617,8 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 		if pol.SuppressAtRisk {
 			s.Counters.Inc("suppressed")
 			dec.Suppressed = true
+			s.finishRequest(sampled, &sp, u, p, service, &dec,
+				id, pol.K, achievedK, tol, ctx, zone)
 			return dec
 		}
 	}
@@ -511,7 +633,13 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 	s.respMu.Lock()
 	s.routes[id] = u
 	s.respMu.Unlock()
+	if sampled {
+		sp.Sync()
+	}
 	s.out.Deliver(req)
+	if sampled {
+		sp.Mark(obs.StageForward)
+	}
 	dec.Forwarded = true
 	dec.Request = req
 	s.Counters.Inc("forwarded")
@@ -521,8 +649,67 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 	if dec.Generalized {
 		s.AreaM2.Add(ctx.Area.Area())
 		s.IntervalS.Add(float64(ctx.Time.Duration()))
+		s.Obs.GenAreaM2.Observe(ctx.Area.Area())
+		s.Obs.GenIntervalS.Observe(float64(ctx.Time.Duration()))
 	}
+	s.finishRequest(sampled, &sp, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
 	return dec
+}
+
+// finishRequest closes out one request's observability: it records the
+// sampled span and, when the decision is privacy-relevant (the request
+// matched an LBQID, was suppressed, triggered an unlinking, or found
+// the user at risk), appends the audit record. Plain pass-through
+// requests produce neither.
+func (s *Server) finishRequest(sampled bool, sp *obs.Span, u phl.UserID, p geo.STPoint,
+	service string, dec *Decision, id wire.MsgID, requestedK, achievedK int,
+	tol generalize.Tolerance, ctx geo.STBox, zone string) {
+
+	outcome := obs.OutcomeForwarded
+	if dec.Suppressed {
+		outcome = obs.OutcomeSuppressed
+	}
+	if sampled {
+		sp.MsgID = int64(id)
+		sp.Generalized = dec.Generalized
+		sp.Unlinked = dec.Unlinked
+		sp.AtRisk = dec.AtRisk
+		sp.Outcome = outcome
+		s.Obs.RecordSpan(sp)
+	}
+	if !dec.Generalized && !dec.Suppressed && !dec.Unlinked && !dec.AtRisk {
+		return
+	}
+	a := s.Obs.AuditSink()
+	if a == nil {
+		return
+	}
+	e := obs.Event{
+		T:           p.T,
+		Kind:        obs.KindRequest,
+		User:        int64(u),
+		MsgID:       int64(id),
+		Service:     service,
+		Matched:     dec.MatchedLBQID,
+		RequestedK:  requestedK,
+		AchievedK:   achievedK,
+		HKAnonymity: dec.HKAnonymity,
+		Outcome:     outcome,
+		Unlinked:    dec.Unlinked,
+		AtRisk:      dec.AtRisk,
+		Zone:        zone,
+	}
+	if dec.Forwarded && dec.Generalized {
+		e.AreaM2 = ctx.Area.Area()
+		e.IntervalS = ctx.Time.Duration()
+		if tol.MaxWidth > 0 && tol.MaxHeight > 0 {
+			e.AreaTolFrac = e.AreaM2 / (tol.MaxWidth * tol.MaxHeight)
+		}
+		if tol.MaxDuration > 0 {
+			e.TimeTolFrac = float64(e.IntervalS) / float64(tol.MaxDuration)
+		}
+	}
+	a.Log(e)
 }
 
 // decayFor turns the policy into a concrete schedule.
@@ -540,14 +727,20 @@ func (s *Server) decayFor(p Policy) generalize.DecaySchedule {
 // unlink performs the §6.1 step-2 action: rotate the pseudonym — inside
 // a static mix zone the user recently crossed, or inside a freshly
 // planned on-demand zone — and reset all partially matched patterns. On
-// failure the user is flagged at risk. Callers hold st.mu.
-func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, dec *Decision) {
+// failure the user is flagged at risk. It returns the audit label of
+// the zone that enabled the rotation ("" when none did). Callers hold
+// st.mu.
+func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, dec *Decision) string {
 	// A recent static-zone crossing makes rotation safe immediately.
 	lookback := p.T - 4*3600
-	if _, crossed := s.cfg.StaticZones.CrossedZone(s.store.History(u), lookback, p.T); crossed {
-		s.rotate(u, st)
+	if z, crossed := s.cfg.StaticZones.CrossedZone(s.store.History(u), lookback, p.T); crossed {
+		zone := z.Name
+		if zone == "" {
+			zone = "static"
+		}
+		s.rotate(u, st, p.T, zone)
 		dec.Unlinked = true
-		return
+		return zone
 	}
 	// Otherwise plan an on-demand mix zone around the user.
 	plan, ok := s.cfg.OnDemand.Plan(s.index, s.store, u, p.P, p.T, pol.K-1, s.cfg.Metric)
@@ -560,10 +753,14 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 			plan.Window.End = plan.Window.Start + minQuiet
 		}
 		st.plan = &plan
-		s.rotate(u, st)
+		zone := "ondemand"
+		if plan.Fallback {
+			zone = "ondemand_fallback"
+		}
+		s.rotate(u, st, p.T, zone)
 		dec.Unlinked = true
 		s.Counters.Inc("ondemand_zones")
-		return
+		return zone
 	}
 	s.Counters.Inc("unlink_failures")
 	if !st.atRisk {
@@ -573,11 +770,13 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 			n.AtRisk(u, "generalization failed and no unlinking opportunity")
 		}
 	}
+	return ""
 }
 
 // rotate changes the pseudonym and resets all exposure evidence tied to
-// the old one. Callers hold st.mu.
-func (s *Server) rotate(u phl.UserID, st *userState) {
+// the old one; t and zone label the rotation's audit record. Callers
+// hold st.mu.
+func (s *Server) rotate(u phl.UserID, st *userState, t int64, zone string) {
 	old, fresh := s.pseud.Rotate(u)
 	if n := s.getNotifier(); n != nil {
 		n.Unlinked(u, old, fresh)
@@ -588,6 +787,14 @@ func (s *Server) rotate(u phl.UserID, st *userState) {
 	st.sessions = make(map[int]*generalize.Session)
 	st.atRisk = false
 	s.Counters.Inc("unlinkings")
+	s.Obs.Audit(obs.Event{
+		T:            t,
+		Kind:         obs.KindRotation,
+		User:         int64(u),
+		Zone:         zone,
+		OldPseudonym: string(old),
+		NewPseudonym: string(fresh),
+	})
 }
 
 // Rotations reports how many times the user's pseudonym was rotated — a

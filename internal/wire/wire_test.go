@@ -23,7 +23,7 @@ func TestRequestRoundTrip(t *testing.T) {
 			Context: box(-5.25, -1e9, 5.25, 1e9, -100, 100),
 			Data:    map[string]string{"q": "nearest fuel", "lang": "it"}},
 		{ID: math.MaxInt64, Pseudonym: "π=%&+", Service: "a&b=c",
-			Context: box(0.1, 0.2, 0.30000000000000004, 1e300, -1 << 62, 1 << 62),
+			Context: box(0.1, 0.2, 0.30000000000000004, 1e300, -1<<62, 1<<62),
 			Data:    map[string]string{"k&=": "v +%", "újratöltés": "igen"}},
 		// Degenerate but valid: point box, instant interval.
 		{ID: 0, Pseudonym: "x", Service: "s", Context: box(7.5, -7.5, 7.5, -7.5, 42, 42)},

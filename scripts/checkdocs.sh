@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Asserts every non-test package carries a package doc comment
+# ("// Package <name> …" for libraries, "// Command <name> …" for
+# binaries). Run from anywhere; CI runs it in the docs job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while read -r dir name; do
+    found=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if [ "$name" = main ]; then
+            # A main package is documented when a comment block is
+            # attached to its package clause (godoc's rule).
+            if grep -B1 "^package main" "$f" | head -1 | grep -q '^//'; then
+                found=1
+                break
+            fi
+        elif grep -q "^// Package $name\b" "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" = 0 ]; then
+        echo "missing package doc comment: $dir (package $name)" >&2
+        fail=1
+    fi
+done < <(go list -f '{{.Dir}} {{.Name}}' ./...)
+
+if [ "$fail" = 0 ]; then
+    echo "checkdocs: every package has a doc comment"
+fi
+exit "$fail"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Asserts OBSERVABILITY.md documents the full observability surface:
+# every histanon_* metric family declared in internal/obs/obs.go, every
+# audit Event wire field declared in internal/obs/audit.go, and every
+# span stage name declared in internal/obs/trace.go. CI runs it in the
+# docs job, so adding a metric or field without documenting it fails
+# the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+doc=OBSERVABILITY.md
+[ -f "$doc" ] || { echo "$doc missing" >&2; exit 1; }
+fail=0
+
+for name in $(grep -o '"histanon_[a-z0-9_]*"' internal/obs/obs.go | tr -d '"' | sort -u); do
+    if ! grep -q "$name" "$doc"; then
+        echo "metric family $name undocumented in $doc" >&2
+        fail=1
+    fi
+done
+
+for field in $(grep -o 'json:"[a-z0-9_]*' internal/obs/audit.go | sed 's/json:"//' | sort -u); do
+    if ! grep -q "\`$field\`" "$doc"; then
+        echo "audit field $field undocumented in $doc" >&2
+        fail=1
+    fi
+done
+
+for stage in $(sed -n '/^func (s Stage) String/,/^}/p' internal/obs/trace.go |
+               grep -o 'return "[a-z_]*"' | sed 's/return "//;s/"//' | sort -u); do
+    [ "$stage" = unknown ] && continue
+    if ! grep -q "\`$stage\`" "$doc"; then
+        echo "span stage $stage undocumented in $doc" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" = 0 ]; then
+    echo "checkobsdocs: $doc covers all metrics, audit fields and stages"
+fi
+exit "$fail"
