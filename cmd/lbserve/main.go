@@ -15,6 +15,12 @@
 //	curl -s localhost:7408/metrics     # Prometheus text exposition
 //	curl -s localhost:7408/v1/spans    # recent sampled request spans
 //	go tool pprof localhost:7408/debug/pprof/profile?seconds=10
+//
+// Resilience (see DESIGN.md §9): SP delivery runs through a bounded
+// async queue with retries and per-service circuit breaking; overload
+// is shed with 503s; the PHL is snapshotted periodically and on
+// SIGINT/SIGTERM. When delivery cannot be guaranteed the server fails
+// closed — requests are suppressed, never forwarded less generalized.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"histanon/internal/mixzone"
 	"histanon/internal/obs"
 	"histanon/internal/policy"
+	"histanon/internal/resilience"
 	"histanon/internal/ts"
 	"histanon/internal/wire"
 )
@@ -42,11 +49,28 @@ func main() {
 		randomize  = flag.Int64("randomize", 0, "seed for the randomization defense (0 = off)")
 		policyFile = flag.String("policies", "", "rule-based policy file (see internal/policy)")
 		printFwd   = flag.Bool("print-forwarded", false, "log every request forwarded to the SP side")
-		snapshot   = flag.String("snapshot", "", "PHL snapshot file: loaded at boot, written on SIGINT/SIGTERM")
+		snapshot   = flag.String("snapshot", "", "PHL snapshot file: loaded at boot, written every -snapshot-interval and on SIGINT/SIGTERM")
+		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "periodic PHL snapshot period (needs -snapshot)")
 		sample     = flag.Float64("trace-sample", 0.01, "fraction of requests to trace into /v1/spans and the stage histograms (0 = off, 1 = all)")
 		traceBuf   = flag.Int("trace-buffer", obs.DefaultRingSize, "span ring-buffer capacity")
 		auditPath  = flag.String("audit", "", "privacy audit log (JSON lines), appended; flushed on SIGINT/SIGTERM")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator networks only)")
+
+		// HTTP hardening: slowloris and overload protection.
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
+		readHdrTO    = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "http.Server WriteTimeout (raised to 60s when -pprof so CPU profiles can stream)")
+		idleTimeout  = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections")
+		maxInFlight  = flag.Int("max-inflight", 256, "concurrently served requests before shedding with 503 (0 = unlimited)")
+		maxBody      = flag.Int64("max-body", httpapi.DefaultMaxBodyBytes, "request body byte bound; larger bodies get 413")
+
+		// Async SP delivery: queue, retries, circuit breaking.
+		spQueue      = flag.Int("sp-queue", 1024, "async SP delivery queue bound; a full queue suppresses new requests (fail closed)")
+		spWorkers    = flag.Int("sp-workers", 4, "concurrent SP delivery workers")
+		spRetries    = flag.Int("sp-retries", 4, "delivery attempts per request before dropping")
+		spDeadline   = flag.Duration("sp-deadline", 5*time.Second, "end-to-end delivery budget per request, enqueue to last retry")
+		spBrFailures = flag.Int("sp-breaker-failures", 5, "consecutive delivery failures before a service's circuit breaker opens")
+		spBrReset    = flag.Duration("sp-breaker-reset", 5*time.Second, "how long an open breaker waits before probing the service again")
 	)
 	flag.Parse()
 
@@ -73,19 +97,8 @@ func main() {
 		log.Printf("loaded %d policy rules", len(set.Rules))
 	}
 
-	out := ts.OutboxFunc(func(req *wire.Request) {
-		if *printFwd {
-			log.Printf("SP <- %s", req)
-		}
-	})
-	srv := ts.New(cfg, out)
-
-	// Observability knobs: span sampling, ring size, audit sink. All are
-	// safe to configure here, before traffic starts.
-	if *traceBuf != obs.DefaultRingSize {
-		srv.Obs.Tracer = obs.NewTracer(*traceBuf)
-	}
-	srv.Obs.Tracer.SetSampleRate(*sample)
+	// The audit log opens before the outbox so the delivery workers see
+	// a settled sink (a nil *AuditLog is a valid no-op).
 	var audit *obs.AuditLog
 	if *auditPath != "" {
 		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -93,10 +106,43 @@ func main() {
 			log.Fatalf("lbserve: opening audit log: %v", err)
 		}
 		audit = obs.NewAuditLog(f)
-		srv.Obs.SetAudit(audit)
 		log.Printf("audit log appending to %s", *auditPath)
 	}
 
+	// The SP side: the print/discard sink, wrapped in the resilience
+	// outbox so delivery is asynchronous, retried, circuit-broken and —
+	// when it cannot be guaranteed — refused, which the trusted server
+	// turns into a fail-closed suppression.
+	sink := resilience.DeliveryFunc(func(req *wire.Request) error {
+		if *printFwd {
+			log.Printf("SP <- %s", req)
+		}
+		return nil
+	})
+	outbox := resilience.NewOutbox(sink, resilience.Options{
+		QueueSize:   *spQueue,
+		Workers:     *spWorkers,
+		Deadline:    *spDeadline,
+		MaxAttempts: *spRetries,
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: *spBrFailures,
+			OpenFor:          *spBrReset,
+		},
+		Audit: func(e obs.Event) { audit.Log(e) },
+	})
+	srv := ts.New(cfg, outbox)
+
+	// Observability knobs: span sampling, ring size, audit sink. All are
+	// safe to configure here, before traffic starts.
+	if *traceBuf != obs.DefaultRingSize {
+		srv.Obs.Tracer = obs.NewTracer(*traceBuf)
+	}
+	srv.Obs.Tracer.SetSampleRate(*sample)
+	if audit != nil {
+		srv.Obs.SetAudit(audit)
+	}
+
+	var snap *resilience.Snapshotter
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
 			if err := srv.RestorePHL(f); err != nil {
@@ -109,65 +155,64 @@ func main() {
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("lbserve: %v", err)
 		}
+		snap = resilience.NewSnapshotter(*snapshot, *snapEvery, srv.WritePHLSnapshot)
+		snap.Start()
+		srv.SetSnapshotMetrics(snap.AgeSeconds, snap.Errors)
+		log.Printf("snapshotting %s every %s", *snapshot, snap.Interval())
 	}
 
 	handler := httpapi.New(srv)
-	writeTimeout := 10 * time.Second
+	handler.SetMaxInFlight(*maxInFlight)
+	handler.SetMaxBodyBytes(*maxBody)
+	handler.SetOutbox(outbox)
+	if snap != nil {
+		// Three missed intervals without a successful snapshot marks the
+		// server degraded on /healthz.
+		handler.SetSnapshotAge(snap.AgeSeconds, 3*snap.Interval().Seconds())
+	}
+	wto := *writeTimeout
 	if *pprofOn {
 		handler.EnablePprof()
 		// CPU profiles stream for their whole duration; leave room for
 		// /debug/pprof/profile?seconds=30.
-		writeTimeout = 60 * time.Second
+		if wto < 60*time.Second {
+			wto = 60 * time.Second
+		}
 		log.Printf("pprof enabled under /debug/pprof/")
 	}
 	httpSrv := &http.Server{
-		Addr:         *addr,
-		Handler:      handler,
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: writeTimeout,
+		Addr:              *addr,
+		Handler:           handler,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHdrTO,
+		WriteTimeout:      wto,
+		IdleTimeout:       *idleTimeout,
 	}
 
-	if *snapshot != "" || audit != nil {
-		sigCh := make(chan os.Signal, 1)
-		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigCh
-			if *snapshot != "" {
-				if err := saveSnapshot(srv, *snapshot); err != nil {
-					log.Printf("lbserve: saving snapshot: %v", err)
-				} else {
-					log.Printf("snapshot written to %s", *snapshot)
-				}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		// Shutdown order: stop the periodic loop, write the final
+		// snapshot, drain the delivery queue, flush the audit log (the
+		// drain can append drop events), then close the listener.
+		if snap != nil {
+			snap.Stop()
+			if err := snap.Save(); err != nil {
+				log.Printf("lbserve: saving snapshot: %v", err)
+			} else {
+				log.Printf("snapshot written to %s", *snapshot)
 			}
-			if err := audit.Close(); err != nil {
-				log.Printf("lbserve: closing audit log: %v", err)
-			}
-			httpSrv.Close()
-		}()
-	}
+		}
+		outbox.Close()
+		if err := audit.Close(); err != nil {
+			log.Printf("lbserve: closing audit log: %v", err)
+		}
+		httpSrv.Close()
+	}()
 
 	fmt.Printf("lbserve: trusted server listening on %s (k=%d)\n", *addr, *k)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("lbserve: %v", err)
 	}
-}
-
-// saveSnapshot writes atomically: temp file then rename, so a crash
-// mid-write never clobbers the previous snapshot.
-func saveSnapshot(srv *ts.Server, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := srv.WritePHLSnapshot(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

@@ -1,0 +1,54 @@
+// The virtual clock: deterministic time for the resilience layer's
+// deadlines, backoff sleeps and breaker timers. Sleeping advances
+// virtual time instantly, so a retry schedule that would take seconds
+// of wall time replays in microseconds — and a test can drive breaker
+// open→half-open transitions by advancing the clock directly.
+
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a virtual clock implementing resilience.Clock. The zero
+// value starts at the Unix epoch; use NewClock to pick an origin. Safe
+// for concurrent use.
+type Clock struct {
+	nanos atomic.Int64 // virtual nanoseconds since the Unix epoch
+	skew  atomic.Int64 // observation skew added to Now, not to Sleep
+}
+
+// NewClock returns a clock whose Now starts at origin.
+func NewClock(origin time.Time) *Clock {
+	c := &Clock{}
+	c.nanos.Store(origin.UnixNano())
+	return c
+}
+
+// Now returns the current virtual time, including any skew.
+func (c *Clock) Now() time.Time {
+	return time.Unix(0, c.nanos.Load()+c.skew.Load())
+}
+
+// Sleep advances virtual time by d and returns immediately. Negative
+// durations advance nothing.
+func (c *Clock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.nanos.Add(int64(d))
+	}
+}
+
+// Advance moves virtual time forward by d without sleeping semantics —
+// the test-side lever for expiring deadlines and breaker open windows.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.nanos.Add(int64(d))
+	}
+}
+
+// SetSkew installs a fixed observation offset: Now reports virtual time
+// plus skew (which may be negative). It models a reading clock that
+// disagrees with the scheduling clock, the skew fault the deadline
+// logic must tolerate without forwarding late requests.
+func (c *Clock) SetSkew(d time.Duration) { c.skew.Store(int64(d)) }

@@ -23,15 +23,19 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 
 	"histanon/internal/deploy"
 	"histanon/internal/generalize"
 	"histanon/internal/geo"
 	"histanon/internal/mine"
 	"histanon/internal/phl"
+	"histanon/internal/resilience"
 	"histanon/internal/ts"
 )
 
@@ -62,7 +66,11 @@ type DecisionResponse struct {
 	Unlinked     bool   `json:"unlinked"`
 	AtRisk       bool   `json:"atRisk"`
 	Suppressed   bool   `json:"suppressed"`
-	QIDExposed   bool   `json:"qidExposed"`
+	// Degraded marks a fail-closed suppression by the delivery layer
+	// (queue full or circuit breaker open); DegradedReason names it.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+	QIDExposed     bool   `json:"qidExposed"`
 	// Context is the forwarded ⟨Area, TimeInterval⟩ when forwarded.
 	Context *ContextJSON `json:"context,omitempty"`
 	// Pseudonym is the pseudonym used toward the SP when forwarded.
@@ -109,15 +117,40 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// DefaultMaxBodyBytes bounds request bodies (1 MiB): no legitimate API
+// body comes close, and an unbounded decoder is a memory-exhaustion
+// vector.
+const DefaultMaxBodyBytes = 1 << 20
+
 // Handler serves the API over a trusted server.
 type Handler struct {
 	srv *ts.Server
 	mux *http.ServeMux
+
+	// maxBody bounds request bodies; overflowing requests get 413.
+	maxBody int64
+	// maxInFlight bounds concurrently served requests (0 = unlimited);
+	// excess load is shed with 503 + Retry-After. /healthz and /metrics
+	// are exempt so operators can observe an overloaded server.
+	maxInFlight int64
+	inflight    atomic.Int64
+	shed        atomic.Int64
+
+	// outbox, when set, contributes delivery-queue and breaker state to
+	// /healthz.
+	outbox *resilience.Outbox
+	// snapshotAge reports seconds since the last durable snapshot (-1 =
+	// never); snapshotStaleAfter is the age beyond which /healthz turns
+	// degraded. Zero-valued when snapshotting is off.
+	snapshotAge        func() float64
+	snapshotStaleAfter float64
 }
 
-// New returns an http.Handler exposing srv.
+// New returns an http.Handler exposing srv with the default body bound
+// and no admission limit; see SetMaxInFlight, SetMaxBodyBytes,
+// SetOutbox and SetSnapshotAge for the production knobs.
 func New(srv *ts.Server) *Handler {
-	h := &Handler{srv: srv, mux: http.NewServeMux()}
+	h := &Handler{srv: srv, mux: http.NewServeMux(), maxBody: DefaultMaxBodyBytes}
 	h.mux.HandleFunc("/v1/location", h.postOnly(h.handleLocation))
 	h.mux.HandleFunc("/v1/request", h.postOnly(h.handleRequest))
 	h.mux.HandleFunc("/v1/lbqid", h.postOnly(h.handleLBQID))
@@ -127,10 +160,41 @@ func New(srv *ts.Server) *Handler {
 	h.mux.HandleFunc("/v1/stats", h.handleStats)
 	h.mux.HandleFunc("/v1/spans", h.handleSpans)
 	h.mux.HandleFunc("/metrics", h.handleMetrics)
-	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	h.mux.HandleFunc("/healthz", h.handleHealthz)
 	return h
+}
+
+// SetMaxInFlight bounds concurrently served requests; n <= 0 removes
+// the bound. Configure before serving traffic. The shed counter and the
+// in-flight gauge feed the server's histanon_http_* metric families.
+func (h *Handler) SetMaxInFlight(n int) {
+	h.maxInFlight = int64(n)
+	if n > 0 {
+		h.srv.SetHTTPMetrics(h.shed.Load,
+			func() float64 { return float64(h.inflight.Load()) })
+	}
+}
+
+// SetMaxBodyBytes bounds request bodies; n <= 0 restores the default.
+func (h *Handler) SetMaxBodyBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBodyBytes
+	}
+	h.maxBody = n
+}
+
+// SetOutbox wires the resilience delivery queue into /healthz (queue
+// depth, drops, per-service breaker states). Configure before serving
+// traffic.
+func (h *Handler) SetOutbox(o *resilience.Outbox) { h.outbox = o }
+
+// SetSnapshotAge wires snapshot durability into /healthz: age reports
+// seconds since the last successful snapshot (-1 = never), and ages
+// beyond staleAfter mark the server degraded. Configure before serving
+// traffic.
+func (h *Handler) SetSnapshotAge(age func() float64, staleAfter float64) {
+	h.snapshotAge = age
+	h.snapshotStaleAfter = staleAfter
 }
 
 // EnablePprof mounts the net/http/pprof profiling handlers under
@@ -167,9 +231,94 @@ func (h *Handler) handleSpans(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.srv.Obs.Tracer.Spans())
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. When an admission limit is set,
+// requests beyond it are shed with 503 + Retry-After instead of queuing
+// without bound; /healthz and /metrics bypass the limit so the overload
+// itself stays observable.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.maxInFlight > 0 && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+		if h.inflight.Add(1) > h.maxInFlight {
+			h.inflight.Add(-1)
+			h.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: "server overloaded, retry later"})
+			return
+		}
+		defer h.inflight.Add(-1)
+	}
 	h.mux.ServeHTTP(w, r)
+}
+
+// HealthResponse is the body of GET /healthz: the server's real
+// operational state, not a bare liveness ping. Status is "ok" or
+// "degraded"; Degraded lists the reasons (open breakers, saturated
+// delivery queue, saturated admission, stale snapshot).
+type HealthResponse struct {
+	Status   string   `json:"status"`
+	Degraded []string `json:"degraded,omitempty"`
+	// InFlight / MaxInFlight / ShedTotal describe admission control
+	// (MaxInFlight 0 = unlimited).
+	InFlight    int64 `json:"inFlight"`
+	MaxInFlight int64 `json:"maxInFlight,omitempty"`
+	ShedTotal   int64 `json:"shedTotal,omitempty"`
+	// Outbox describes the async SP delivery queue, when one is wired.
+	Outbox *OutboxHealth `json:"outbox,omitempty"`
+	// SnapshotAgeSeconds is the age of the last durable PHL snapshot
+	// (-1 = none yet); omitted when snapshotting is off.
+	SnapshotAgeSeconds *float64 `json:"snapshotAgeSeconds,omitempty"`
+}
+
+// OutboxHealth is the delivery-queue section of /healthz.
+type OutboxHealth struct {
+	QueueDepth    int               `json:"queueDepth"`
+	QueueCapacity int               `json:"queueCapacity"`
+	Dropped       int64             `json:"dropped"`
+	Breakers      map[string]string `json:"breakers,omitempty"`
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	resp := HealthResponse{
+		Status:      "ok",
+		InFlight:    h.inflight.Load(),
+		MaxInFlight: h.maxInFlight,
+		ShedTotal:   h.shed.Load(),
+	}
+	if h.maxInFlight > 0 && resp.InFlight >= h.maxInFlight {
+		resp.Degraded = append(resp.Degraded, "admission_saturated")
+	}
+	if o := h.outbox; o != nil {
+		oh := &OutboxHealth{
+			QueueDepth:    o.QueueDepth(),
+			QueueCapacity: o.QueueCapacity(),
+			Dropped:       o.Dropped(),
+			Breakers:      o.BreakerStates(),
+		}
+		resp.Outbox = oh
+		if oh.QueueDepth >= oh.QueueCapacity {
+			resp.Degraded = append(resp.Degraded, "outbox_queue_full")
+		}
+		for svc, state := range oh.Breakers {
+			if state == resilience.BreakerOpen.String() {
+				resp.Degraded = append(resp.Degraded, "breaker_open:"+svc)
+			}
+		}
+	}
+	if h.snapshotAge != nil {
+		age := h.snapshotAge()
+		resp.SnapshotAgeSeconds = &age
+		if h.snapshotStaleAfter > 0 && (age < 0 || age > h.snapshotStaleAfter) {
+			resp.Degraded = append(resp.Degraded, "snapshot_stale")
+		}
+	}
+	if len(resp.Degraded) > 0 {
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) postOnly(fn http.HandlerFunc) http.HandlerFunc {
@@ -184,7 +333,7 @@ func (h *Handler) postOnly(fn http.HandlerFunc) http.HandlerFunc {
 
 func (h *Handler) handleLocation(w http.ResponseWriter, r *http.Request) {
 	var req LocationRequest
-	if !decode(w, r, &req) {
+	if !h.decode(w, r, &req) {
 		return
 	}
 	h.srv.RecordLocation(phl.UserID(req.User), geo.STPoint{
@@ -195,7 +344,7 @@ func (h *Handler) handleLocation(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 	var req ServiceRequest
-	if !decode(w, r, &req) {
+	if !h.decode(w, r, &req) {
 		return
 	}
 	if req.Service == "" {
@@ -207,14 +356,16 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 	}, req.Service, req.Data)
 
 	resp := DecisionResponse{
-		Forwarded:    dec.Forwarded,
-		Generalized:  dec.Generalized,
-		HKAnonymity:  dec.HKAnonymity,
-		MatchedLBQID: dec.MatchedLBQID,
-		Unlinked:     dec.Unlinked,
-		AtRisk:       dec.AtRisk,
-		Suppressed:   dec.Suppressed,
-		QIDExposed:   dec.QIDExposed,
+		Forwarded:      dec.Forwarded,
+		Generalized:    dec.Generalized,
+		HKAnonymity:    dec.HKAnonymity,
+		MatchedLBQID:   dec.MatchedLBQID,
+		Unlinked:       dec.Unlinked,
+		AtRisk:         dec.AtRisk,
+		Suppressed:     dec.Suppressed,
+		Degraded:       dec.Degraded,
+		DegradedReason: dec.DegradedReason,
+		QIDExposed:     dec.QIDExposed,
 	}
 	if dec.Request != nil {
 		resp.Pseudonym = string(dec.Request.Pseudonym)
@@ -229,7 +380,7 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleLBQID(w http.ResponseWriter, r *http.Request) {
 	var req LBQIDRequest
-	if !decode(w, r, &req) {
+	if !h.decode(w, r, &req) {
 		return
 	}
 	if err := h.srv.AddLBQIDSpec(phl.UserID(req.User), req.Spec); err != nil {
@@ -241,7 +392,7 @@ func (h *Handler) handleLBQID(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	var req PolicyRequest
-	if !decode(w, r, &req) {
+	if !h.decode(w, r, &req) {
 		return
 	}
 	var pol ts.Policy
@@ -289,10 +440,20 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+// decode parses a JSON body bounded by the handler's body limit.
+// Overflowing bodies get 413 (and the connection closed, per
+// http.MaxBytesReader); malformed ones get 400.
+func (h *Handler) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, h.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: "request body exceeds " + strconv.FormatInt(tooBig.Limit, 10) + " bytes"})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return false
 	}
@@ -345,7 +506,7 @@ type DeployReportJSON struct {
 
 func (h *Handler) handleMine(w http.ResponseWriter, r *http.Request) {
 	var req MineRequest
-	if !decode(w, r, &req) {
+	if !h.decode(w, r, &req) {
 		return
 	}
 	cands := mine.Mine(h.srv.Store(), mine.Config{
@@ -369,7 +530,7 @@ func (h *Handler) handleMine(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	var req DeployRequest
-	if !decode(w, r, &req) {
+	if !h.decode(w, r, &req) {
 		return
 	}
 	rep, err := deploy.Analyze(deploy.Input{

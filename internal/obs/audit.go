@@ -25,6 +25,11 @@ const (
 	KindRequest = "request"
 	// KindRotation is a pseudonym rotation (an Unlinking action).
 	KindRotation = "rotation"
+	// KindDelivery is an asynchronous SP delivery outcome from the
+	// resilience layer: a request that was admitted for forwarding but
+	// dropped before reaching the service provider (deadline expiry,
+	// breaker opening mid-flight, or retries exhausted).
+	KindDelivery = "delivery"
 )
 
 // Event is one audit record. Numeric identity fields are int64 so logs
@@ -62,8 +67,16 @@ type Event struct {
 	TimeTolFrac float64 `json:"time_tol_frac,omitempty"`
 	// HKAnonymity is Algorithm 1's verdict for the request.
 	HKAnonymity bool `json:"hk"`
-	// Outcome is OutcomeForwarded or OutcomeSuppressed.
+	// Outcome is OutcomeForwarded, OutcomeSuppressed, OutcomeDegraded
+	// (fail-closed admission refusal) or OutcomeDropped (asynchronous
+	// delivery failure, KindDelivery only).
 	Outcome string `json:"outcome,omitempty"`
+	// Reason qualifies a degraded or dropped outcome: "queue_full",
+	// "breaker_open", "deadline_exceeded" or "retries_exhausted".
+	Reason string `json:"reason,omitempty"`
+	// Attempts counts the delivery attempts made before a KindDelivery
+	// drop.
+	Attempts int `json:"attempts,omitempty"`
 	// Unlinked and AtRisk mirror the ts.Decision flags.
 	Unlinked bool `json:"unlinked,omitempty"`
 	AtRisk   bool `json:"at_risk,omitempty"`

@@ -50,6 +50,17 @@ const (
 	MetricSpansSampled = "histanon_trace_spans_sampled_total"
 	MetricAuditEvents  = "histanon_audit_events_total"
 	MetricAuditErrors  = "histanon_audit_errors_total"
+
+	// Resilience-layer families (internal/resilience): the async SP
+	// delivery pipeline, its circuit breakers, HTTP admission control
+	// and snapshot durability.
+	MetricResilienceEvents      = "histanon_resilience_events_total"
+	MetricResilienceQueueDepth  = "histanon_resilience_queue_depth"
+	MetricResilienceBreakerOpen = "histanon_resilience_breaker_open"
+	MetricHTTPShed              = "histanon_http_shed_total"
+	MetricHTTPInFlight          = "histanon_http_inflight"
+	MetricSnapshotAge           = "histanon_snapshot_age_seconds"
+	MetricSnapshotErrors        = "histanon_snapshot_errors_total"
 )
 
 // MetricNames lists every metric family the server registers, for the
@@ -59,6 +70,9 @@ func MetricNames() []string {
 		MetricEvents, MetricStageSeconds, MetricAchievedK, MetricGenArea,
 		MetricGenInterval, MetricRotations, MetricGenFailures, MetricPHLUsers,
 		MetricPHLSamples, MetricSpansSampled, MetricAuditEvents, MetricAuditErrors,
+		MetricResilienceEvents, MetricResilienceQueueDepth,
+		MetricResilienceBreakerOpen, MetricHTTPShed, MetricHTTPInFlight,
+		MetricSnapshotAge, MetricSnapshotErrors,
 	}
 }
 

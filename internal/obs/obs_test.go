@@ -254,7 +254,7 @@ func TestMetricNamesUniqueAndValid(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	if len(seen) != 12 {
-		t.Fatalf("MetricNames lists %d families, want 12", len(seen))
+	if len(seen) != 19 {
+		t.Fatalf("MetricNames lists %d families, want 19", len(seen))
 	}
 }

@@ -60,10 +60,17 @@ func Stages() []Stage {
 	return out
 }
 
-// Span outcomes.
+// Span outcomes. OutcomeDegraded is the fail-closed resilience outcome:
+// the pipeline decided to forward but the delivery layer refused
+// admission (queue full or breaker open), so the request was withheld.
+// OutcomeDropped marks an asynchronous delivery failure (KindDelivery
+// audit records only): the request was admitted but never reached the
+// service provider.
 const (
 	OutcomeForwarded  = "forwarded"
 	OutcomeSuppressed = "suppressed"
+	OutcomeDegraded   = "degraded"
+	OutcomeDropped    = "dropped"
 )
 
 // Span is one sampled request's timing and outcome record.

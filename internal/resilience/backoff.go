@@ -1,0 +1,86 @@
+// Exponential backoff with deterministic jitter. Retry storms against a
+// struggling service provider are the classic anonymizer failure mode
+// (synchronized retries arrive as a thundering herd exactly when the SP
+// is least able to serve them); jitter decorrelates the retries. The
+// jitter here is a pure function of (seed, attempt), not of a shared
+// random source, so a fault schedule replays bit-for-bit in tests.
+
+package resilience
+
+import "time"
+
+// Backoff computes the delay before retry number attempt (1-based: the
+// delay after the first failed attempt is Delay(1, seed)). The zero
+// value gets safe defaults.
+type Backoff struct {
+	// Base is the nominal delay after the first failure (default 10ms).
+	Base time.Duration
+	// Max caps the nominal delay (default 2s).
+	Max time.Duration
+	// Factor multiplies the nominal delay per attempt (default 2).
+	Factor float64
+	// Jitter is the fraction of the nominal delay that is randomized
+	// downward: the delay is uniform in [d·(1−Jitter), d]. Zero means
+	// the default 0.5; negative disables jitter entirely.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.5
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Jitter > 1 {
+		b.Jitter = 1
+	}
+	return b
+}
+
+// Delay returns the backoff before the attempt-th retry, jittered
+// deterministically by seed. attempt values below 1 are treated as 1.
+func (b Backoff) Delay(attempt int, seed uint64) time.Duration {
+	b = b.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		frac := jitterFrac(seed, uint64(attempt))
+		d *= 1 - b.Jitter*frac
+	}
+	if d < 1 {
+		d = 1 // never a zero sleep: a zero delay is a tight retry loop
+	}
+	return time.Duration(d)
+}
+
+// jitterFrac hashes (seed, attempt) into [0,1) with splitmix64 — a
+// stateless generator, so concurrent retries never contend on a shared
+// rand source and a schedule is reproducible from the seed alone.
+func jitterFrac(seed, attempt uint64) float64 {
+	x := seed + attempt*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicSchedule pins the exact jittered schedule for
+// a fixed seed: the jitter is a pure function of (seed, attempt), so
+// this table only changes if the generator changes — which would break
+// fault-schedule replay everywhere.
+func TestBackoffDeterministicSchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.5}
+	const seed = 42
+	var got [6]time.Duration
+	for i := range got {
+		got[i] = b.Delay(i+1, seed)
+	}
+	for i := range got {
+		again := b.Delay(i+1, seed)
+		if again != got[i] {
+			t.Fatalf("Delay(%d, %d) not stable: %v then %v", i+1, seed, got[i], again)
+		}
+	}
+	// Structural properties of the schedule.
+	nominal := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second,
+	}
+	for i, d := range got {
+		lo := nominal[i] / 2
+		if d < lo || d > nominal[i] {
+			t.Fatalf("Delay(%d) = %v outside jitter band [%v,%v]", i+1, d, lo, nominal[i])
+		}
+	}
+	// Different seeds must decorrelate: at least one attempt differs.
+	same := true
+	for i := 0; i < 6; i++ {
+		if b.Delay(i+1, seed) != b.Delay(i+1, seed+1) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules: jitter is not seeded")
+	}
+}
+
+func TestBackoffNoJitterIsNominal(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i+1, 7); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaultsAndFloors(t *testing.T) {
+	var b Backoff // zero value: 10ms base, 2s max, factor 2, jitter 0.5
+	if d := b.Delay(1, 1); d < 5*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("default Delay(1) = %v, want within [5ms,10ms]", d)
+	}
+	if d := b.Delay(0, 1); d != b.Delay(1, 1) {
+		t.Fatalf("attempt 0 must clamp to 1: %v vs %v", d, b.Delay(1, 1))
+	}
+	if d := b.Delay(60, 1); d > 2*time.Second {
+		t.Fatalf("Delay(60) = %v exceeds the cap", d)
+	}
+	// A pathological tiny base with full jitter must never return a
+	// zero (busy-loop) sleep.
+	tiny := Backoff{Base: 1, Jitter: 1}
+	for a := 1; a < 10; a++ {
+		for s := uint64(0); s < 50; s++ {
+			if tiny.Delay(a, s) < 1 {
+				t.Fatalf("Delay(%d,%d) below 1ns", a, s)
+			}
+		}
+	}
+}
+
+// TestJitterFracUniformish sanity-checks the mixer: mean near 0.5 over
+// a modest sample, all values in [0,1).
+func TestJitterFracUniformish(t *testing.T) {
+	var sum float64
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		f := jitterFrac(i, 1)
+		if f < 0 || f >= 1 {
+			t.Fatalf("jitterFrac out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("jitterFrac mean = %v, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,173 @@
+// Per-service circuit breaker. When a service provider fails
+// persistently, continuing to queue requests for it only delays the
+// inevitable drop and holds queue slots hostage; the breaker converts
+// persistent failure into immediate, synchronous shedding — which the
+// trusted server surfaces as a suppressed (degraded) decision, the
+// fail-closed outcome.
+
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state breaker automaton.
+type BreakerState int32
+
+// The breaker states: Closed admits everything, Open rejects
+// everything until the reset window elapses, HalfOpen admits a bounded
+// number of probe deliveries to test recovery.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the state name used in /healthz and audit records.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes one breaker. The zero value gets safe defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive delivery failures
+	// that trips the breaker open (default 5).
+	FailureThreshold int
+	// OpenFor is how long an open breaker rejects before moving to
+	// half-open (default 5s).
+	OpenFor time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close a
+	// half-open breaker (default 1). A probe failure re-opens it.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker is one service's circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	probes    int // probes admitted this half-open round
+	openedAt  time.Time
+}
+
+// NewBreaker returns a closed breaker reading time from now (nil means
+// the real clock).
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// State returns the current state, applying the open→half-open timer.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// maybeHalfOpen moves an expired open breaker to half-open. Callers
+// hold b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && !b.now().Before(b.openedAt.Add(b.cfg.OpenFor)) {
+		b.state = BreakerHalfOpen
+		b.successes = 0
+		b.probes = 0
+	}
+}
+
+// Rejects reports whether new work for the service should be shed
+// synchronously: true only while the breaker is open (half-open work is
+// admitted so probes can run).
+func (b *Breaker) Rejects() bool { return b.State() == BreakerOpen }
+
+// Allow reports whether one delivery attempt may proceed now. In
+// half-open state it admits at most HalfOpenProbes in-flight probes.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Success records a successful delivery: it resets a closed breaker's
+// failure run and counts a half-open probe toward closing.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	}
+}
+
+// Failure records a failed delivery: it trips a closed breaker after
+// FailureThreshold consecutive failures and re-opens a half-open one
+// immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.successes = 0
+	b.probes = 0
+}

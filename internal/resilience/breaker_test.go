@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tick is a manually advanced clock for breaker tests.
+type tick struct{ nanos atomic.Int64 }
+
+func (c *tick) now() time.Time          { return time.Unix(0, c.nanos.Load()) }
+func (c *tick) advance(d time.Duration) { c.nanos.Add(int64(d)) }
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	c := &tick{}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenFor: 5 * time.Second}, c.now)
+	if b.State() != BreakerClosed || !b.Allow() || b.Rejects() {
+		t.Fatal("fresh breaker must be closed and admitting")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped below the threshold")
+	}
+	// A success resets the consecutive-failure run.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure run")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || !b.Rejects() || b.Allow() {
+		t.Fatal("threshold reached: breaker must be open and rejecting")
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	c := &tick{}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: 5 * time.Second, HalfOpenProbes: 2}, c.now)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker must open on the first failure")
+	}
+	c.advance(4 * time.Second)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker half-opened before OpenFor elapsed")
+	}
+	c.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("breaker must half-open after OpenFor")
+	}
+	if b.Rejects() {
+		t.Fatal("half-open must not shed synchronously (probes must run)")
+	}
+	// Only HalfOpenProbes probes are admitted per round.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open must admit the configured probes")
+	}
+	if b.Allow() {
+		t.Fatal("half-open admitted more than HalfOpenProbes")
+	}
+	// Both probes succeed: the breaker closes.
+	b.Success()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("breaker closed after a partial probe round")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker must close after HalfOpenProbes successes")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	c := &tick{}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: time.Second}, c.now)
+	b.Failure()
+	c.advance(2 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("expected half-open")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("a half-open probe failure must re-open the breaker")
+	}
+	// The open window restarts from the re-open instant.
+	c.advance(900 * time.Millisecond)
+	if b.State() != BreakerOpen {
+		t.Fatal("re-opened breaker expired early")
+	}
+	c.advance(200 * time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("re-opened breaker never half-opened again")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half_open",
+		BreakerState(9): "unknown",
+	} {
+		if got := state.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

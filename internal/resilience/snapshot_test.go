@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotterAtomicSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	payload := "v1"
+	var mu sync.Mutex
+	s := NewSnapshotter(path, time.Hour, func(w io.Writer) error {
+		mu.Lock()
+		defer mu.Unlock()
+		_, err := io.WriteString(w, payload)
+		return err
+	})
+	if age := s.AgeSeconds(); age != -1 {
+		t.Fatalf("fresh snapshotter age = %v, want -1", age)
+	}
+	if err := s.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("snapshot content = %q", b)
+	}
+	if age := s.AgeSeconds(); age < 0 || age > 60 {
+		t.Fatalf("age after save = %v", age)
+	}
+	// A failing write must leave the previous snapshot intact.
+	mu.Lock()
+	payload = ""
+	mu.Unlock()
+	fail := errors.New("write failed")
+	s.write = func(io.Writer) error { return fail }
+	if err := s.Save(); !errors.Is(err, fail) {
+		t.Fatalf("Save error = %v", err)
+	}
+	if s.Errors() != 1 {
+		t.Fatalf("Errors = %d", s.Errors())
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("failed save clobbered the snapshot: %q", b)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after a failed save")
+	}
+}
+
+func TestSnapshotterPeriodicLoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	var saves sync.WaitGroup
+	saves.Add(2)
+	var once sync.Once
+	var second sync.Once
+	n := 0
+	s := NewSnapshotter(path, time.Second, func(w io.Writer) error {
+		n++
+		if n == 1 {
+			once.Do(saves.Done)
+		}
+		if n == 2 {
+			second.Do(saves.Done)
+		}
+		_, err := io.WriteString(w, "x")
+		return err
+	})
+	s.Start()
+	s.Start() // idempotent
+	done := make(chan struct{})
+	go func() { saves.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("periodic loop never saved twice")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if s.AgeSeconds() < 0 {
+		t.Fatal("age unset after periodic saves")
+	}
+}
+
+func TestSnapshotterIntervalFloor(t *testing.T) {
+	s := NewSnapshotter("x", 10*time.Millisecond, func(io.Writer) error { return nil })
+	if s.Interval() != time.Second {
+		t.Fatalf("Interval = %v, want the 1s floor", s.Interval())
+	}
+}

@@ -132,6 +132,27 @@ type Outbox interface {
 	Deliver(req *wire.Request)
 }
 
+// FallibleOutbox is an Outbox whose admission can fail synchronously —
+// the contract of the resilience layer's bounded delivery queue
+// (internal/resilience). When the configured outbox implements it, the
+// server calls TryDeliver instead of Deliver and degrades a refused
+// request to suppression: the fail-closed outcome, in which a request
+// is withheld rather than forwarded without its delivery guarantees.
+// TryDeliver returning nil means the request was (or will be) handed to
+// the service provider; an error means it never will be.
+type FallibleOutbox interface {
+	Outbox
+	TryDeliver(req *wire.Request) error
+}
+
+// MetricsSource is implemented by outboxes that expose their own metric
+// families (internal/resilience's Outbox does): MetricsRegistry invites
+// the outbox to register live series instead of the zero-valued
+// placeholders a plain outbox gets.
+type MetricsSource interface {
+	RegisterMetrics(r *metrics.Registry)
+}
+
 // PolicyResolver chooses a per-request policy from the request context —
 // the "more involved rule-based policy specifications" of §3. The
 // internal/policy package provides a rule-language implementation.
@@ -182,6 +203,11 @@ type Config struct {
 	// to each box instead of one. See generalize.Generalizer and
 	// experiment E14.
 	WitnessSamples int
+	// Index, when non-nil, replaces the default grid spatio-temporal
+	// index — the hook the chaos harness uses to inject slow-store
+	// faults, and deployments use to pick another stindex
+	// implementation. The index must be empty at configuration time.
+	Index stindex.Index
 }
 
 // Decision reports what the TS did with one request.
@@ -203,8 +229,17 @@ type Decision struct {
 	// possible: the user should be warned (paper §6.1 step 2).
 	AtRisk bool
 	// Suppressed is true when the request was withheld (inside an active
-	// on-demand mix zone, or at-risk under a suppressing policy).
+	// on-demand mix zone, at-risk under a suppressing policy, or
+	// degraded by the delivery layer).
 	Suppressed bool
+	// Degraded is true when the request was suppressed not by policy but
+	// by the fail-closed delivery layer: the outbox refused admission
+	// (queue full or circuit breaker open), so the TS withheld the
+	// request rather than risk an unprotected forward.
+	Degraded bool
+	// DegradedReason names the admission failure ("queue_full",
+	// "breaker_open", "outbox_closed") when Degraded is true.
+	DegradedReason string
 	// QIDExposed is true when a full LBQID (sequence and recurrence) has
 	// been matched under the current pseudonym: the quasi-identifier has
 	// been released to the SP.
@@ -227,11 +262,14 @@ type userState struct {
 // Server is the trusted server. It is safe for concurrent use; see the
 // package comment for the locking model.
 type Server struct {
-	cfg   Config
-	out   Outbox
-	store *phl.Store
-	index stindex.Index
-	pseud *pseudonym.Manager
+	cfg Config
+	out Outbox
+	// fallible is out's fail-closed admission interface, when it has one
+	// (resolved once at construction so the hot path pays no assertion).
+	fallible FallibleOutbox
+	store    *phl.Store
+	index    stindex.Index
+	pseud    *pseudonym.Manager
 	// gen is shared by all generalization sessions; its components
 	// (index, store, randomizer) each carry their own synchronization.
 	gen *generalize.Generalizer
@@ -268,6 +306,31 @@ type Server struct {
 	// regOnce/registry lazily build the Prometheus registry.
 	regOnce  sync.Once
 	registry *metrics.Registry
+
+	// Hooks feeding the always-registered resilience families for the
+	// layers above the TS: httpapi installs the admission-control
+	// sources (SetHTTPMetrics), lbserve the snapshot-durability ones
+	// (SetSnapshotMetrics). Unset hooks read as zero (age as -1).
+	httpShed     atomic.Pointer[func() int64]
+	httpInFlight atomic.Pointer[func() float64]
+	snapAge      atomic.Pointer[func() float64]
+	snapErrors   atomic.Pointer[func() int64]
+}
+
+// SetHTTPMetrics installs the admission-control metric sources: the
+// shed-request counter and the in-flight gauge exposed as
+// histanon_http_shed_total / histanon_http_inflight.
+func (s *Server) SetHTTPMetrics(shed func() int64, inflight func() float64) {
+	s.httpShed.Store(&shed)
+	s.httpInFlight.Store(&inflight)
+}
+
+// SetSnapshotMetrics installs the snapshot-durability metric sources:
+// seconds since the last successful snapshot (-1 = never) and the
+// snapshot error counter.
+func (s *Server) SetSnapshotMetrics(age func() float64, errs func() int64) {
+	s.snapAge.Store(&age)
+	s.snapErrors.Store(&errs)
 }
 
 // New returns a trusted server delivering to out.
@@ -284,11 +347,15 @@ func New(cfg Config, out Outbox) *Server {
 	if cfg.StaticZones == nil {
 		cfg.StaticZones = mixzone.NewRegistry()
 	}
+	index := cfg.Index
+	if index == nil {
+		index = stindex.NewGrid(cfg.GridCell, cfg.GridBucket)
+	}
 	s := &Server{
 		cfg:       cfg,
 		out:       out,
 		store:     phl.NewStore(),
-		index:     stindex.NewGrid(cfg.GridCell, cfg.GridBucket),
+		index:     index,
 		pseud:     pseudonym.NewManager(),
 		users:     make(map[phl.UserID]*userState),
 		routes:    make(map[wire.MsgID]phl.UserID),
@@ -298,6 +365,7 @@ func New(cfg Config, out Outbox) *Server {
 		IntervalS: &metrics.Summary{},
 		Obs:       obs.New(),
 	}
+	s.fallible, _ = out.(FallibleOutbox)
 	s.gen = &generalize.Generalizer{
 		Index:  s.index,
 		Store:  s.store,
@@ -322,7 +390,7 @@ func (s *Server) Pseudonyms() *pseudonym.Manager { return s.pseud }
 // family. OBSERVABILITY.md documents their meanings.
 var counterEvents = []string{
 	"requests", "forwarded", "generalized", "hk_failures", "unlinkings",
-	"at_risk", "suppressed", "exposures", "ondemand_zones",
+	"at_risk", "suppressed", "degraded", "exposures", "ondemand_zones",
 	"unlink_failures", "responses", "responses_unroutable",
 }
 
@@ -374,6 +442,57 @@ func (s *Server) MetricsRegistry() *metrics.Registry {
 		r.RegisterCounterFunc(obs.MetricAuditErrors,
 			"Audit records dropped on encoding or flush errors.",
 			nil, func() int64 { return s.Obs.AuditSink().Errors() })
+		// The resilience families are always present so the exposition
+		// surface doesn't depend on deployment wiring: a resilience-aware
+		// outbox registers its live series, anything else gets zero
+		// placeholders; the admission-control and snapshot sources are
+		// installed by the layers that own them (SetHTTPMetrics /
+		// SetSnapshotMetrics) and read as zero until then.
+		if src, ok := s.out.(MetricsSource); ok {
+			src.RegisterMetrics(r)
+		} else {
+			r.RegisterCounterVec(obs.MetricResilienceEvents,
+				"Async SP delivery pipeline events by type.",
+				nil, metrics.NewCounterVec("event"))
+			r.RegisterGaugeFunc(obs.MetricResilienceQueueDepth,
+				"Requests waiting in the async SP delivery queue.",
+				nil, func() float64 { return 0 })
+			r.RegisterGaugeFunc(obs.MetricResilienceBreakerOpen,
+				"Per-service circuit breakers currently open.",
+				nil, func() float64 { return 0 })
+		}
+		r.RegisterCounterFunc(obs.MetricHTTPShed,
+			"HTTP requests shed by admission control with a 503.",
+			nil, func() int64 {
+				if fn := s.httpShed.Load(); fn != nil {
+					return (*fn)()
+				}
+				return 0
+			})
+		r.RegisterGaugeFunc(obs.MetricHTTPInFlight,
+			"HTTP requests currently being served.",
+			nil, func() float64 {
+				if fn := s.httpInFlight.Load(); fn != nil {
+					return (*fn)()
+				}
+				return 0
+			})
+		r.RegisterGaugeFunc(obs.MetricSnapshotAge,
+			"Seconds since the last successful PHL snapshot (-1 = never).",
+			nil, func() float64 {
+				if fn := s.snapAge.Load(); fn != nil {
+					return (*fn)()
+				}
+				return -1
+			})
+		r.RegisterCounterFunc(obs.MetricSnapshotErrors,
+			"PHL snapshot attempts that failed.",
+			nil, func() int64 {
+				if fn := s.snapErrors.Load(); fn != nil {
+					return (*fn)()
+				}
+				return 0
+			})
 		s.registry = r
 	})
 	return s.registry
@@ -636,7 +755,29 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 	if sampled {
 		sp.Sync()
 	}
-	s.out.Deliver(req)
+	if s.fallible != nil {
+		if err := s.fallible.TryDeliver(req); err != nil {
+			// Fail closed: the delivery layer refused admission (queue
+			// full, breaker open, shutdown), so the request is withheld —
+			// degraded to suppression, never forwarded with weaker
+			// guarantees. The route can never be answered; reclaim it.
+			s.respMu.Lock()
+			delete(s.routes, id)
+			s.respMu.Unlock()
+			if sampled {
+				sp.Mark(obs.StageForward)
+			}
+			dec.Suppressed = true
+			dec.Degraded = true
+			dec.DegradedReason = degradeReason(err)
+			s.Counters.Inc("suppressed")
+			s.Counters.Inc("degraded")
+			s.finishRequest(sampled, &sp, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
+			return dec
+		}
+	} else {
+		s.out.Deliver(req)
+	}
 	if sampled {
 		sp.Mark(obs.StageForward)
 	}
@@ -669,6 +810,9 @@ func (s *Server) finishRequest(sampled bool, sp *obs.Span, u phl.UserID, p geo.S
 	if dec.Suppressed {
 		outcome = obs.OutcomeSuppressed
 	}
+	if dec.Degraded {
+		outcome = obs.OutcomeDegraded
+	}
 	if sampled {
 		sp.MsgID = int64(id)
 		sp.Generalized = dec.Generalized
@@ -695,6 +839,7 @@ func (s *Server) finishRequest(sampled bool, sp *obs.Span, u phl.UserID, p geo.S
 		AchievedK:   achievedK,
 		HKAnonymity: dec.HKAnonymity,
 		Outcome:     outcome,
+		Reason:      dec.DegradedReason,
 		Unlinked:    dec.Unlinked,
 		AtRisk:      dec.AtRisk,
 		Zone:        zone,
@@ -710,6 +855,16 @@ func (s *Server) finishRequest(sampled bool, sp *obs.Span, u phl.UserID, p geo.S
 		}
 	}
 	a.Log(e)
+}
+
+// degradeReason turns an admission error into its audit reason label.
+// Errors carrying a Reason method (internal/resilience's admission
+// errors do) name themselves; anything else is a generic refusal.
+func degradeReason(err error) string {
+	if r, ok := err.(interface{ Reason() string }); ok {
+		return r.Reason()
+	}
+	return "delivery_refused"
 }
 
 // decayFor turns the policy into a concrete schedule.
