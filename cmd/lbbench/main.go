@@ -11,14 +11,19 @@
 //	                    # write the machine-readable perf record
 //	lbbench -obsbench BENCH_obs.json
 //	                    # run the E-obs instrumentation-overhead benchmark
-//	                    # (sampling off / 1% / 100% / 100%+audit) and
-//	                    # write its record; the table goes to stdout
+//	                    # (sampling off / tail 1/1000 / 100% / 100%+exemplars
+//	                    # / 100%+audit) and write its record; the table goes
+//	                    # to stdout
+//	lbbench -benchdiff  # aggregate every checked-in BENCH_*.json into one
+//	                    # performance-trajectory table (scripts/benchdiff.sh)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -27,13 +32,27 @@ import (
 
 func main() {
 	var (
-		ids      = flag.String("e", "", "comma-separated experiment ids (default: all)")
-		markdown = flag.Bool("md", false, "render markdown tables")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		bench11  = flag.String("bench11", "", "run the E11 concurrency benchmark and write its JSON record to this path")
-		obsbench = flag.String("obsbench", "", "run the E-obs instrumentation-overhead benchmark and write its JSON record to this path")
+		ids       = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		markdown  = flag.Bool("md", false, "render markdown tables")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		bench11   = flag.String("bench11", "", "run the E11 concurrency benchmark and write its JSON record to this path")
+		obsbench  = flag.String("obsbench", "", "run the E-obs instrumentation-overhead benchmark and write its JSON record to this path")
+		benchdiff = flag.Bool("benchdiff", false, "aggregate BENCH_*.json records into a performance-trajectory table")
 	)
 	flag.Parse()
+
+	if *benchdiff {
+		paths, err := filepath.Glob("BENCH_*.json")
+		if err == nil {
+			sort.Strings(paths)
+			err = sim.WriteBenchDiff(paths, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range sim.All() {

@@ -11,10 +11,17 @@
 //
 // Observability (see OBSERVABILITY.md for the full reference):
 //
-//	lbserve -trace-sample 0.01 -audit audit.jsonl -pprof
-//	curl -s localhost:7408/metrics     # Prometheus text exposition
-//	curl -s localhost:7408/v1/spans    # recent sampled request spans
+//	lbserve -trace-sample 0.001 -trace-tail-slow 50ms -metrics-exemplars -audit audit.jsonl -pprof
+//	curl -s localhost:7408/metrics             # Prometheus text exposition
+//	curl -s localhost:7408/v1/spans            # recent retained request spans
+//	curl -s localhost:7408/v1/spans?trace=ID   # one trace (request + delivery spans)
+//	curl -s localhost:7408/v1/spans/summary    # outcome / keep-reason / stage breakdown
 //	go tool pprof localhost:7408/debug/pprof/profile?seconds=10
+//
+// Requests may carry a W3C traceparent header; the response rejoins
+// the caller's trace and anomalous requests (degraded, denied,
+// dropped, breaker-affected, slow) are always tail-retained in the
+// span ring regardless of the -trace-sample head rate.
 //
 // Resilience (see DESIGN.md §9): SP delivery runs through a bounded
 // async queue with retries and per-service circuit breaking; overload
@@ -53,6 +60,8 @@ func main() {
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "periodic PHL snapshot period (needs -snapshot)")
 		sample     = flag.Float64("trace-sample", 0.01, "fraction of requests to trace into /v1/spans and the stage histograms (0 = off, 1 = all)")
 		traceBuf   = flag.Int("trace-buffer", obs.DefaultRingSize, "span ring-buffer capacity")
+		tailSlow   = flag.Duration("trace-tail-slow", 0, "tail-sampling slow threshold: completed spans at least this slow are retained even when head sampling missed them (0 = off)")
+		exemplars  = flag.Bool("metrics-exemplars", false, "emit OpenMetrics exemplars (trace ids) on /metrics histogram buckets")
 		auditPath  = flag.String("audit", "", "privacy audit log (JSON lines), appended; flushed on SIGINT/SIGTERM")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator networks only)")
 
@@ -132,15 +141,25 @@ func main() {
 	})
 	srv := ts.New(cfg, outbox)
 
-	// Observability knobs: span sampling, ring size, audit sink. All are
-	// safe to configure here, before traffic starts.
+	// Observability knobs: span sampling, ring size, tail sampling,
+	// exemplars, audit sink, delivery spans. The tracer swap must precede
+	// MetricsRegistry (the registry captures the tracer's counters), and
+	// all of it happens here, before traffic starts.
 	if *traceBuf != obs.DefaultRingSize {
 		srv.Obs.Tracer = obs.NewTracer(*traceBuf)
 	}
 	srv.Obs.Tracer.SetSampleRate(*sample)
+	srv.Obs.Tracer.SetTailSlow(*tailSlow)
+	if *exemplars {
+		srv.Obs.SetExemplars(true)
+		srv.MetricsRegistry().SetExemplars(true)
+	}
 	if audit != nil {
 		srv.Obs.SetAudit(audit)
 	}
+	// Delivery spans: the outbox records one child span per traced
+	// request it processes (queue wait, attempts, retries).
+	outbox.SetSpanSink(srv.Obs)
 
 	var snap *resilience.Snapshotter
 	if *snapshot != "" {

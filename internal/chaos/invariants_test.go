@@ -18,6 +18,12 @@
 //  6. Fail-closed accounting — degraded suppressions and asynchronous
 //     drops are conserved across counters, outbox events and the audit
 //     log: nothing is lost silently.
+//  7. Trace completeness — at 1/1000 head sampling the tail sampler
+//     still retains a full trace for every anomalous request: degraded
+//     and suppressed decisions have retained request spans (with the
+//     shed event naming the degrade reason), and every audited
+//     asynchronous drop has a retained delivery span carrying
+//     queue-wait and per-attempt timings.
 package chaos_test
 
 import (
@@ -179,6 +185,10 @@ func newRun(t *testing.T, sc schedule, restore *bytes.Buffer) *run {
 	r.srv = ts.New(cfg, r.outbox)
 	r.srv.SetNotifier(r.notes)
 	r.srv.Obs.SetAudit(r.audit)
+	// Tracing at 1/1000 head sampling: invariant 7 relies on the tail
+	// sampler, not head luck, to retain every anomalous trace.
+	r.srv.Obs.Tracer.SetSampleRate(0.001)
+	r.outbox.SetSpanSink(r.srv.Obs)
 	if restore != nil {
 		if err := r.srv.RestorePHL(bytes.NewReader(restore.Bytes())); err != nil {
 			t.Fatalf("RestorePHL: %v", err)
@@ -434,6 +444,79 @@ func checkInvariants(t *testing.T, r *run, k int) {
 	}
 	if auditDegraded != int64(degraded) {
 		t.Fatalf("audit has %d degraded requests, decisions = %d", auditDegraded, degraded)
+	}
+
+	// Invariant 7: trace completeness. Every anomalous outcome must be
+	// explorable after the fact via its trace id even at 1/1000 head
+	// sampling — the tail sampler's whole point.
+	reqSpans := map[string]obs.Span{}
+	delSpans := map[string][]obs.Span{}
+	for _, sp := range r.srv.Obs.Tracer.Spans() {
+		switch sp.Kind {
+		case obs.SpanKindRequest:
+			reqSpans[sp.TraceID] = sp
+		case obs.SpanKindDelivery:
+			delSpans[sp.TraceID] = append(delSpans[sp.TraceID], sp)
+		}
+	}
+	for _, d := range r.decisions {
+		if !d.dec.Degraded && !d.dec.Suppressed {
+			continue
+		}
+		if d.dec.TraceID == "" {
+			t.Fatalf("anomalous decision lacks a trace id: %+v", d.dec)
+		}
+		sp, ok := reqSpans[d.dec.TraceID]
+		if !ok {
+			t.Fatalf("no retained request span for anomalous trace %s (%+v)",
+				d.dec.TraceID, d.dec)
+		}
+		if sp.KeepReason == "" {
+			t.Fatalf("retained span lacks a keep reason: %+v", sp)
+		}
+		if d.dec.Degraded {
+			found := false
+			for _, e := range sp.Events {
+				if e.Name == "shed_"+d.dec.DegradedReason {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("degraded trace %s lacks the shed_%s event: %+v",
+					d.dec.TraceID, d.dec.DegradedReason, sp.Events)
+			}
+		}
+	}
+	for _, e := range events {
+		if e.Kind != obs.KindDelivery {
+			continue
+		}
+		if e.TraceID == "" {
+			t.Fatalf("delivery audit event lacks a trace id: %+v", e)
+		}
+		var del *obs.Span
+		for i, sp := range delSpans[e.TraceID] {
+			if sp.Outcome == obs.OutcomeDropped && sp.MsgID == int64(e.MsgID) {
+				del = &delSpans[e.TraceID][i]
+			}
+		}
+		if del == nil {
+			t.Fatalf("no retained delivery span for dropped trace %s (%+v)", e.TraceID, e)
+		}
+		if del.Reason != e.Reason {
+			t.Fatalf("delivery span reason %q diverges from audit reason %q", del.Reason, e.Reason)
+		}
+		if len(del.AttemptNs) != e.Attempts {
+			t.Fatalf("delivery span recorded %d attempt timings, audit counted %d",
+				len(del.AttemptNs), e.Attempts)
+		}
+		if del.QueueNs < 0 || del.TotalNs < del.QueueNs {
+			t.Fatalf("delivery span timings inconsistent: queue=%d total=%d",
+				del.QueueNs, del.TotalNs)
+		}
+		if del.ParentSpanID == "" {
+			t.Fatalf("delivery span not linked to its request span: %+v", *del)
+		}
 	}
 }
 

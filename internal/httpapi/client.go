@@ -41,6 +41,36 @@ func (c *Client) Request(req ServiceRequest) (DecisionResponse, error) {
 	return out, err
 }
 
+// RequestTraced issues a service request under an existing trace: the
+// traceparent header value (e.g. from obs.TraceContext.Traceparent)
+// rides along, so the server's request span joins the caller's trace.
+// An empty traceparent behaves like Request.
+func (c *Client) RequestTraced(req ServiceRequest, traceparent string) (DecisionResponse, error) {
+	var out DecisionResponse
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/request", bytes.NewReader(buf))
+	if err != nil {
+		return out, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		hreq.Header.Set("traceparent", traceparent)
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, decodeError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
 // AddLBQID registers a quasi-identifier specification.
 func (c *Client) AddLBQID(user int64, spec string) error {
 	var out map[string]string

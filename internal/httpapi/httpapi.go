@@ -12,9 +12,16 @@
 //	POST /v1/mine       {"weekdaysOnly":true}            -> mined candidate LBQIDs
 //	POST /v1/deploy     {"k":5,"maxWidth":1000,...}      -> feasibility verdict
 //	GET  /v1/stats
-//	GET  /v1/spans      -> recent sampled request spans (see internal/obs)
-//	GET  /metrics       -> Prometheus text exposition (OBSERVABILITY.md)
+//	GET  /v1/spans          -> recent retained spans; ?trace=<id> filters one trace
+//	GET  /v1/spans/summary  -> span counts and per-stage latency breakdown
+//	GET  /metrics           -> Prometheus text exposition (OBSERVABILITY.md)
 //	GET  /healthz
+//
+// POST /v1/request participates in W3C Trace Context: a valid incoming
+// `traceparent` header puts the request's span in the caller's trace
+// (a sampled parent forces retention), and the response carries the
+// request span's own traceparent so callers can correlate. Malformed
+// headers are ignored, as the spec directs.
 //
 // Handler.EnablePprof additionally mounts net/http/pprof under
 // /debug/pprof/ (opt-in; lbserve exposes it behind the -pprof flag).
@@ -34,6 +41,7 @@ import (
 	"histanon/internal/generalize"
 	"histanon/internal/geo"
 	"histanon/internal/mine"
+	"histanon/internal/obs"
 	"histanon/internal/phl"
 	"histanon/internal/resilience"
 	"histanon/internal/ts"
@@ -71,6 +79,9 @@ type DecisionResponse struct {
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
 	QIDExposed     bool   `json:"qidExposed"`
+	// TraceID is the request's trace id when the request was traced; the
+	// key for GET /v1/spans?trace=.
+	TraceID string `json:"traceId,omitempty"`
 	// Context is the forwarded ⟨Area, TimeInterval⟩ when forwarded.
 	Context *ContextJSON `json:"context,omitempty"`
 	// Pseudonym is the pseudonym used toward the SP when forwarded.
@@ -159,6 +170,7 @@ func New(srv *ts.Server) *Handler {
 	h.mux.HandleFunc("/v1/deploy", h.postOnly(h.handleDeploy))
 	h.mux.HandleFunc("/v1/stats", h.handleStats)
 	h.mux.HandleFunc("/v1/spans", h.handleSpans)
+	h.mux.HandleFunc("/v1/spans/summary", h.handleSpansSummary)
 	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	h.mux.HandleFunc("/healthz", h.handleHealthz)
 	return h
@@ -222,13 +234,91 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleSpans returns the tracer's buffered spans, oldest first. An
 // operator turns sampling on (lbserve -trace-sample) and reads recent
-// per-stage timings here without attaching a profiler.
+// per-stage timings here without attaching a profiler. ?trace=<id>
+// restricts the output to one trace — the lookup a /metrics exemplar's
+// trace_id resolves through.
 func (h *Handler) handleSpans(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
 		return
 	}
+	if trace := r.URL.Query().Get("trace"); trace != "" {
+		writeJSON(w, http.StatusOK, h.srv.Obs.Tracer.SpansByTrace(trace))
+		return
+	}
 	writeJSON(w, http.StatusOK, h.srv.Obs.Tracer.Spans())
+}
+
+// SpanSummaryResponse is the body of GET /v1/spans/summary: the
+// retained spans aggregated by outcome, keep reason and pipeline stage.
+type SpanSummaryResponse struct {
+	// Spans is how many spans the ring currently holds.
+	Spans int `json:"spans"`
+	// ByOutcome and ByKeepReason count the buffered spans by their
+	// outcome and tail-sampling keep reason.
+	ByOutcome    map[string]int `json:"byOutcome"`
+	ByKeepReason map[string]int `json:"byKeepReason"`
+	// Stages is the per-stage latency breakdown over the buffered spans,
+	// in pipeline order; stages no span reached are omitted.
+	Stages []StageSummary `json:"stages"`
+}
+
+// StageSummary aggregates one pipeline stage's latency over the
+// buffered spans that reached it.
+type StageSummary struct {
+	Stage   string  `json:"stage"`
+	Count   int     `json:"count"`
+	TotalMs float64 `json:"totalMs"`
+	MeanUs  float64 `json:"meanUs"`
+	MaxUs   float64 `json:"maxUs"`
+}
+
+// handleSpansSummary aggregates the span ring into the stage-latency
+// breakdown an operator reads before diving into individual traces.
+func (h *Handler) handleSpansSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	spans := h.srv.Obs.Tracer.Spans()
+	resp := SpanSummaryResponse{
+		Spans:        len(spans),
+		ByOutcome:    map[string]int{},
+		ByKeepReason: map[string]int{},
+	}
+	var count [obs.NumStages]int
+	var total, max [obs.NumStages]int64
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Outcome != "" {
+			resp.ByOutcome[sp.Outcome]++
+		}
+		if sp.KeepReason != "" {
+			resp.ByKeepReason[sp.KeepReason]++
+		}
+		for s, ns := range sp.StageNs {
+			if ns > 0 {
+				count[s]++
+				total[s] += ns
+				if ns > max[s] {
+					max[s] = ns
+				}
+			}
+		}
+	}
+	for _, stage := range obs.Stages() {
+		if count[stage] == 0 {
+			continue
+		}
+		resp.Stages = append(resp.Stages, StageSummary{
+			Stage:   stage.String(),
+			Count:   count[stage],
+			TotalMs: float64(total[stage]) / 1e6,
+			MeanUs:  float64(total[stage]) / float64(count[stage]) / 1e3,
+			MaxUs:   float64(max[stage]) / 1e3,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ServeHTTP implements http.Handler. When an admission limit is set,
@@ -351,9 +441,20 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "service is required"})
 		return
 	}
-	dec := h.srv.Request(phl.UserID(req.User), geo.STPoint{
+	// A malformed traceparent is ignored (the W3C spec's directive):
+	// parent stays zero and the request is traced — or not — locally.
+	var parent obs.TraceContext
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if tc, err := obs.ParseTraceparent(tp); err == nil {
+			parent = tc
+		}
+	}
+	dec := h.srv.RequestTraced(phl.UserID(req.User), geo.STPoint{
 		P: geo.Point{X: req.X, Y: req.Y}, T: req.T,
-	}, req.Service, req.Data)
+	}, req.Service, req.Data, parent)
+	if dec.Traceparent != "" {
+		w.Header().Set("traceparent", dec.Traceparent)
+	}
 
 	resp := DecisionResponse{
 		Forwarded:      dec.Forwarded,
@@ -366,6 +467,7 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 		Degraded:       dec.Degraded,
 		DegradedReason: dec.DegradedReason,
 		QIDExposed:     dec.QIDExposed,
+		TraceID:        dec.TraceID,
 	}
 	if dec.Request != nil {
 		resp.Pseudonym = string(dec.Request.Pseudonym)

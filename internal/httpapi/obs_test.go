@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -96,6 +97,226 @@ func TestSpansEndpoint(t *testing.T) {
 	}
 	if sp.TotalNs <= 0 {
 		t.Fatalf("span lacks a total duration: %+v", sp)
+	}
+}
+
+func TestTraceparentPropagation(t *testing.T) {
+	hts, srv, _ := newTestServer(t)
+	// Local tracing off: only the upstream sampled parent forces
+	// collection and retention.
+	srv.Obs.Tracer.SetSampleRate(0)
+	parent := obs.MintTraceContext(true)
+
+	body := strings.NewReader(`{"user":1,"x":50,"y":50,"t":1000,"service":"weather"}`)
+	req, err := http.NewRequest(http.MethodPost, hts.URL+"/v1/request", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", parent.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+
+	// The response rejoins the caller's trace: same trace id, a fresh
+	// server-side span id, the sampled bit intact.
+	hdr := resp.Header.Get("traceparent")
+	tc, err := obs.ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", hdr, err)
+	}
+	if tc.TraceIDString() != parent.TraceIDString() {
+		t.Fatalf("response left the trace: %q vs %q", tc.TraceIDString(), parent.TraceIDString())
+	}
+	if tc.SpanIDString() == parent.SpanIDString() {
+		t.Fatal("server must mint its own span id")
+	}
+	if !tc.Sampled() {
+		t.Fatal("sampled bit must survive propagation")
+	}
+	var dec DecisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.TraceID != parent.TraceIDString() {
+		t.Fatalf("decision trace id = %q", dec.TraceID)
+	}
+
+	// The sampled parent forced retention despite the 0 rate, and the
+	// retained span is linked to the caller's span.
+	spans := srv.Obs.Tracer.SpansByTrace(parent.TraceIDString())
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans for the trace, want 1", len(spans))
+	}
+	if spans[0].ParentSpanID != parent.SpanIDString() {
+		t.Fatalf("span parent = %q, want %q", spans[0].ParentSpanID, parent.SpanIDString())
+	}
+	if spans[0].KeepReason != obs.KeepHead {
+		t.Fatalf("keep reason = %q", spans[0].KeepReason)
+	}
+}
+
+func TestMalformedTraceparentIgnored(t *testing.T) {
+	hts, srv, _ := newTestServer(t)
+	srv.Obs.Tracer.SetSampleRate(0)
+	c := NewClient(hts.URL)
+	dec, err := c.RequestTraced(ServiceRequest{
+		User: 1, X: 50, Y: 50, T: 1000, Service: "weather",
+	}, "ff-not-a-real-header-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TraceID != "" {
+		t.Fatalf("malformed parent minted trace %q with tracing off", dec.TraceID)
+	}
+	if got := srv.Obs.Tracer.Sampled(); got != 0 {
+		t.Fatalf("malformed parent retained %d spans", got)
+	}
+}
+
+func TestSpansFilterByTrace(t *testing.T) {
+	hts, srv, _ := newTestServer(t)
+	srv.Obs.Tracer.SetSampleRate(1)
+	c := NewClient(hts.URL)
+	var want string
+	for i := 0; i < 3; i++ {
+		dec, err := c.Request(ServiceRequest{
+			User: 1, X: 50, Y: 50, T: int64(1000 + i), Service: "weather",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.TraceID == "" {
+			t.Fatal("traced request lacks a trace id")
+		}
+		want = dec.TraceID
+	}
+
+	resp, err := http.Get(hts.URL + "/v1/spans?trace=" + want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var spans []obs.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("filter returned %d spans, want 1", len(spans))
+	}
+	if spans[0].TraceID != want {
+		t.Fatalf("filtered span belongs to %q, want %q", spans[0].TraceID, want)
+	}
+}
+
+func TestSpansSummaryEndpoint(t *testing.T) {
+	hts, srv, _ := newTestServer(t)
+	srv.Obs.Tracer.SetSampleRate(1)
+	c := NewClient(hts.URL)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Request(ServiceRequest{
+			User: 1, X: 50, Y: 50, T: int64(1000 + i), Service: "weather",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(hts.URL + "/v1/spans/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var sum SpanSummaryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Spans != 4 {
+		t.Fatalf("summary covers %d spans, want 4", sum.Spans)
+	}
+	if sum.ByOutcome[obs.OutcomeForwarded] != 4 {
+		t.Fatalf("by-outcome = %v", sum.ByOutcome)
+	}
+	if sum.ByKeepReason[obs.KeepHead] != 4 {
+		t.Fatalf("by-keep-reason = %v", sum.ByKeepReason)
+	}
+	if len(sum.Stages) == 0 {
+		t.Fatal("summary has no stage rows")
+	}
+	for _, st := range sum.Stages {
+		if st.Count <= 0 || st.Stage == "" {
+			t.Fatalf("malformed stage row: %+v", st)
+		}
+		if st.MaxUs < st.MeanUs {
+			t.Fatalf("stage %s: max %gus < mean %gus", st.Stage, st.MaxUs, st.MeanUs)
+		}
+	}
+
+	// POST is not a query.
+	post, err := http.Post(hts.URL+"/v1/spans/summary", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/spans/summary status=%d", post.StatusCode)
+	}
+}
+
+func TestExemplarResolvesToRetainedTrace(t *testing.T) {
+	// The full operator loop: a traced request lands in a histogram
+	// bucket with an exemplar, and that exemplar's trace id resolves to
+	// the retained span via /v1/spans?trace=.
+	hts, srv, _ := newTestServer(t)
+	srv.Obs.Tracer.SetSampleRate(1)
+	srv.Obs.SetExemplars(true)
+	srv.MetricsRegistry().SetExemplars(true)
+	c := NewClient(hts.URL)
+	dec, err := c.Request(ServiceRequest{
+		User: 1, X: 50, Y: 50, T: 1000, Service: "weather",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`# \{trace_id="([0-9a-f]{32})"\}`).FindStringSubmatch(string(body))
+	if m == nil {
+		t.Fatalf("/metrics carries no exemplar annotation:\n%s", body)
+	}
+	if m[1] != dec.TraceID {
+		t.Fatalf("exemplar trace %q, decision trace %q", m[1], dec.TraceID)
+	}
+
+	lookup, err := http.Get(hts.URL + "/v1/spans?trace=" + m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lookup.Body.Close()
+	var spans []obs.Span
+	if err := json.NewDecoder(lookup.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatalf("exemplar trace %s does not resolve to a retained span", m[1])
+	}
+	if spans[0].TraceID != m[1] {
+		t.Fatalf("resolved span belongs to %q", spans[0].TraceID)
 	}
 }
 

@@ -25,6 +25,20 @@ type Histogram struct {
 	counts  []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum
+
+	// exemplars holds the last trace-stamped observation per bucket
+	// (including the overflow slot); nil entries mean none yet.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one trace-stamped observation: the last sample recorded
+// into a bucket via ObserveExemplar, kept so the exposition can point
+// an operator from a latency bucket to the trace that landed there.
+type Exemplar struct {
+	// TraceID is the W3C trace id of the span that produced the sample.
+	TraceID string
+	// Value is the observed sample.
+	Value float64
 }
 
 // NewHistogram returns a histogram over the given finite upper bounds.
@@ -52,8 +66,9 @@ func NewHistogram(bounds []float64) *Histogram {
 		panic("metrics: histogram needs at least one finite bound")
 	}
 	return &Histogram{
-		bounds: uniq,
-		counts: make([]atomic.Int64, len(uniq)+1),
+		bounds:    uniq,
+		counts:    make([]atomic.Int64, len(uniq)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(uniq)+1),
 	}
 }
 
@@ -88,6 +103,25 @@ func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {
 		return
 	}
+	h.observe(v)
+}
+
+// ObserveExemplar records one sample and stamps its bucket with the
+// producing trace id, so the exposition can emit an OpenMetrics
+// exemplar pointing back to the trace. The stamp is a single atomic
+// pointer store (last writer wins), keeping the path wait-free.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := h.observe(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// observe counts the sample and returns its bucket index.
+func (h *Histogram) observe(v float64) int {
 	// sort.SearchFloat64s finds the first bound ≥ v, i.e. the lowest
 	// bucket whose upper bound admits v; misses land in the overflow slot.
 	i := sort.SearchFloat64s(h.bounds, v)
@@ -96,9 +130,23 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
+			return i
 		}
 	}
+}
+
+// Exemplar returns the last trace-stamped observation of bucket i (the
+// index space of BucketCounts: the final slot is the overflow bucket).
+// ok is false when the bucket has no exemplar yet.
+func (h *Histogram) Exemplar(i int) (e Exemplar, ok bool) {
+	if i < 0 || i >= len(h.exemplars) {
+		return Exemplar{}, false
+	}
+	p := h.exemplars[i].Load()
+	if p == nil {
+		return Exemplar{}, false
+	}
+	return *p, true
 }
 
 // Count returns the total number of observations.

@@ -58,14 +58,24 @@ type family struct {
 // (they run at wiring time, not on the request path) and are safe for
 // concurrent use with WritePrometheus.
 type Registry struct {
-	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	mu        sync.Mutex
+	families  []*family
+	byName    map[string]*family
+	exemplars bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*family)}
+}
+
+// SetExemplars controls whether WritePrometheus appends OpenMetrics
+// exemplar annotations (`# {trace_id="…"} value`) to histogram bucket
+// lines. Off by default: strict 0.0.4 parsers reject the suffix.
+func (r *Registry) SetExemplars(on bool) {
+	r.mu.Lock()
+	r.exemplars = on
+	r.mu.Unlock()
 }
 
 func validName(s string) bool {
@@ -195,6 +205,7 @@ func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) 
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	fams := append([]*family(nil), r.families...)
+	exemplars := r.exemplars
 	r.mu.Unlock()
 
 	for _, f := range fams {
@@ -207,7 +218,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, s := range f.series {
-			if err := writeSeries(w, f, s); err != nil {
+			if err := writeSeries(w, f, s, exemplars); err != nil {
 				return err
 			}
 		}
@@ -215,7 +226,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f *family, s *series) error {
+// exemplarSuffix renders the OpenMetrics exemplar annotation for bucket
+// i of h, or "" when the bucket has none (or exemplars are off).
+func exemplarSuffix(h *Histogram, i int, on bool) string {
+	if !on {
+		return ""
+	}
+	e, ok := h.Exemplar(i)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s"} %s`, escapeLabel(e.TraceID), formatFloat(e.Value))
+}
+
+func writeSeries(w io.Writer, f *family, s *series, exemplars bool) error {
 	switch {
 	case s.vec != nil:
 		names := s.vec.LabelNames()
@@ -231,15 +255,17 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		counts := s.hist.BucketCounts()
 		for i, bound := range s.hist.Bounds() {
 			cum += counts[i]
-			_, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-				f.name, formatLabels(s.labels, []string{"le"}, []string{formatFloat(bound)}), cum)
+			_, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				f.name, formatLabels(s.labels, []string{"le"}, []string{formatFloat(bound)}), cum,
+				exemplarSuffix(s.hist, i, exemplars))
 			if err != nil {
 				return err
 			}
 		}
 		cum += counts[len(counts)-1]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, formatLabels(s.labels, []string{"le"}, []string{"+Inf"}), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			f.name, formatLabels(s.labels, []string{"le"}, []string{"+Inf"}), cum,
+			exemplarSuffix(s.hist, len(counts)-1, exemplars)); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",

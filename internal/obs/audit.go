@@ -40,6 +40,11 @@ type Event struct {
 	T int64 `json:"t"`
 	// Kind is KindRequest or KindRotation.
 	Kind string `json:"kind"`
+	// TraceID links the record to its request's span tree (the 32-char
+	// hex W3C trace id; empty when the request was untraced). All kinds
+	// carry it: a delivery drop, the rotation it may have triggered and
+	// the request decision itself correlate through this field.
+	TraceID string `json:"trace_id,omitempty"`
 	// User is the issuing user's internal id (never shown to SPs).
 	User int64 `json:"user"`
 	// MsgID is the TS↔SP message id, when one was assigned.

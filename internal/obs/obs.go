@@ -48,6 +48,7 @@ const (
 	MetricPHLUsers     = "histanon_phl_users"
 	MetricPHLSamples   = "histanon_phl_samples"
 	MetricSpansSampled = "histanon_trace_spans_sampled_total"
+	MetricTailKept     = "histanon_trace_tail_kept_total"
 	MetricAuditEvents  = "histanon_audit_events_total"
 	MetricAuditErrors  = "histanon_audit_errors_total"
 
@@ -69,7 +70,8 @@ func MetricNames() []string {
 	return []string{
 		MetricEvents, MetricStageSeconds, MetricAchievedK, MetricGenArea,
 		MetricGenInterval, MetricRotations, MetricGenFailures, MetricPHLUsers,
-		MetricPHLSamples, MetricSpansSampled, MetricAuditEvents, MetricAuditErrors,
+		MetricPHLSamples, MetricSpansSampled, MetricTailKept,
+		MetricAuditEvents, MetricAuditErrors,
 		MetricResilienceEvents, MetricResilienceQueueDepth,
 		MetricResilienceBreakerOpen, MetricHTTPShed, MetricHTTPInFlight,
 		MetricSnapshotAge, MetricSnapshotErrors,
@@ -110,7 +112,8 @@ type Observer struct {
 	GenAreaM2    *metrics.Histogram
 	GenIntervalS *metrics.Histogram
 
-	audit atomic.Pointer[AuditLog]
+	audit     atomic.Pointer[AuditLog]
+	exemplars atomic.Bool
 }
 
 // New returns an observer with sampling off and no audit sink: the
@@ -140,13 +143,32 @@ func (o *Observer) AuditSink() *AuditLog { return o.audit.Load() }
 // Audit logs one event if an audit sink is installed.
 func (o *Observer) Audit(e Event) { o.audit.Load().Log(e) }
 
-// RecordSpan stores a finished span in the ring and feeds the per-stage
-// latency histograms.
-func (o *Observer) RecordSpan(sp *Span) {
-	o.Tracer.Record(sp)
+// SetExemplars enables (or disables) exemplar capture: retained spans
+// leave their trace id on the latency histogram buckets they land in,
+// so a /metrics scrape can point back to /v1/spans?trace=. Safe to
+// toggle while requests are in flight.
+func (o *Observer) SetExemplars(on bool) { o.exemplars.Store(on) }
+
+// ExemplarsEnabled reports whether exemplar capture is on.
+func (o *Observer) ExemplarsEnabled() bool { return o.exemplars.Load() }
+
+// RecordSpan finishes a collected span, runs the tail keep decision
+// (head marks an unconditional head-sampler retention) and feeds the
+// per-stage latency histograms. Retained spans additionally stamp their
+// trace id on the histogram buckets when exemplar capture is on. It
+// reports whether the span was retained in the ring.
+func (o *Observer) RecordSpan(sp *Span, head bool) bool {
+	kept := o.Tracer.RecordTail(sp, head)
+	withExemplar := kept && sp.TraceID != "" && o.exemplars.Load()
 	for i, ns := range sp.StageNs {
 		if ns > 0 {
-			o.StageSeconds[i].Observe(float64(ns) / 1e9)
+			v := float64(ns) / 1e9
+			if withExemplar {
+				o.StageSeconds[i].ObserveExemplar(v, sp.TraceID)
+			} else {
+				o.StageSeconds[i].Observe(v)
+			}
 		}
 	}
+	return kept
 }

@@ -34,31 +34,43 @@ func TestStageStrings(t *testing.T) {
 
 func TestTracerSampling(t *testing.T) {
 	tr := NewTracer(8)
-	if tr.Sample() {
+	if collect, head := tr.Sample(); collect || head {
 		t.Fatal("a fresh tracer must not sample")
 	}
 	tr.SetSampleRate(1)
 	for i := 0; i < 5; i++ {
-		if !tr.Sample() {
-			t.Fatal("rate 1 must sample everything")
+		if collect, head := tr.Sample(); !collect || !head {
+			t.Fatal("rate 1 must head-sample everything")
 		}
 	}
 	tr.SetSampleRate(0.25) // deterministic: every 4th request
-	hits := 0
+	heads := 0
 	for i := 0; i < 100; i++ {
-		if tr.Sample() {
-			hits++
+		collect, head := tr.Sample()
+		if !collect {
+			t.Fatal("with tracing on, every request must collect")
+		}
+		if head {
+			heads++
 		}
 	}
-	if hits != 25 {
-		t.Fatalf("rate 0.25 sampled %d/100", hits)
+	if heads != 25 {
+		t.Fatalf("rate 0.25 head-sampled %d/100", heads)
 	}
 	tr.SetSampleRate(0)
-	if tr.Sample() {
+	if collect, head := tr.Sample(); collect || head {
 		t.Fatal("rate 0 must sample nothing")
 	}
 	if tr.SampleEvery() != 0 {
 		t.Fatalf("SampleEvery = %d", tr.SampleEvery())
+	}
+	// An upstream sampled parent forces collection and retention even
+	// with local tracing off.
+	if collect, head := tr.SampleWithParent(true); !collect || !head {
+		t.Fatal("a sampled parent must force collect+head")
+	}
+	if collect, head := tr.SampleWithParent(false); collect || head {
+		t.Fatal("an unsampled parent must not force anything at rate 0")
 	}
 }
 
@@ -107,6 +119,7 @@ func TestAuditEventRoundTrip(t *testing.T) {
 	in := Event{
 		T:            25500,
 		Kind:         KindRequest,
+		TraceID:      "4bf92f3577b34da6a3ce929d0e0e4736",
 		User:         42,
 		MsgID:        7,
 		Service:      "navigation",
@@ -157,7 +170,7 @@ func TestAuditEventRoundTrip(t *testing.T) {
 		t.Fatalf("line is not JSON: %v", err)
 	}
 	for _, field := range []string{
-		"t", "kind", "user", "msgid", "service", "matched", "requested_k",
+		"t", "kind", "trace_id", "user", "msgid", "service", "matched", "requested_k",
 		"achieved_k", "area_m2", "interval_s", "area_tol_frac",
 		"time_tol_frac", "hk", "outcome", "unlinked", "at_risk", "zone",
 		"old_pseudonym", "new_pseudonym",
@@ -219,6 +232,28 @@ func TestReplayAchievedK(t *testing.T) {
 	}
 }
 
+func TestReplayAchievedKIgnoresUnknownFields(t *testing.T) {
+	// Forward compatibility: audit logs written by a NEWER server (with
+	// record fields this build does not know) must still replay. A
+	// consumer pinned to an old build keeps working across log-format
+	// growth — the property that let trace_id be added without a
+	// migration.
+	in := `{"t":1,"kind":"request","achieved_k":3,"hk":true,"trace_id":"4bf92f3577b34da6a3ce929d0e0e4736","future_field":"x","future_obj":{"a":1},"future_arr":[1,2]}
+{"t":2,"kind":"request","achieved_k":5,"hk":true,"another_unknown":42}
+`
+	h, err := ReplayAchievedK(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReplayAchievedK: %v", err)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	counts := h.BucketCounts()
+	if counts[2] != 1 || counts[4] != 1 { // k=3 and k=5 buckets
+		t.Fatalf("bucket counts = %v", counts)
+	}
+}
+
 func TestObserverDefaults(t *testing.T) {
 	o := New()
 	if o.Tracer.SampleEvery() != 0 {
@@ -231,7 +266,7 @@ func TestObserverDefaults(t *testing.T) {
 
 	var sp Span
 	sp.AddStage(StageKNN, 2_000_000) // 2 ms
-	o.RecordSpan(&sp)
+	o.RecordSpan(&sp, true)
 	if got := o.StageSeconds[StageKNN].Count(); got != 1 {
 		t.Fatalf("KNN stage histogram count = %d", got)
 	}
@@ -254,7 +289,7 @@ func TestMetricNamesUniqueAndValid(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	if len(seen) != 19 {
-		t.Fatalf("MetricNames lists %d families, want 19", len(seen))
+	if len(seen) != 20 {
+		t.Fatalf("MetricNames lists %d families, want 20", len(seen))
 	}
 }

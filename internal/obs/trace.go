@@ -6,9 +6,12 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"histanon/internal/metrics"
 )
 
 // Stage identifies one instrumented phase of the TS request pipeline,
@@ -70,11 +73,53 @@ const (
 	OutcomeForwarded  = "forwarded"
 	OutcomeSuppressed = "suppressed"
 	OutcomeDegraded   = "degraded"
+	OutcomeDelivered  = "delivered"
 	OutcomeDropped    = "dropped"
 )
 
-// Span is one sampled request's timing and outcome record.
+// Span kinds: the synchronous TS pipeline span, and the asynchronous
+// delivery span the resilience layer records under it.
+const (
+	SpanKindRequest  = "request"
+	SpanKindDelivery = "delivery"
+)
+
+// Tail-sampling keep reasons: the "reason" label of
+// histanon_trace_tail_kept_total and the span's keepReason field.
+// KeepHead marks spans the every-Nth head sampler retained
+// unconditionally; all others are post-completion tail decisions that
+// rescue interesting spans the head sampler missed.
+const (
+	KeepHead     = "head"
+	KeepDegraded = "degraded"
+	KeepDenied   = "denied"
+	KeepSlow     = "slow"
+	KeepBreaker  = "breaker"
+	KeepDropped  = "dropped"
+)
+
+// SpanEvent is a named point-in-time annotation inside a span —
+// breaker openings, shed decisions, delivery retries.
+type SpanEvent struct {
+	// Name identifies the event (e.g. "shed_queue_full", "retry",
+	// "breaker_open").
+	Name string `json:"name"`
+	// AtNs is the event's offset from the span start, in nanoseconds.
+	AtNs int64 `json:"atNs"`
+}
+
+// Span is one collected request's timing and outcome record.
 type Span struct {
+	// TraceID, SpanID and ParentSpanID are the span's W3C trace-context
+	// identifiers (lowercase hex; empty on spans collected before
+	// tracing carried identities). Spans sharing a TraceID form one
+	// request's tree: the request span is the root (or a child of an
+	// upstream caller), delivery spans hang off it.
+	TraceID      string `json:"traceId,omitempty"`
+	SpanID       string `json:"spanId,omitempty"`
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+	// Kind is SpanKindRequest or SpanKindDelivery ("" reads as request).
+	Kind string `json:"kind,omitempty"`
 	// Start is the wall-clock start of the request, in Unix nanoseconds.
 	Start int64 `json:"start"`
 	// MsgID is the TS↔SP message id assigned to the request (0 when the
@@ -89,8 +134,22 @@ type Span struct {
 	StageNs [NumStages]int64 `json:"stageNs"`
 	// TotalNs is the whole-request wall time in nanoseconds.
 	TotalNs int64 `json:"totalNs"`
-	// Outcome is OutcomeForwarded or OutcomeSuppressed.
+	// QueueNs is the enqueue→dequeue wait of a delivery span.
+	QueueNs int64 `json:"queueNs,omitempty"`
+	// AttemptNs holds the per-attempt wall time of a delivery span, one
+	// entry per delivery attempt actually made.
+	AttemptNs []int64 `json:"attemptNs,omitempty"`
+	// Outcome is OutcomeForwarded, OutcomeSuppressed or OutcomeDegraded
+	// for request spans; OutcomeDelivered or OutcomeDropped for delivery
+	// spans.
 	Outcome string `json:"outcome"`
+	// Reason qualifies a degraded or dropped outcome (the audit reason
+	// label, e.g. "queue_full", "deadline_exceeded").
+	Reason string `json:"reason,omitempty"`
+	// KeepReason records why the tail sampler retained the span.
+	KeepReason string `json:"keepReason,omitempty"`
+	// Events are the span's point-in-time annotations.
+	Events []SpanEvent `json:"events,omitempty"`
 	// Generalized, Unlinked and AtRisk mirror the ts.Decision flags.
 	Generalized bool `json:"generalized"`
 	Unlinked    bool `json:"unlinked"`
@@ -127,6 +186,22 @@ func (sp *Span) AddStage(s Stage, ns int64) {
 // any stage — for skipping bookkeeping code between stages.
 func (sp *Span) Sync() { sp.mark = time.Now() }
 
+// Event appends a named annotation at the span's current elapsed time.
+func (sp *Span) Event(name string) {
+	var at int64
+	if !sp.began.IsZero() {
+		at = time.Since(sp.began).Nanoseconds()
+	}
+	sp.Events = append(sp.Events, SpanEvent{Name: name, AtNs: at})
+}
+
+// AddEvent appends a named annotation at an externally measured offset
+// (delivery spans are timed on the resilience layer's clock, not this
+// process's monotonic one).
+func (sp *Span) AddEvent(name string, atNs int64) {
+	sp.Events = append(sp.Events, SpanEvent{Name: name, AtNs: atNs})
+}
+
 // finish stamps the total duration.
 func (sp *Span) finish() {
 	if !sp.began.IsZero() {
@@ -134,15 +209,31 @@ func (sp *Span) finish() {
 	}
 }
 
-// Tracer decides which requests get a span and keeps the most recent
-// spans in a ring buffer. The sampling knob is nanosecond-cheap when
-// off: Sample is one atomic load. Sampled spans pay one short mutex
-// acquisition to enter the ring — "lock-cheap" because only every Nth
-// request takes it.
+// Tracer decides which requests get a span and keeps the retained
+// spans in a ring buffer. Sampling is two-tier:
+//
+//   - The head sampler (SetSampleRate) keeps every Nth request
+//     unconditionally — the predictable baseline. When tracing is off
+//     entirely (rate 0) the per-request cost is one atomic load.
+//   - The tail sampler (RecordTail) re-examines every completed span
+//     and retains the interesting ones the head sampler missed:
+//     degraded, denied (suppressed), breaker-affected, dropped, or
+//     slower than the SetTailSlow threshold. At 1/1000 head sampling
+//     the boring 99.9% is discarded after completion, but the
+//     interesting 0.1% is never lost.
+//
+// The cost model follows: with tracing enabled, every request collects
+// a span (timestamps and ids) so the tail decision has something to
+// keep; only retained spans pay the ring's mutex.
 type Tracer struct {
-	every   atomic.Int64 // sample every Nth request; 0 = off
-	seq     atomic.Int64
-	sampled atomic.Int64 // total spans recorded
+	every    atomic.Int64 // head-sample every Nth request; 0 = tracing off
+	seq      atomic.Int64
+	sampled  atomic.Int64 // total spans retained
+	tailSlow atomic.Int64 // tail-keep latency threshold in ns; 0 = off
+
+	// kept counts retained spans by keep reason; exposed as
+	// histanon_trace_tail_kept_total.
+	kept *metrics.CounterVec
 
 	mu   sync.Mutex
 	ring []Span
@@ -159,7 +250,7 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultRingSize
 	}
-	return &Tracer{ring: make([]Span, capacity)}
+	return &Tracer{ring: make([]Span, capacity), kept: metrics.NewCounterVec("reason")}
 }
 
 // SetSampleRate sets the sampled fraction of requests: 0 disables
@@ -184,23 +275,90 @@ func (t *Tracer) SetSampleRate(f float64) {
 // SampleEvery returns the current every-Nth setting (0 = off).
 func (t *Tracer) SampleEvery() int64 { return t.every.Load() }
 
-// Sample reports whether the current request should carry a span.
-func (t *Tracer) Sample() bool {
-	every := t.every.Load()
-	if every == 0 {
-		return false
+// SetTailSlow sets the latency above which a completed span is retained
+// by the tail sampler even when the head sampler missed it (0 disables
+// the slow-keep rule). Safe to change while requests are in flight.
+func (t *Tracer) SetTailSlow(d time.Duration) {
+	if d < 0 {
+		d = 0
 	}
-	return t.seq.Add(1)%every == 0
+	t.tailSlow.Store(d.Nanoseconds())
 }
 
-// Sampled returns how many spans have been recorded in total (including
+// TailSlow returns the current slow-keep threshold (0 = off).
+func (t *Tracer) TailSlow() time.Duration {
+	return time.Duration(t.tailSlow.Load())
+}
+
+// Sample decides the current request's tracing fate. collect reports
+// whether the request should gather a span at all; head reports whether
+// the every-Nth head sampler retains it unconditionally. With tracing
+// off both are false and the cost is one atomic load; with tracing on,
+// every request collects (so the tail decision can rescue interesting
+// spans) and every Nth is head-retained.
+func (t *Tracer) Sample() (collect, head bool) {
+	every := t.every.Load()
+	if every == 0 {
+		return false, false
+	}
+	return true, t.seq.Add(1)%every == 0
+}
+
+// SampleWithParent is Sample honoring an upstream W3C sampled flag: a
+// parent that already decided to keep the trace forces collection and
+// head retention, even when local tracing is off.
+func (t *Tracer) SampleWithParent(parentSampled bool) (collect, head bool) {
+	collect, head = t.Sample()
+	if parentSampled {
+		return true, true
+	}
+	return collect, head
+}
+
+// Sampled returns how many spans have been retained in total (including
 // ones the ring has since overwritten).
 func (t *Tracer) Sampled() int64 { return t.sampled.Load() }
 
-// Record finishes the span and stores it in the ring, overwriting the
-// oldest entry when full.
-func (t *Tracer) Record(sp *Span) {
+// KeptCounters exposes the retained-span counters by keep reason.
+func (t *Tracer) KeptCounters() *metrics.CounterVec { return t.kept }
+
+// tailKeep returns the keep reason for a completed span the head
+// sampler missed, or "" to discard it.
+func (t *Tracer) tailKeep(sp *Span) string {
+	switch sp.Outcome {
+	case OutcomeDegraded:
+		return KeepDegraded
+	case OutcomeSuppressed:
+		return KeepDenied
+	case OutcomeDropped:
+		return KeepDropped
+	}
+	for _, e := range sp.Events {
+		if strings.Contains(e.Name, "breaker") {
+			return KeepBreaker
+		}
+	}
+	if slow := t.tailSlow.Load(); slow > 0 && sp.TotalNs >= slow {
+		return KeepSlow
+	}
+	return ""
+}
+
+// RecordTail finishes the span and runs the keep decision: head-sampled
+// spans are always retained; the rest are retained only when the tail
+// sampler finds them interesting (degraded, denied, dropped,
+// breaker-affected, or slow). It reports whether the span entered the
+// ring.
+func (t *Tracer) RecordTail(sp *Span, head bool) bool {
 	sp.finish()
+	reason := KeepHead
+	if !head {
+		if reason = t.tailKeep(sp); reason == "" {
+			return false
+		}
+	}
+	sp.KeepReason = reason
+	t.kept.Inc(reason)
 	t.sampled.Add(1)
 	t.mu.Lock()
 	t.ring[t.next] = *sp
@@ -210,7 +368,12 @@ func (t *Tracer) Record(sp *Span) {
 		t.full = true
 	}
 	t.mu.Unlock()
+	return true
 }
+
+// Record finishes the span and stores it unconditionally (a
+// head-retained RecordTail), overwriting the oldest entry when full.
+func (t *Tracer) Record(sp *Span) { t.RecordTail(sp, true) }
 
 // Spans returns a copy of the buffered spans, oldest first.
 func (t *Tracer) Spans() []Span {
@@ -223,6 +386,21 @@ func (t *Tracer) Spans() []Span {
 		out = append(out, t.ring[:t.next]...)
 	} else {
 		out = append(out, t.ring[:t.next]...)
+	}
+	return out
+}
+
+// SpansByTrace returns the buffered spans of one trace id, oldest
+// first — the /v1/spans?trace= lookup behind metric exemplars.
+func (t *Tracer) SpansByTrace(traceID string) []Span {
+	if traceID == "" {
+		return nil
+	}
+	var out []Span
+	for _, sp := range t.Spans() {
+		if sp.TraceID == traceID {
+			out = append(out, sp)
+		}
 	}
 	return out
 }

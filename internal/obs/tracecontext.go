@@ -1,0 +1,192 @@
+// W3C Trace Context: the identity triplet (trace id, span id, sampled
+// flag) that follows one request across its whole asynchronous lifetime
+// — HTTP ingress, the TS pipeline, and the resilience layer's delivery
+// queue — plus the `traceparent` header codec that carries it over the
+// wire. Minting is allocation-free and lock-free (an atomic splitmix64
+// stream), so attaching identities to every collected span costs
+// nanoseconds.
+
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FlagSampled is the traceparent trace-flags bit signalling that the
+// caller kept (or wants kept) this trace.
+const FlagSampled byte = 0x01
+
+// TraceContext identifies one request's position in a distributed
+// trace: which trace it belongs to, which span is the current parent,
+// and whether an upstream sampler already decided to keep it. The zero
+// value is "untraced" (Valid reports false).
+type TraceContext struct {
+	// TraceID identifies the whole end-to-end trace (16 bytes, non-zero
+	// when valid).
+	TraceID [16]byte
+	// SpanID identifies the current span within the trace (8 bytes,
+	// non-zero when valid).
+	SpanID [8]byte
+	// Flags is the W3C trace-flags octet; bit 0 is FlagSampled.
+	Flags byte
+}
+
+// Valid reports whether the context carries real identifiers: the W3C
+// format forbids all-zero trace and span ids.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// Sampled reports the sampled flag bit.
+func (tc TraceContext) Sampled() bool { return tc.Flags&FlagSampled != 0 }
+
+// WithSampled returns a copy with the sampled flag set or cleared.
+func (tc TraceContext) WithSampled(on bool) TraceContext {
+	if on {
+		tc.Flags |= FlagSampled
+	} else {
+		tc.Flags &^= FlagSampled
+	}
+	return tc
+}
+
+// TraceIDString returns the 32-char lowercase hex trace id.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString returns the 16-char lowercase hex span id.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// Traceparent renders the context as a version-00 W3C traceparent
+// header value: 00-<trace-id>-<span-id>-<flags>.
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x",
+		tc.TraceIDString(), tc.SpanIDString(), tc.Flags)
+}
+
+// Child returns a context in the same trace with a fresh span id and
+// the same flags — the identity a child span (the TS request span under
+// an upstream caller, or a delivery span under a request span) records
+// as its own.
+func (tc TraceContext) Child() TraceContext {
+	c := tc
+	for {
+		binary.BigEndian.PutUint64(c.SpanID[:], nextID())
+		if c.SpanID != [8]byte{} {
+			return c
+		}
+	}
+}
+
+// MintTraceContext starts a new trace: fresh random trace and span ids,
+// with the sampled flag reflecting the head sampler's decision.
+func MintTraceContext(sampled bool) TraceContext {
+	var tc TraceContext
+	for tc.TraceID == [16]byte{} {
+		binary.BigEndian.PutUint64(tc.TraceID[:8], nextID())
+		binary.BigEndian.PutUint64(tc.TraceID[8:], nextID())
+	}
+	for tc.SpanID == [8]byte{} {
+		binary.BigEndian.PutUint64(tc.SpanID[:], nextID())
+	}
+	return tc.WithSampled(sampled)
+}
+
+// idState is the splitmix64 stream behind MintTraceContext/Child: one
+// atomic add plus the finalizer per id, shared by all goroutines, seeded
+// once from the clock so separate processes mint disjoint ids.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano()) | 1) }
+
+// nextID returns the next id from the shared splitmix64 stream (the
+// same generator the resilience layer uses for retry jitter).
+func nextID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ParseTraceparent decodes a W3C traceparent header value. It enforces
+// the level-1 spec: lowercase hex only, version ff invalid, version 00
+// exactly 55 bytes, future versions at least 55 bytes with any extra
+// content set off by a dash, and non-zero trace and span ids. The
+// returned context preserves the sender's flags.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) < 55 {
+		return tc, fmt.Errorf("obs: traceparent too short: %d bytes", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("obs: traceparent separators misplaced")
+	}
+	ver, ok := hexOctet(s[0], s[1])
+	if !ok {
+		return tc, fmt.Errorf("obs: traceparent version is not lowercase hex")
+	}
+	if ver == 0xff {
+		return tc, fmt.Errorf("obs: traceparent version ff is forbidden")
+	}
+	if ver == 0 && len(s) != 55 {
+		return tc, fmt.Errorf("obs: version-00 traceparent must be 55 bytes, got %d", len(s))
+	}
+	if ver != 0 && len(s) > 55 && s[55] != '-' {
+		return tc, fmt.Errorf("obs: traceparent extra content must follow a dash")
+	}
+	if !decodeLowerHex(tc.TraceID[:], s[3:35]) {
+		return tc, fmt.Errorf("obs: traceparent trace-id is not lowercase hex")
+	}
+	if tc.TraceID == [16]byte{} {
+		return TraceContext{}, fmt.Errorf("obs: traceparent trace-id is all zeros")
+	}
+	if !decodeLowerHex(tc.SpanID[:], s[36:52]) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent parent-id is not lowercase hex")
+	}
+	if tc.SpanID == [8]byte{} {
+		return TraceContext{}, fmt.Errorf("obs: traceparent parent-id is all zeros")
+	}
+	flags, ok := hexOctet(s[53], s[54])
+	if !ok {
+		return TraceContext{}, fmt.Errorf("obs: traceparent flags are not lowercase hex")
+	}
+	tc.Flags = flags
+	return tc, nil
+}
+
+// hexVal decodes one lowercase hex digit. The spec forbids uppercase,
+// so 'A'..'F' are rejected here on purpose.
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// hexOctet decodes two lowercase hex digits into one byte.
+func hexOctet(hi, lo byte) (byte, bool) {
+	h, ok1 := hexVal(hi)
+	l, ok2 := hexVal(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+// decodeLowerHex fills dst from exactly len(dst)*2 lowercase hex digits.
+func decodeLowerHex(dst []byte, s string) bool {
+	for i := range dst {
+		b, ok := hexOctet(s[2*i], s[2*i+1])
+		if !ok {
+			return false
+		}
+		dst[i] = b
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMintTraceContext(t *testing.T) {
+	a := MintTraceContext(true)
+	b := MintTraceContext(false)
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("minted contexts must be valid")
+	}
+	if !a.Sampled() || b.Sampled() {
+		t.Fatal("sampled flag must reflect the mint argument")
+	}
+	if a.TraceID == b.TraceID {
+		t.Fatal("two mints must not share a trace id")
+	}
+	if len(a.TraceIDString()) != 32 || len(a.SpanIDString()) != 16 {
+		t.Fatalf("hex lengths: trace %q span %q", a.TraceIDString(), a.SpanIDString())
+	}
+}
+
+func TestChildKeepsTraceChangesSpan(t *testing.T) {
+	parent := MintTraceContext(true)
+	child := parent.Child()
+	if child.TraceID != parent.TraceID {
+		t.Fatal("child must stay in the parent's trace")
+	}
+	if child.SpanID == parent.SpanID {
+		t.Fatal("child must mint a fresh span id")
+	}
+	if !child.Sampled() {
+		t.Fatal("child must inherit the flags")
+	}
+}
+
+func TestWithSampled(t *testing.T) {
+	tc := MintTraceContext(false)
+	if got := tc.WithSampled(true); !got.Sampled() {
+		t.Fatal("WithSampled(true) must set the bit")
+	}
+	tc.Flags = 0xff
+	got := tc.WithSampled(false)
+	if got.Sampled() {
+		t.Fatal("WithSampled(false) must clear the bit")
+	}
+	if got.Flags != 0xfe {
+		t.Fatalf("other flag bits must survive: %02x", got.Flags)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	in := MintTraceContext(true)
+	hdr := in.Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") {
+		t.Fatalf("traceparent = %q", hdr)
+	}
+	out, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	const hdr = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent: %v", err)
+	}
+	if tc.TraceIDString() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %s", tc.TraceIDString())
+	}
+	if tc.SpanIDString() != "00f067aa0ba902b7" {
+		t.Fatalf("span id = %s", tc.SpanIDString())
+	}
+	if !tc.Sampled() {
+		t.Fatal("flags 01 must read as sampled")
+	}
+	// A future version with extra content after a dash is accepted (the
+	// level-1 spec's forward-compatibility rule).
+	if _, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Fatalf("future version with dashed extra content must parse: %v", err)
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	cases := map[string]string{
+		"too short":           "00-abc",
+		"empty":               "",
+		"bad separators":      "00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"version ff":          "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"uppercase trace id":  "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"uppercase span id":   "00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01",
+		"zero trace id":       "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":        "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"v00 with extra":      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"future no dash":      "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01extra",
+		"non-hex version":     "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"non-hex flags":       "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",
+		"non-hex in trace id": "00-4bf92g3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	}
+	for name, hdr := range cases {
+		if tc, err := ParseTraceparent(hdr); err == nil {
+			t.Fatalf("%s: %q parsed as %+v, want error", name, hdr, tc)
+		}
+	}
+}

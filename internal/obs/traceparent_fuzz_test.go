@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent throws arbitrary header values at the W3C codec
+// and checks the parser's contract: no panics, and every accepted value
+// yields a valid context that re-renders into a header the parser
+// accepts again with identical identity.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01")
+	f.Add("")
+	f.Add(strings.Repeat("-", 64))
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			if tc.Valid() {
+				t.Fatalf("rejected input %q still produced a valid context", s)
+			}
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("accepted input %q produced an invalid context", s)
+		}
+		// Accepted headers must survive a render→parse round trip with
+		// the same identifiers and flags (the version normalizes to 00).
+		again, err := ParseTraceparent(tc.Traceparent())
+		if err != nil {
+			t.Fatalf("re-rendered header %q rejected: %v", tc.Traceparent(), err)
+		}
+		if again != tc {
+			t.Fatalf("round trip drift: %+v vs %+v", again, tc)
+		}
+	})
+}

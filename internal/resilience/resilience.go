@@ -152,10 +152,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// pending is one queued request with its admission timestamp.
+// pending is one queued request with its admission timestamp and, when
+// the request was traced, the request span's trace context (the parent
+// of the delivery span the worker will record).
 type pending struct {
 	req      *wire.Request
 	deadline time.Time
+	tc       obs.TraceContext
+	enq      time.Time
 }
 
 // Outbox is the bounded asynchronous delivery pipeline between the
@@ -181,6 +185,29 @@ type Outbox struct {
 
 	depth atomic.Int64 // current queue depth
 	wg    sync.WaitGroup
+
+	// sink receives the delivery spans of traced requests (SetSpanSink);
+	// nil means delivery tracing is off.
+	sink atomic.Pointer[SpanRecorder]
+}
+
+// SpanRecorder receives completed delivery spans — the contract
+// obs.Observer satisfies. head reports an upstream head-sampling
+// decision (the request span's sampled flag); the recorder's tail
+// sampler may retain non-head spans it finds interesting.
+type SpanRecorder interface {
+	RecordSpan(sp *obs.Span, head bool) bool
+}
+
+// SetSpanSink installs (or, with nil, removes) the recorder that
+// receives one delivery span per traced request the queue processes.
+// Safe to call while deliveries are in flight.
+func (o *Outbox) SetSpanSink(r SpanRecorder) {
+	if r == nil {
+		o.sink.Store(nil)
+		return
+	}
+	o.sink.Store(&r)
 }
 
 // NewOutbox starts an outbox delivering to target. Call Close to drain
@@ -219,11 +246,20 @@ func (o *Outbox) breaker(service string) *Breaker {
 // open, and ErrClosed after shutdown; on any error the request has NOT
 // been and will never be forwarded.
 func (o *Outbox) TryDeliver(req *wire.Request) error {
+	return o.TryDeliverTraced(req, obs.TraceContext{})
+}
+
+// TryDeliverTraced is TryDeliver carrying the request span's trace
+// context into the queue: the worker records a delivery span (child of
+// tc) covering the queue wait and every delivery attempt. A zero tc
+// behaves exactly like TryDeliver.
+func (o *Outbox) TryDeliverTraced(req *wire.Request, tc obs.TraceContext) error {
 	if o.breaker(req.Service).Rejects() {
 		o.Events.Inc(EventShedBreakerOpen)
 		return ErrBreakerOpen
 	}
-	p := pending{req: req, deadline: o.opts.Clock.Now().Add(o.opts.Deadline)}
+	now := o.opts.Clock.Now()
+	p := pending{req: req, deadline: now.Add(o.opts.Deadline), tc: tc, enq: now}
 	o.closeMu.RLock()
 	defer o.closeMu.RUnlock()
 	if o.closed {
@@ -255,37 +291,77 @@ func (o *Outbox) worker() {
 	}
 }
 
-// attempt runs the retry loop for one queued request.
+// attempt runs the retry loop for one queued request. When the request
+// carries a trace context and a span sink is installed, the whole loop
+// is recorded as one delivery span: queue wait, per-attempt timings,
+// retry and breaker events — all measured on the outbox clock, so
+// virtual-time chaos schedules produce faithful spans.
 func (o *Outbox) attempt(p pending) {
 	clock := o.opts.Clock
 	br := o.breaker(p.req.Service)
 	seed := uint64(o.opts.Seed) ^ uint64(p.req.ID)
+
+	var dsp *obs.Span
+	if sink := o.sink.Load(); sink != nil && p.tc.Valid() {
+		child := p.tc.Child()
+		dsp = &obs.Span{
+			TraceID:      child.TraceIDString(),
+			SpanID:       child.SpanIDString(),
+			ParentSpanID: p.tc.SpanIDString(),
+			Kind:         obs.SpanKindDelivery,
+			MsgID:        int64(p.req.ID),
+			Service:      p.req.Service,
+			Start:        p.enq.UnixNano(),
+			QueueNs:      clock.Now().Sub(p.enq).Nanoseconds(),
+		}
+		defer func() {
+			// Start/TotalNs are stamped here on the outbox clock; the
+			// recorder's finish() leaves them alone (began is zero).
+			dsp.TotalNs = clock.Now().Sub(p.enq).Nanoseconds()
+			(*sink).RecordSpan(dsp, p.tc.Sampled())
+		}()
+	}
+	elapsed := func() int64 { return clock.Now().Sub(p.enq).Nanoseconds() }
+
 	for attempt := 1; ; attempt++ {
 		if !clock.Now().Before(p.deadline) {
-			o.drop(p.req, EventDroppedDeadline, "deadline_exceeded", attempt-1)
+			o.drop(p.req, p.tc, dsp, EventDroppedDeadline, "deadline_exceeded", attempt-1)
 			return
 		}
 		if !br.Allow() {
-			o.drop(p.req, EventDroppedBreakerOpen, "breaker_open", attempt-1)
+			if dsp != nil {
+				dsp.AddEvent("breaker_open", elapsed())
+			}
+			o.drop(p.req, p.tc, dsp, EventDroppedBreakerOpen, "breaker_open", attempt-1)
 			return
 		}
+		t0 := clock.Now()
 		err := o.target.Deliver(p.req)
+		if dsp != nil {
+			dsp.AttemptNs = append(dsp.AttemptNs, clock.Now().Sub(t0).Nanoseconds())
+		}
 		if err == nil {
 			br.Success()
 			o.Events.Inc(EventDelivered)
+			if dsp != nil {
+				dsp.Outcome = obs.OutcomeDelivered
+			}
 			return
 		}
 		br.Failure()
 		if attempt >= o.opts.MaxAttempts {
-			o.drop(p.req, EventDroppedSPError, "retries_exhausted", attempt)
+			o.drop(p.req, p.tc, dsp, EventDroppedSPError, "retries_exhausted", attempt)
 			return
 		}
 		o.Events.Inc(EventRetries)
+		if dsp != nil {
+			dsp.AddEvent("retry", elapsed())
+		}
 		delay := o.opts.Backoff.Delay(attempt, seed)
 		if remain := p.deadline.Sub(clock.Now()); delay > remain {
 			// Sleeping past the deadline cannot help; charge the failed
 			// attempts and drop now.
-			o.drop(p.req, EventDroppedDeadline, "deadline_exceeded", attempt)
+			o.drop(p.req, p.tc, dsp, EventDroppedDeadline, "deadline_exceeded", attempt)
 			return
 		}
 		clock.Sleep(delay)
@@ -293,20 +369,29 @@ func (o *Outbox) attempt(p pending) {
 }
 
 // drop records an asynchronous delivery failure: the request was
-// admitted but never reached the service provider. Counted, and audited
-// when an audit hook is installed — a dropped request is never silent.
-func (o *Outbox) drop(req *wire.Request, event, reason string, attempts int) {
+// admitted but never reached the service provider. Counted, audited
+// when an audit hook is installed, and stamped on the delivery span
+// when one is being recorded — a dropped request is never silent.
+func (o *Outbox) drop(req *wire.Request, tc obs.TraceContext, dsp *obs.Span, event, reason string, attempts int) {
 	o.Events.Inc(event)
 	o.Events.Inc(EventDropped)
+	if dsp != nil {
+		dsp.Outcome = obs.OutcomeDropped
+		dsp.Reason = reason
+	}
 	if o.opts.Audit != nil {
-		o.opts.Audit(obs.Event{
+		e := obs.Event{
 			Kind:     obs.KindDelivery,
 			MsgID:    int64(req.ID),
 			Service:  req.Service,
 			Outcome:  obs.OutcomeDropped,
 			Reason:   reason,
 			Attempts: attempts,
-		})
+		}
+		if tc.Valid() {
+			e.TraceID = tc.TraceIDString()
+		}
+		o.opts.Audit(e)
 	}
 }
 

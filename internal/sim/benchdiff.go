@@ -1,0 +1,118 @@
+// Bench-record aggregation: every BENCH_*.json file the repo checks in
+// (the E11 concurrency record, the E-obs overhead record, and whatever
+// later PRs add) collapses into one trajectory table, so a reviewer
+// sees in one place whether a change moved the numbers. The records
+// have different shapes; the parser distinguishes them by their
+// distinctive top-level key rather than by filename, so renamed or new
+// records keep working as long as they reuse a known shape.
+
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// benchDiffRow is one line of the trajectory table, normalized across
+// record shapes. Cells that a shape does not measure stay "-".
+type benchDiffRow struct {
+	record string
+	config string
+	reqs   string // req/s
+	ns     string // ns/op
+	allocs string // allocs/op
+	rel    string // the record's own relative column
+}
+
+// parseBenchRecord normalizes one BENCH_*.json payload. A record is an
+// E11-style throughput record (key "throughput", with optional
+// "hot_paths"), or an E-obs overhead record (key "rows").
+func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
+	var probe struct {
+		Throughput []struct {
+			Goroutines  int     `json:"goroutines"`
+			OpsPerSec   float64 `json:"ops_per_sec"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp int64   `json:"allocs_per_op"`
+			Speedup     float64 `json:"speedup_vs_1"`
+		} `json:"throughput"`
+		HotPaths []struct {
+			Name        string  `json:"name"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp int64   `json:"allocs_per_op"`
+		} `json:"hot_paths"`
+		Rows []ObsBenchRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, err
+	}
+	if probe.Throughput == nil && probe.Rows == nil {
+		return nil, fmt.Errorf("unrecognized bench record shape (no %q or %q key)",
+			"throughput", "rows")
+	}
+	var out []benchDiffRow
+	for _, tp := range probe.Throughput {
+		out = append(out, benchDiffRow{
+			record: name,
+			config: fmt.Sprintf("goroutines=%d", tp.Goroutines),
+			reqs:   fmt.Sprintf("%.0f", tp.OpsPerSec),
+			ns:     fmt.Sprintf("%.0f", tp.NsPerOp),
+			allocs: fmt.Sprintf("%d", tp.AllocsPerOp),
+			rel:    fmt.Sprintf("%.3fx", tp.Speedup),
+		})
+	}
+	for _, hp := range probe.HotPaths {
+		out = append(out, benchDiffRow{
+			record: name,
+			config: hp.Name,
+			reqs:   "-",
+			ns:     fmt.Sprintf("%.0f", hp.NsPerOp),
+			allocs: fmt.Sprintf("%d", hp.AllocsPerOp),
+			rel:    "-",
+		})
+	}
+	for _, r := range probe.Rows {
+		out = append(out, benchDiffRow{
+			record: name,
+			config: r.Mode,
+			reqs:   fmt.Sprintf("%.0f", r.OpsPerSec),
+			ns:     fmt.Sprintf("%.0f", r.NsPerOp),
+			allocs: fmt.Sprintf("%d", r.AllocsPerOp),
+			rel:    fmt.Sprintf("%.3fx", r.VsOff),
+		})
+	}
+	return out, nil
+}
+
+// WriteBenchDiff reads each bench record and renders the aggregated
+// trajectory table. Paths are rendered in the order given; callers
+// sort for a stable table.
+func WriteBenchDiff(paths []string, w io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("benchdiff: no bench records given")
+	}
+	t := &Table{
+		ID:      "BENCH",
+		Title:   "performance trajectory across checked-in records",
+		Columns: []string{"record", "config", "req/s", "ns/op", "allocs/op", "relative"},
+		Notes: `"relative" is each record's own baseline column: ` +
+			`speedup_vs_1 for throughput records, vs_off for overhead records.`,
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rows, err := parseBenchRecord(filepath.Base(path), data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, r := range rows {
+			t.AddRow(r.record, r.config, r.reqs, r.ns, r.allocs, r.rel)
+		}
+	}
+	return t.Render(w)
+}

@@ -1,8 +1,9 @@
 // E-obs: instrumentation-overhead benchmark. Measures the whole-server
 // request pipeline (the BENCH_e11 single-goroutine workload) under the
-// observability layer's settings: span sampling off, at 1%, at 100%,
-// and at 100% with the audit log on. cmd/lbbench -obsbench regenerates
-// the EXPERIMENTS.md E-obs table from this.
+// observability layer's settings: span sampling off, tail sampling at
+// 1/1000 head rate, at 100%, at 100% with metric exemplars, and at
+// 100% with the audit log on. cmd/lbbench -obsbench regenerates the
+// EXPERIMENTS.md E-obs table from this.
 
 package sim
 
@@ -11,6 +12,7 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"histanon/internal/obs"
 	"histanon/internal/phl"
@@ -42,9 +44,11 @@ func (r ObsBenchReport) WriteJSON(w io.Writer) error {
 
 // obsBenchCase configures one RunObsBench row.
 type obsBenchCase struct {
-	mode   string
-	sample float64
-	audit  bool
+	mode      string
+	sample    float64
+	tailSlow  time.Duration
+	exemplars bool
+	audit     bool
 }
 
 // obsBenchRounds is how many times each mode is measured; the fastest
@@ -60,8 +64,12 @@ func RunObsBench() ObsBenchReport {
 	rep := ObsBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	cases := []obsBenchCase{
 		{mode: "sampling off", sample: 0},
-		{mode: "sampling 1%", sample: 0.01},
+		// The production configuration: 1/1000 head retention with the
+		// slow-request tail rule armed. Every request collects a span;
+		// almost none are kept.
+		{mode: "tail 1/1000", sample: 0.001, tailSlow: time.Millisecond},
 		{mode: "sampling 100%", sample: 1},
+		{mode: "sampling 100% + exemplars", sample: 1, exemplars: true},
 		{mode: "sampling 100% + audit", sample: 1, audit: true},
 	}
 	for _, c := range cases {
@@ -71,6 +79,12 @@ func RunObsBench() ObsBenchReport {
 			r := testing.Benchmark(func(b *testing.B) {
 				server := NewThroughputServer(ThroughputClients)
 				server.Obs.Tracer.SetSampleRate(c.sample)
+				if c.tailSlow > 0 {
+					server.Obs.Tracer.SetTailSlow(c.tailSlow)
+				}
+				if c.exemplars {
+					server.Obs.SetExemplars(true)
+				}
 				if c.audit {
 					server.Obs.SetAudit(obs.NewAuditLog(io.Discard))
 				}

@@ -145,6 +145,17 @@ type FallibleOutbox interface {
 	TryDeliver(req *wire.Request) error
 }
 
+// TracedOutbox is a FallibleOutbox that can carry a request's trace
+// context through its asynchronous delivery path, so the queue wait and
+// every delivery attempt become spans of the same trace
+// (internal/resilience implements it). When the configured outbox is
+// traced and the request carries a valid context, the server calls
+// TryDeliverTraced; otherwise it falls back to TryDeliver.
+type TracedOutbox interface {
+	FallibleOutbox
+	TryDeliverTraced(req *wire.Request, tc obs.TraceContext) error
+}
+
 // MetricsSource is implemented by outboxes that expose their own metric
 // families (internal/resilience's Outbox does): MetricsRegistry invites
 // the outbox to register live series instead of the zero-valued
@@ -244,6 +255,14 @@ type Decision struct {
 	// been matched under the current pseudonym: the quasi-identifier has
 	// been released to the SP.
 	QIDExposed bool
+	// TraceID is the request's W3C trace id (lowercase hex) when the
+	// request was traced — the key for /v1/spans?trace= and the audit
+	// log's trace_id field. Empty for untraced requests.
+	TraceID string
+	// Traceparent is the W3C traceparent header value identifying the
+	// request span, for callers that propagate the trace downstream.
+	// Empty for untraced requests.
+	Traceparent string
 }
 
 // userState is the per-user bookkeeping. Its mutex serializes the
@@ -265,8 +284,10 @@ type Server struct {
 	cfg Config
 	out Outbox
 	// fallible is out's fail-closed admission interface, when it has one
-	// (resolved once at construction so the hot path pays no assertion).
+	// (resolved once at construction so the hot path pays no assertion);
+	// traced additionally carries trace contexts into the delivery queue.
 	fallible FallibleOutbox
+	traced   TracedOutbox
 	store    *phl.Store
 	index    stindex.Index
 	pseud    *pseudonym.Manager
@@ -366,6 +387,7 @@ func New(cfg Config, out Outbox) *Server {
 		Obs:       obs.New(),
 	}
 	s.fallible, _ = out.(FallibleOutbox)
+	s.traced, _ = out.(TracedOutbox)
 	s.gen = &generalize.Generalizer{
 		Index:  s.index,
 		Store:  s.store,
@@ -436,6 +458,9 @@ func (s *Server) MetricsRegistry() *metrics.Registry {
 		r.RegisterCounterFunc(obs.MetricSpansSampled,
 			"Request spans captured by the tracer.",
 			nil, s.Obs.Tracer.Sampled)
+		r.RegisterCounterVec(obs.MetricTailKept,
+			"Spans retained by the tail sampler, by keep reason.",
+			nil, s.Obs.Tracer.KeptCounters())
 		r.RegisterCounterFunc(obs.MetricAuditEvents,
 			"Audit records written successfully.",
 			nil, func() int64 { return s.Obs.AuditSink().Events() })
@@ -590,11 +615,44 @@ func (s *Server) tolerance(service string) generalize.Tolerance {
 // Requests from different users run concurrently; requests from the
 // same user serialize on the user's session lock.
 func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[string]string) Decision {
+	return s.RequestTraced(u, p, service, data, obs.TraceContext{})
+}
+
+// RequestTraced is Request under an upstream trace context (parsed from
+// a traceparent header by internal/httpapi). A valid parent puts this
+// request's span in the caller's trace — and, when the parent is
+// sampled, forces collection and retention regardless of the local
+// sampling rate. A zero parent behaves exactly like Request.
+func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data map[string]string, parent obs.TraceContext) Decision {
 	// Span sampling decides up front whether this request pays for
-	// timing: one atomic load when tracing is off.
+	// timing: one atomic load when tracing is off and no parent forces
+	// it. collect means the request gathers a span (so the tail sampler
+	// has something to keep); head means unconditional retention.
 	var sp obs.Span
-	sampled := s.Obs.Tracer.Sample()
-	if sampled {
+	var tc obs.TraceContext
+	var collect, head bool
+	if parent.Valid() {
+		collect, head = s.Obs.Tracer.SampleWithParent(parent.Sampled())
+		// The child identity exists even when nothing is collected, so
+		// the response header still joins the caller's trace.
+		tc = parent.Child().WithSampled(head)
+	} else {
+		collect, head = s.Obs.Tracer.Sample()
+		if collect {
+			tc = obs.MintTraceContext(head)
+		}
+	}
+	var tid string // guarded: the zero context must not render as zeros
+	if tc.Valid() {
+		tid = tc.TraceIDString()
+	}
+	if collect {
+		sp.TraceID = tid
+		sp.SpanID = tc.SpanIDString()
+		if parent.Valid() {
+			sp.ParentSpanID = parent.SpanIDString()
+		}
+		sp.Kind = obs.SpanKindRequest
 		sp.User = int64(u)
 		sp.Service = service
 		sp.Begin()
@@ -620,7 +678,7 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 		if st.plan.Suppresses(p.P, p.T) {
 			s.Counters.Inc("suppressed")
 			dec := Decision{Suppressed: true}
-			s.finishRequest(sampled, &sp, u, p, service, &dec,
+			s.finishRequest(collect, head, &sp, tc, u, p, service, &dec,
 				0, 0, 0, generalize.Unlimited, geo.STBox{}, "ondemand")
 			return dec
 		}
@@ -647,7 +705,7 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 	// matched pattern's session advances and the forwarded context is
 	// the union of their boxes. The union contains each session's box,
 	// so every session's witnesses remain LT-consistent with it.
-	if sampled {
+	if collect {
 		sp.Sync()
 	}
 	var matched []int
@@ -664,14 +722,14 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 			dec.QIDExposed = true
 		}
 	}
-	if sampled {
+	if collect {
 		sp.Mark(obs.StageMatch)
 	}
 
 	// tm collects Algorithm 1's per-phase time across all matched
-	// patterns' sessions; nil (no timing) unless this span is sampled.
+	// patterns' sessions; nil (no timing) unless this span is collected.
 	var tm *generalize.Timings
-	if sampled {
+	if collect {
 		tm = new(generalize.Timings)
 	}
 	achievedK := 0 // witnesses+1, minimum over matched patterns
@@ -712,7 +770,7 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 				Time: ctx.Time.ShrinkToward(p.T, tolMaxD(tol, ctx)),
 			}
 		}
-		if sampled {
+		if collect {
 			sp.AddStage(obs.StageKNN, tm.KNNNanos)
 			sp.AddStage(obs.StageBox, tm.BoxNanos)
 			sp.AddStage(obs.StageTolerance, tm.ToleranceNanos)
@@ -721,11 +779,11 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 		if !dec.HKAnonymity {
 			s.Counters.Inc("hk_failures")
 			// Step 2 of §6.1: try to unlink future requests.
-			if sampled {
+			if collect {
 				sp.Sync()
 			}
-			zone = s.unlink(u, st, pol, p, &dec)
-			if sampled {
+			zone = s.unlink(u, st, pol, p, &dec, tid)
+			if collect {
 				sp.Mark(obs.StageUnlink)
 			}
 		}
@@ -736,7 +794,7 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 		if pol.SuppressAtRisk {
 			s.Counters.Inc("suppressed")
 			dec.Suppressed = true
-			s.finishRequest(sampled, &sp, u, p, service, &dec,
+			s.finishRequest(collect, head, &sp, tc, u, p, service, &dec,
 				id, pol.K, achievedK, tol, ctx, zone)
 			return dec
 		}
@@ -752,33 +810,42 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 	s.respMu.Lock()
 	s.routes[id] = u
 	s.respMu.Unlock()
-	if sampled {
+	if collect {
 		sp.Sync()
 	}
-	if s.fallible != nil {
-		if err := s.fallible.TryDeliver(req); err != nil {
-			// Fail closed: the delivery layer refused admission (queue
-			// full, breaker open, shutdown), so the request is withheld —
-			// degraded to suppression, never forwarded with weaker
-			// guarantees. The route can never be answered; reclaim it.
-			s.respMu.Lock()
-			delete(s.routes, id)
-			s.respMu.Unlock()
-			if sampled {
-				sp.Mark(obs.StageForward)
-			}
-			dec.Suppressed = true
-			dec.Degraded = true
-			dec.DegradedReason = degradeReason(err)
-			s.Counters.Inc("suppressed")
-			s.Counters.Inc("degraded")
-			s.finishRequest(sampled, &sp, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
-			return dec
-		}
-	} else {
+	var deliverErr error
+	switch {
+	case s.traced != nil && tc.Valid():
+		deliverErr = s.traced.TryDeliverTraced(req, tc)
+	case s.fallible != nil:
+		deliverErr = s.fallible.TryDeliver(req)
+	default:
 		s.out.Deliver(req)
 	}
-	if sampled {
+	if deliverErr != nil {
+		// Fail closed: the delivery layer refused admission (queue
+		// full, breaker open, shutdown), so the request is withheld —
+		// degraded to suppression, never forwarded with weaker
+		// guarantees. The route can never be answered; reclaim it.
+		s.respMu.Lock()
+		delete(s.routes, id)
+		s.respMu.Unlock()
+		dec.Suppressed = true
+		dec.Degraded = true
+		dec.DegradedReason = degradeReason(deliverErr)
+		if collect {
+			// The shed event names the admission failure; a
+			// "shed_breaker_open" event also trips the tail sampler's
+			// breaker keep rule.
+			sp.Event("shed_" + dec.DegradedReason)
+			sp.Mark(obs.StageForward)
+		}
+		s.Counters.Inc("suppressed")
+		s.Counters.Inc("degraded")
+		s.finishRequest(collect, head, &sp, tc, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
+		return dec
+	}
+	if collect {
 		sp.Mark(obs.StageForward)
 	}
 	dec.Forwarded = true
@@ -793,18 +860,20 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 		s.Obs.GenAreaM2.Observe(ctx.Area.Area())
 		s.Obs.GenIntervalS.Observe(float64(ctx.Time.Duration()))
 	}
-	s.finishRequest(sampled, &sp, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
+	s.finishRequest(collect, head, &sp, tc, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
 	return dec
 }
 
 // finishRequest closes out one request's observability: it records the
-// sampled span and, when the decision is privacy-relevant (the request
-// matched an LBQID, was suppressed, triggered an unlinking, or found
-// the user at risk), appends the audit record. Plain pass-through
-// requests produce neither.
-func (s *Server) finishRequest(sampled bool, sp *obs.Span, u phl.UserID, p geo.STPoint,
-	service string, dec *Decision, id wire.MsgID, requestedK, achievedK int,
-	tol generalize.Tolerance, ctx geo.STBox, zone string) {
+// collected span (the tail sampler decides retention when the head
+// sampler didn't), stamps the decision's trace identity, and, when the
+// decision is privacy-relevant (the request matched an LBQID, was
+// suppressed, triggered an unlinking, or found the user at risk),
+// appends the audit record. Plain pass-through requests produce
+// neither.
+func (s *Server) finishRequest(collect, head bool, sp *obs.Span, tc obs.TraceContext,
+	u phl.UserID, p geo.STPoint, service string, dec *Decision, id wire.MsgID,
+	requestedK, achievedK int, tol generalize.Tolerance, ctx geo.STBox, zone string) {
 
 	outcome := obs.OutcomeForwarded
 	if dec.Suppressed {
@@ -813,13 +882,17 @@ func (s *Server) finishRequest(sampled bool, sp *obs.Span, u phl.UserID, p geo.S
 	if dec.Degraded {
 		outcome = obs.OutcomeDegraded
 	}
-	if sampled {
+	if tc.Valid() {
+		dec.TraceID = tc.TraceIDString()
+		dec.Traceparent = tc.Traceparent()
+	}
+	if collect {
 		sp.MsgID = int64(id)
 		sp.Generalized = dec.Generalized
 		sp.Unlinked = dec.Unlinked
 		sp.AtRisk = dec.AtRisk
 		sp.Outcome = outcome
-		s.Obs.RecordSpan(sp)
+		s.Obs.RecordSpan(sp, head)
 	}
 	if !dec.Generalized && !dec.Suppressed && !dec.Unlinked && !dec.AtRisk {
 		return
@@ -831,6 +904,7 @@ func (s *Server) finishRequest(sampled bool, sp *obs.Span, u phl.UserID, p geo.S
 	e := obs.Event{
 		T:           p.T,
 		Kind:        obs.KindRequest,
+		TraceID:     dec.TraceID,
 		User:        int64(u),
 		MsgID:       int64(id),
 		Service:     service,
@@ -883,9 +957,10 @@ func (s *Server) decayFor(p Policy) generalize.DecaySchedule {
 // a static mix zone the user recently crossed, or inside a freshly
 // planned on-demand zone — and reset all partially matched patterns. On
 // failure the user is flagged at risk. It returns the audit label of
-// the zone that enabled the rotation ("" when none did). Callers hold
-// st.mu.
-func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, dec *Decision) string {
+// the zone that enabled the rotation ("" when none did); tid is the
+// triggering request's trace id for the rotation audit record. Callers
+// hold st.mu.
+func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, dec *Decision, tid string) string {
 	// A recent static-zone crossing makes rotation safe immediately.
 	lookback := p.T - 4*3600
 	if z, crossed := s.cfg.StaticZones.CrossedZone(s.store.History(u), lookback, p.T); crossed {
@@ -893,7 +968,7 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 		if zone == "" {
 			zone = "static"
 		}
-		s.rotate(u, st, p.T, zone)
+		s.rotate(u, st, p.T, zone, tid)
 		dec.Unlinked = true
 		return zone
 	}
@@ -912,7 +987,7 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 		if plan.Fallback {
 			zone = "ondemand_fallback"
 		}
-		s.rotate(u, st, p.T, zone)
+		s.rotate(u, st, p.T, zone, tid)
 		dec.Unlinked = true
 		s.Counters.Inc("ondemand_zones")
 		return zone
@@ -929,9 +1004,9 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 }
 
 // rotate changes the pseudonym and resets all exposure evidence tied to
-// the old one; t and zone label the rotation's audit record. Callers
-// hold st.mu.
-func (s *Server) rotate(u phl.UserID, st *userState, t int64, zone string) {
+// the old one; t and zone label the rotation's audit record, tid links
+// it to the triggering request's trace. Callers hold st.mu.
+func (s *Server) rotate(u phl.UserID, st *userState, t int64, zone, tid string) {
 	old, fresh := s.pseud.Rotate(u)
 	if n := s.getNotifier(); n != nil {
 		n.Unlinked(u, old, fresh)
@@ -945,6 +1020,7 @@ func (s *Server) rotate(u phl.UserID, st *userState, t int64, zone string) {
 	s.Obs.Audit(obs.Event{
 		T:            t,
 		Kind:         obs.KindRotation,
+		TraceID:      tid,
 		User:         int64(u),
 		Zone:         zone,
 		OldPseudonym: string(old),

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Asserts OBSERVABILITY.md documents the full observability surface:
 # every histanon_* metric family declared in internal/obs/obs.go, every
-# audit Event wire field declared in internal/obs/audit.go, and every
-# span stage name declared in internal/obs/trace.go. CI runs it in the
-# docs job, so adding a metric or field without documenting it fails
-# the build.
+# audit Event wire field declared in internal/obs/audit.go, every span
+# stage name, every span JSON field, and every tail-sampling keep
+# reason declared in internal/obs/trace.go. CI runs it in the docs job,
+# so adding a metric or field without documenting it fails the build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,7 +35,22 @@ for stage in $(sed -n '/^func (s Stage) String/,/^}/p' internal/obs/trace.go |
     fi
 done
 
+for field in $(grep -o 'json:"[a-zA-Z0-9_]*' internal/obs/trace.go | sed 's/json:"//' | sort -u); do
+    if ! grep -q "\`$field\`" "$doc"; then
+        echo "span field $field undocumented in $doc" >&2
+        fail=1
+    fi
+done
+
+for reason in $(sed -n '/Tail-sampling keep reasons/,/^)/p' internal/obs/trace.go |
+                grep -o '= "[a-z_]*"' | sed 's/= "//;s/"//' | sort -u); do
+    if ! grep -q "\`$reason\`" "$doc"; then
+        echo "keep reason $reason undocumented in $doc" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" = 0 ]; then
-    echo "checkobsdocs: $doc covers all metrics, audit fields and stages"
+    echo "checkobsdocs: $doc covers all metrics, audit fields, stages, span fields and keep reasons"
 fi
 exit "$fail"
