@@ -463,13 +463,14 @@ func checkInvariants(t *testing.T, r *run, k int) {
 		if !d.dec.Degraded && !d.dec.Suppressed {
 			continue
 		}
-		if d.dec.TraceID == "" {
+		tid := d.dec.TraceID()
+		if tid == "" {
 			t.Fatalf("anomalous decision lacks a trace id: %+v", d.dec)
 		}
-		sp, ok := reqSpans[d.dec.TraceID]
+		sp, ok := reqSpans[tid]
 		if !ok {
 			t.Fatalf("no retained request span for anomalous trace %s (%+v)",
-				d.dec.TraceID, d.dec)
+				tid, d.dec)
 		}
 		if sp.KeepReason == "" {
 			t.Fatalf("retained span lacks a keep reason: %+v", sp)
@@ -483,7 +484,7 @@ func checkInvariants(t *testing.T, r *run, k int) {
 			}
 			if !found {
 				t.Fatalf("degraded trace %s lacks the shed_%s event: %+v",
-					d.dec.TraceID, d.dec.DegradedReason, sp.Events)
+					tid, d.dec.DegradedReason, sp.Events)
 			}
 		}
 	}

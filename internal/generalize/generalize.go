@@ -49,6 +49,12 @@ type Timings struct {
 	KNNNanos       int64
 	BoxNanos       int64
 	ToleranceNanos int64
+
+	// The lap timer: one wall-clock read arms base (first start call);
+	// every later lap point is a monotonic offset from it via
+	// time.Since, which skips the wall-clock half of a time.Now read.
+	base   time.Time
+	lastNs int64
 }
 
 // The Timings phases, for lap.
@@ -58,14 +64,14 @@ const (
 	phaseTolerance
 )
 
-// lap adds the time since *t to the given phase and re-arms *t, when tm
-// is non-nil.
-func (tm *Timings) lap(phase int, t *time.Time) {
+// lap adds the time since the previous lap point to the given phase and
+// re-arms the timer, when tm is non-nil.
+func (tm *Timings) lap(phase int) {
 	if tm == nil {
 		return
 	}
-	now := time.Now()
-	d := now.Sub(*t).Nanoseconds()
+	now := time.Since(tm.base).Nanoseconds()
+	d := now - tm.lastNs
 	switch phase {
 	case phaseKNN:
 		tm.KNNNanos += d
@@ -74,14 +80,21 @@ func (tm *Timings) lap(phase int, t *time.Time) {
 	default:
 		tm.ToleranceNanos += d
 	}
-	*t = now
+	tm.lastNs = now
 }
 
-// start stamps the lap timer when tm is non-nil.
-func (tm *Timings) start(t *time.Time) {
-	if tm != nil {
-		*t = time.Now()
+// start re-arms the lap timer when tm is non-nil, so the code between
+// two timed sections is attributed to no phase.
+func (tm *Timings) start() {
+	if tm == nil {
+		return
 	}
+	if tm.base.IsZero() {
+		tm.base = time.Now()
+		tm.lastNs = 0
+		return
+	}
+	tm.lastNs = time.Since(tm.base).Nanoseconds()
 }
 
 // Tolerance is a service's coarsest acceptable spatial and temporal
@@ -183,11 +196,10 @@ func (g *Generalizer) firstElement(q geo.STPoint, issuer phl.UserID, k int, tol 
 	if k < 1 {
 		return Result{}, false
 	}
-	var t time.Time
-	tm.start(&t)
+	tm.start()
 	exclude := map[phl.UserID]bool{issuer: true}
 	box, members, found := stindex.SmallestEnclosingBox(g.Index, q, k-1, g.Metric, exclude)
-	tm.lap(phaseKNN, &t)
+	tm.lap(phaseKNN)
 	if !found {
 		return Result{}, false
 	}
@@ -202,7 +214,7 @@ func (g *Generalizer) firstElement(q geo.STPoint, issuer phl.UserID, k int, tol 
 		res.Points[i] = m.Point
 	}
 	res.Box = g.balanceDensity(res.Box, q, res.Users)
-	tm.lap(phaseBox, &t)
+	tm.lap(phaseBox)
 	if !tol.Allows(res.Box) {
 		res.HKAnonymity = false
 		res.Box = tol.clamp(res.Box, q)
@@ -210,7 +222,7 @@ func (g *Generalizer) firstElement(q geo.STPoint, issuer phl.UserID, k int, tol 
 	if g.Randomize != nil {
 		res.Box = g.Randomize.Perturb(res.Box, tol)
 	}
-	tm.lap(phaseTolerance, &t)
+	tm.lap(phaseTolerance)
 	return res, true
 }
 
@@ -226,8 +238,7 @@ func (g *Generalizer) NextElement(q geo.STPoint, users []phl.UserID, tol Toleran
 // closest-point lookups count as the KNN phase; box assembly and density
 // balancing as the box phase.
 func (g *Generalizer) nextElement(q geo.STPoint, users []phl.UserID, tol Tolerance, tm *Timings) Result {
-	var t time.Time
-	tm.start(&t)
+	tm.start()
 	res := Result{Box: geo.STBoxAround(q), HKAnonymity: true}
 	for _, u := range users {
 		h := g.Store.History(u)
@@ -242,9 +253,9 @@ func (g *Generalizer) nextElement(q geo.STPoint, users []phl.UserID, tol Toleran
 		res.Points = append(res.Points, p)
 		res.Box = res.Box.Extend(p)
 	}
-	tm.lap(phaseKNN, &t)
+	tm.lap(phaseKNN)
 	res.Box = g.balanceDensity(res.Box, q, res.Users)
-	tm.lap(phaseBox, &t)
+	tm.lap(phaseBox)
 	if !tol.Allows(res.Box) {
 		res.HKAnonymity = false
 		res.Box = tol.clamp(res.Box, q)
@@ -252,7 +263,7 @@ func (g *Generalizer) nextElement(q geo.STPoint, users []phl.UserID, tol Toleran
 	if g.Randomize != nil {
 		res.Box = g.Randomize.Perturb(res.Box, tol)
 	}
-	tm.lap(phaseTolerance, &t)
+	tm.lap(phaseTolerance)
 	return res
 }
 

@@ -452,8 +452,8 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 	dec := h.srv.RequestTraced(phl.UserID(req.User), geo.STPoint{
 		P: geo.Point{X: req.X, Y: req.Y}, T: req.T,
 	}, req.Service, req.Data, parent)
-	if dec.Traceparent != "" {
-		w.Header().Set("traceparent", dec.Traceparent)
+	if tp := dec.Traceparent(); tp != "" {
+		w.Header().Set("traceparent", tp)
 	}
 
 	resp := DecisionResponse{
@@ -467,7 +467,7 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 		Degraded:       dec.Degraded,
 		DegradedReason: dec.DegradedReason,
 		QIDExposed:     dec.QIDExposed,
-		TraceID:        dec.TraceID,
+		TraceID:        dec.TraceID(),
 	}
 	if dec.Request != nil {
 		resp.Pseudonym = string(dec.Request.Pseudonym)

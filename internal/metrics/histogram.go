@@ -27,8 +27,14 @@ type Histogram struct {
 	sumBits atomic.Uint64 // float64 bits of the running sum
 
 	// exemplars holds the last trace-stamped observation per bucket
-	// (including the overflow slot); nil entries mean none yet.
+	// (including the overflow slot); nil entries mean none yet. armed
+	// gates capture per bucket: an ObserveExemplar call stores only when
+	// it wins the bucket's CAS, so between scrapes at most one
+	// observation per bucket pays the Exemplar allocation — the rest pay
+	// a single atomic load. RearmExemplars (called by the exposition
+	// renderer) re-opens every bucket for a fresh sample.
 	exemplars []atomic.Pointer[Exemplar]
+	armed     []atomic.Bool
 }
 
 // Exemplar is one trace-stamped observation: the last sample recorded
@@ -65,11 +71,14 @@ func NewHistogram(bounds []float64) *Histogram {
 	if len(uniq) == 0 {
 		panic("metrics: histogram needs at least one finite bound")
 	}
-	return &Histogram{
+	h := &Histogram{
 		bounds:    uniq,
 		counts:    make([]atomic.Int64, len(uniq)+1),
 		exemplars: make([]atomic.Pointer[Exemplar], len(uniq)+1),
+		armed:     make([]atomic.Bool, len(uniq)+1),
 	}
+	h.RearmExemplars()
+	return h
 }
 
 // LinearBuckets returns n bounds start, start+width, … — the natural
@@ -106,16 +115,22 @@ func (h *Histogram) Observe(v float64) {
 	h.observe(v)
 }
 
-// ObserveExemplar records one sample and stamps its bucket with the
-// producing trace id, so the exposition can emit an OpenMetrics
-// exemplar pointing back to the trace. The stamp is a single atomic
-// pointer store (last writer wins), keeping the path wait-free.
+// ObserveExemplar records one sample and, when the bucket is armed,
+// stamps it with the producing trace id, so the exposition can emit an
+// OpenMetrics exemplar pointing back to the trace. A bucket disarms
+// after one capture and re-arms on the next exposition render
+// (RearmExemplars), so between scrapes the common case is one atomic
+// load and no allocation; the capture itself is a CAS won by exactly
+// one observer, keeping the path wait-free.
 func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if math.IsNaN(v) {
 		return
 	}
 	i := h.observe(v)
-	if traceID != "" {
+	if traceID == "" || !h.armed[i].Load() {
+		return
+	}
+	if h.armed[i].CompareAndSwap(true, false) {
 		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
 	}
 }
@@ -132,6 +147,16 @@ func (h *Histogram) observe(v float64) int {
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
 			return i
 		}
+	}
+}
+
+// RearmExemplars re-opens every bucket for one fresh exemplar capture.
+// The exposition renderer calls it after emitting a histogram's bucket
+// lines, so each scrape interval records at most one trace-stamped
+// sample per bucket — recency without a per-observation allocation.
+func (h *Histogram) RearmExemplars() {
+	for i := range h.armed {
+		h.armed[i].Store(true)
 	}
 }
 

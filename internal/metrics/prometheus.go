@@ -276,6 +276,11 @@ func writeSeries(w io.Writer, f *family, s *series, exemplars bool) error {
 			f.name, formatLabels(s.labels, nil, nil), cum); err != nil {
 			return err
 		}
+		// Each emitted exemplar has been scraped; re-open the buckets so
+		// the next interval captures one fresh sample per bucket.
+		if exemplars {
+			s.hist.RearmExemplars()
+		}
 	case s.intFn != nil:
 		if _, err := fmt.Fprintf(w, "%s%s %d\n",
 			f.name, formatLabels(s.labels, nil, nil), s.intFn()); err != nil {

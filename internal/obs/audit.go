@@ -8,6 +8,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -98,20 +99,28 @@ type Event struct {
 // AuditLog writes events as JSON lines. It is safe for concurrent use;
 // writes are buffered, so callers must Flush (or Close) before reading
 // the destination. A nil *AuditLog is a valid no-op sink.
+//
+// The encode path reuses one bytes.Buffer, encoder and Event scratch
+// slot per sink (all guarded by mu), so a steady stream of records
+// performs no per-record buffer or interface-boxing allocation, and a
+// record that fails to encode writes nothing to the destination — no
+// torn lines.
 type AuditLog struct {
-	mu     sync.Mutex
-	bw     *bufio.Writer
-	enc    *json.Encoder
-	events atomic.Int64
-	errs   atomic.Int64
-	closer io.Closer
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	buf     bytes.Buffer
+	enc     *json.Encoder // encodes into buf
+	scratch Event         // stable address, so Encode boxes no copy
+	events  atomic.Int64
+	errs    atomic.Int64
+	closer  io.Closer
 }
 
 // NewAuditLog returns an audit log writing to w. When w is also an
 // io.Closer, Close closes it.
 func NewAuditLog(w io.Writer) *AuditLog {
-	bw := bufio.NewWriter(w)
-	a := &AuditLog{bw: bw, enc: json.NewEncoder(bw)}
+	a := &AuditLog{bw: bufio.NewWriter(w)}
+	a.enc = json.NewEncoder(&a.buf)
 	if c, ok := w.(io.Closer); ok {
 		a.closer = c
 	}
@@ -125,7 +134,12 @@ func (a *AuditLog) Log(e Event) {
 		return
 	}
 	a.mu.Lock()
-	err := a.enc.Encode(e)
+	a.scratch = e
+	a.buf.Reset()
+	err := a.enc.Encode(&a.scratch)
+	if err == nil {
+		_, err = a.bw.Write(a.buf.Bytes())
+	}
 	a.mu.Unlock()
 	if err != nil {
 		a.errs.Add(1)

@@ -155,10 +155,14 @@ func (o *Observer) ExemplarsEnabled() bool { return o.exemplars.Load() }
 // RecordSpan finishes a collected span, runs the tail keep decision
 // (head marks an unconditional head-sampler retention) and feeds the
 // per-stage latency histograms. Retained spans additionally stamp their
-// trace id on the histogram buckets when exemplar capture is on. It
-// reports whether the span was retained in the ring.
+// trace id on the histogram buckets when exemplar capture is on. Spans
+// minted by NewSpan are recycled to the pool before returning — the
+// caller hands over ownership and must not touch the span afterwards.
+// It reports whether the span was retained in the ring.
 func (o *Observer) RecordSpan(sp *Span, head bool) bool {
 	kept := o.Tracer.RecordTail(sp, head)
+	// RecordTail materialized the trace id if the span was kept and
+	// carries an identity, so this read sees the rendered string.
 	withExemplar := kept && sp.TraceID != "" && o.exemplars.Load()
 	for i, ns := range sp.StageNs {
 		if ns > 0 {
@@ -170,5 +174,6 @@ func (o *Observer) RecordSpan(sp *Span, head bool) bool {
 			}
 		}
 	}
+	sp.Release()
 	return kept
 }

@@ -6,6 +6,7 @@
 package obs
 
 import (
+	"encoding/hex"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -155,25 +156,156 @@ type Span struct {
 	Unlinked    bool `json:"unlinked"`
 	AtRisk      bool `json:"atRisk"`
 
-	began time.Time // set by Begin; zero for unsampled spans
-	mark  time.Time
+	beganNs int64 // Begin time as an offset from processBase; 0 = unbegun
+	markNs  int64 // lap point as an offset from beganNs
+
+	// tc and parentID hold the span's trace identity in binary form;
+	// the hex string fields above are rendered from them only when the
+	// span is actually retained (MaterializeIDs), so the collect-and-
+	// discard hot path never pays for hex encoding.
+	tc       TraceContext
+	parentID [8]byte
+
+	// eventBuf and attemptBuf are the inline backing arrays Events and
+	// AttemptNs grow into on pooled spans: the common span (a handful of
+	// events, a handful of delivery attempts) never touches the heap.
+	eventBuf   [spanInlineEvents]SpanEvent
+	attemptBuf [spanInlineAttempts]int64
+
+	// pooled marks spans owned by the span pool (NewSpan); Release
+	// recycles only those, so stack- or test-constructed spans are
+	// unaffected.
+	pooled bool
+}
+
+// Inline capacities of a pooled span's event and delivery-attempt
+// buffers. Spans exceeding them spill to the heap (rare: a request span
+// records at most one shed event, a delivery span one attempt lap per
+// retry).
+const (
+	spanInlineEvents   = 8
+	spanInlineAttempts = 8
+)
+
+// spanPool recycles Span objects across requests. A pooled span's
+// lifecycle is collect → keep decision → (snapshot if kept) → Release;
+// the ring only ever stores snapshots, never pooled memory.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// processBase is the monotonic timing base every span measures against:
+// one wall-clock read at startup, after which Begin/Mark/Sync/finish
+// are each a single monotonic-clock read (time.Since), roughly half the
+// cost of a time.Now. Span Start values are processBaseUnixNano plus
+// the monotonic offset, so they stay mutually consistent even if the
+// wall clock steps while the process runs.
+var (
+	processBase         = time.Now()
+	processBaseUnixNano = processBase.UnixNano()
+)
+
+// monoNow returns nanoseconds since processBase (always > 0, since
+// processBase is captured at package init).
+func monoNow() int64 { return int64(time.Since(processBase)) }
+
+// NewSpan returns a reset pool-owned span whose Events and AttemptNs
+// slices are anchored in its inline buffers. Callers hand the span to
+// Observer.RecordSpan, which recycles it after the keep decision; a
+// span not recorded must be Released explicitly.
+//
+// The reset clears every field EXCEPT the inline buffers: their stale
+// contents are unreachable, because Events and AttemptNs are re-anchored
+// at length zero and snapshot copies only the written prefix. A field
+// added to Span must be reset here — TestNewSpanResetsEveryField
+// enforces that by reflection.
+func NewSpan() *Span {
+	sp := spanPool.Get().(*Span)
+	sp.TraceID, sp.SpanID, sp.ParentSpanID = "", "", ""
+	sp.Kind, sp.Service = "", ""
+	sp.Start, sp.MsgID, sp.User = 0, 0, 0
+	sp.StageNs = [NumStages]int64{}
+	sp.TotalNs, sp.QueueNs = 0, 0
+	sp.Outcome, sp.Reason, sp.KeepReason = "", "", ""
+	sp.Generalized, sp.Unlinked, sp.AtRisk = false, false, false
+	sp.beganNs, sp.markNs = 0, 0
+	sp.tc = TraceContext{}
+	sp.parentID = [8]byte{}
+	sp.pooled = true
+	sp.Events = sp.eventBuf[:0]
+	sp.AttemptNs = sp.attemptBuf[:0]
+	return sp
+}
+
+// Release returns a pooled span to the pool. It is a no-op for nil and
+// for spans not minted by NewSpan, so callers can release
+// unconditionally. The caller must not touch the span afterwards.
+func (sp *Span) Release() {
+	if sp == nil || !sp.pooled {
+		return
+	}
+	spanPool.Put(sp)
+}
+
+// SetIdentity stores the span's own trace context and its parent's span
+// id in binary form. The hex string fields stay empty until
+// MaterializeIDs renders them — at keep-decision time, or never, for
+// the discarded majority.
+func (sp *Span) SetIdentity(tc, parent TraceContext) {
+	sp.tc = tc
+	sp.parentID = parent.SpanID
+}
+
+// MaterializeIDs renders a binary identity (SetIdentity) into the
+// TraceID/SpanID/ParentSpanID string fields. Spans whose strings were
+// set directly, or that carry no identity at all, are left alone.
+// RecordTail calls it for every retained span; only custom SpanRecorder
+// implementations that bypass the tracer need to call it themselves.
+func (sp *Span) MaterializeIDs() {
+	if !sp.tc.Valid() || sp.TraceID != "" {
+		return
+	}
+	sp.TraceID = sp.tc.TraceIDString()
+	sp.SpanID = sp.tc.SpanIDString()
+	if sp.parentID != ([8]byte{}) {
+		sp.ParentSpanID = hex.EncodeToString(sp.parentID[:])
+	}
+}
+
+// snapshot returns a self-contained copy safe to outlive the (possibly
+// pooled) receiver: the Events and AttemptNs slices are re-cloned onto
+// the heap so the copy never aliases the receiver's inline buffers.
+func (sp *Span) snapshot() Span {
+	snap := *sp
+	snap.pooled = false
+	snap.Events = nil
+	snap.AttemptNs = nil
+	if len(sp.Events) > 0 {
+		snap.Events = append([]SpanEvent(nil), sp.Events...)
+	}
+	if len(sp.AttemptNs) > 0 {
+		snap.AttemptNs = append([]int64(nil), sp.AttemptNs...)
+	}
+	return snap
 }
 
 // Begin stamps the span's start; subsequent Mark calls attribute
-// elapsed time to stages.
+// elapsed time to stages. Begin and every later lap point (Mark, Sync,
+// Event, finish) cost one monotonic-clock read each against the shared
+// processBase — no per-span wall-clock read at all.
 func (sp *Span) Begin() {
-	now := time.Now()
-	sp.Start = now.UnixNano()
-	sp.began = now
-	sp.mark = now
+	sp.beganNs = monoNow()
+	sp.Start = processBaseUnixNano + sp.beganNs
+	sp.markNs = 0
 }
 
 // Mark attributes the time since the previous Mark (or Begin) to the
-// given stage.
+// given stage. A no-op before Begin.
 func (sp *Span) Mark(s Stage) {
-	now := time.Now()
-	sp.StageNs[s] += now.Sub(sp.mark).Nanoseconds()
-	sp.mark = now
+	if sp.beganNs == 0 {
+		return
+	}
+	now := monoNow() - sp.beganNs
+	sp.StageNs[s] += now - sp.markNs
+	sp.markNs = now
 }
 
 // AddStage attributes externally measured nanoseconds to a stage (used
@@ -183,14 +315,20 @@ func (sp *Span) AddStage(s Stage, ns int64) {
 }
 
 // Sync re-arms the lap timer without attributing the elapsed time to
-// any stage — for skipping bookkeeping code between stages.
-func (sp *Span) Sync() { sp.mark = time.Now() }
+// any stage — for skipping bookkeeping code between stages. A no-op
+// before Begin.
+func (sp *Span) Sync() {
+	if sp.beganNs == 0 {
+		return
+	}
+	sp.markNs = monoNow() - sp.beganNs
+}
 
 // Event appends a named annotation at the span's current elapsed time.
 func (sp *Span) Event(name string) {
 	var at int64
-	if !sp.began.IsZero() {
-		at = time.Since(sp.began).Nanoseconds()
+	if sp.beganNs != 0 {
+		at = monoNow() - sp.beganNs
 	}
 	sp.Events = append(sp.Events, SpanEvent{Name: name, AtNs: at})
 }
@@ -204,8 +342,8 @@ func (sp *Span) AddEvent(name string, atNs int64) {
 
 // finish stamps the total duration.
 func (sp *Span) finish() {
-	if !sp.began.IsZero() {
-		sp.TotalNs = time.Since(sp.began).Nanoseconds()
+	if sp.beganNs != 0 {
+		sp.TotalNs = monoNow() - sp.beganNs
 	}
 }
 
@@ -347,8 +485,11 @@ func (t *Tracer) tailKeep(sp *Span) string {
 // RecordTail finishes the span and runs the keep decision: head-sampled
 // spans are always retained; the rest are retained only when the tail
 // sampler finds them interesting (degraded, denied, dropped,
-// breaker-affected, or slow). It reports whether the span entered the
-// ring.
+// breaker-affected, or slow). Retained spans get their trace identity
+// rendered (MaterializeIDs) and enter the ring as a deep-copied
+// snapshot, so the ring never aliases a pooled span's memory; the
+// discarded majority pays neither. It reports whether the span entered
+// the ring.
 func (t *Tracer) RecordTail(sp *Span, head bool) bool {
 	sp.finish()
 	reason := KeepHead
@@ -358,10 +499,12 @@ func (t *Tracer) RecordTail(sp *Span, head bool) bool {
 		}
 	}
 	sp.KeepReason = reason
+	sp.MaterializeIDs()
 	t.kept.Inc(reason)
 	t.sampled.Add(1)
+	snap := sp.snapshot()
 	t.mu.Lock()
-	t.ring[t.next] = *sp
+	t.ring[t.next] = snap
 	t.next++
 	if t.next == len(t.ring) {
 		t.next = 0

@@ -61,10 +61,20 @@ func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.Tra
 func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
 
 // Traceparent renders the context as a version-00 W3C traceparent
-// header value: 00-<trace-id>-<span-id>-<flags>.
+// header value: 00-<trace-id>-<span-id>-<flags>. The header is built in
+// a stack buffer, so rendering costs exactly one allocation (the
+// returned string).
 func (tc TraceContext) Traceparent() string {
-	return fmt.Sprintf("00-%s-%s-%02x",
-		tc.TraceIDString(), tc.SpanIDString(), tc.Flags)
+	const hexdigits = "0123456789abcdef"
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], tc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], tc.SpanID[:])
+	b[52] = '-'
+	b[53] = hexdigits[tc.Flags>>4]
+	b[54] = hexdigits[tc.Flags&0x0f]
+	return string(b[:])
 }
 
 // Child returns a context in the same trace with a fresh span id and

@@ -18,6 +18,10 @@ type spanSink struct {
 func (s *spanSink) RecordSpan(sp *obs.Span, head bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Delivery spans arrive with binary-only identity; the real recorder
+	// (the tracer) renders the hex ids at keep time, so a test sink does
+	// it here.
+	sp.MaterializeIDs()
 	s.spans = append(s.spans, *sp)
 	s.heads = append(s.heads, head)
 	return true

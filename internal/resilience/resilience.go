@@ -303,17 +303,16 @@ func (o *Outbox) attempt(p pending) {
 
 	var dsp *obs.Span
 	if sink := o.sink.Load(); sink != nil && p.tc.Valid() {
-		child := p.tc.Child()
-		dsp = &obs.Span{
-			TraceID:      child.TraceIDString(),
-			SpanID:       child.SpanIDString(),
-			ParentSpanID: p.tc.SpanIDString(),
-			Kind:         obs.SpanKindDelivery,
-			MsgID:        int64(p.req.ID),
-			Service:      p.req.Service,
-			Start:        p.enq.UnixNano(),
-			QueueNs:      clock.Now().Sub(p.enq).Nanoseconds(),
-		}
+		// The span is pooled and carries its identity in binary form;
+		// the recorder renders hex ids only if the span is kept, and
+		// recycles the span either way.
+		dsp = obs.NewSpan()
+		dsp.SetIdentity(p.tc.Child(), p.tc)
+		dsp.Kind = obs.SpanKindDelivery
+		dsp.MsgID = int64(p.req.ID)
+		dsp.Service = p.req.Service
+		dsp.Start = p.enq.UnixNano()
+		dsp.QueueNs = clock.Now().Sub(p.enq).Nanoseconds()
 		defer func() {
 			// Start/TotalNs are stamped here on the outbox clock; the
 			// recorder's finish() leaves them alone (began is zero).

@@ -1,0 +1,45 @@
+// Allocation-budget guard for the request hot path under always-on
+// tracing: the production observability configuration (1/1000 head
+// sampling with the slow-request tail rule armed) must not add a single
+// allocation over the tracing-off pipeline. The CI allocation-budget
+// step runs this test without the race detector, where the counts are
+// exact.
+
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"histanon/internal/phl"
+)
+
+// tailTracingAllocBudget is the per-request allocation ceiling with
+// tail tracing on. The untraced pipeline itself allocates ~10 per
+// request (history append, witness sets, delivery fan-out); the span
+// collect-and-discard cycle must stay inside the slack.
+const tailTracingAllocBudget = 12
+
+func TestTailTracingAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	server := NewThroughputServer(ThroughputClients)
+	server.Obs.Tracer.SetSampleRate(0.001)
+	server.Obs.Tracer.SetTailSlow(time.Millisecond)
+
+	// Warm the span/timings pools, the per-user history slabs and the
+	// matcher state before counting.
+	i := 0
+	for ; i < 5000; i++ {
+		ThroughputRequest(server, phl.UserID(0), i)
+	}
+	allocs := testing.AllocsPerRun(3000, func() {
+		ThroughputRequest(server, phl.UserID(0), i)
+		i++
+	})
+	if allocs > tailTracingAllocBudget {
+		t.Fatalf("request with tail tracing allocates %.1f/op, budget %d",
+			allocs, tailTracingAllocBudget)
+	}
+}

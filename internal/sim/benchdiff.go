@@ -24,6 +24,7 @@ type benchDiffRow struct {
 	reqs   string // req/s
 	ns     string // ns/op
 	allocs string // allocs/op
+	bytes  string // B/op; "-" for shapes or records that predate it
 	rel    string // the record's own relative column
 }
 
@@ -61,6 +62,7 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			reqs:   fmt.Sprintf("%.0f", tp.OpsPerSec),
 			ns:     fmt.Sprintf("%.0f", tp.NsPerOp),
 			allocs: fmt.Sprintf("%d", tp.AllocsPerOp),
+			bytes:  "-",
 			rel:    fmt.Sprintf("%.3fx", tp.Speedup),
 		})
 	}
@@ -71,16 +73,22 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			reqs:   "-",
 			ns:     fmt.Sprintf("%.0f", hp.NsPerOp),
 			allocs: fmt.Sprintf("%d", hp.AllocsPerOp),
+			bytes:  "-",
 			rel:    "-",
 		})
 	}
 	for _, r := range probe.Rows {
+		bytes := "-"
+		if r.BytesPerOp > 0 {
+			bytes = fmt.Sprintf("%d", r.BytesPerOp)
+		}
 		out = append(out, benchDiffRow{
 			record: name,
 			config: r.Mode,
 			reqs:   fmt.Sprintf("%.0f", r.OpsPerSec),
 			ns:     fmt.Sprintf("%.0f", r.NsPerOp),
 			allocs: fmt.Sprintf("%d", r.AllocsPerOp),
+			bytes:  bytes,
 			rel:    fmt.Sprintf("%.3fx", r.VsOff),
 		})
 	}
@@ -97,9 +105,11 @@ func WriteBenchDiff(paths []string, w io.Writer) error {
 	t := &Table{
 		ID:      "BENCH",
 		Title:   "performance trajectory across checked-in records",
-		Columns: []string{"record", "config", "req/s", "ns/op", "allocs/op", "relative"},
+		Columns: []string{"record", "config", "req/s", "ns/op", "allocs/op", "B/op", "relative"},
 		Notes: `"relative" is each record's own baseline column: ` +
-			`speedup_vs_1 for throughput records, vs_off for overhead records.`,
+			`speedup_vs_1 for throughput records, vs_off for overhead records. ` +
+			`"B/op" is heap bytes per request; "-" marks shapes or records ` +
+			`that predate the measurement.`,
 	}
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
@@ -111,7 +121,7 @@ func WriteBenchDiff(paths []string, w io.Writer) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		for _, r := range rows {
-			t.AddRow(r.record, r.config, r.reqs, r.ns, r.allocs, r.rel)
+			t.AddRow(r.record, r.config, r.reqs, r.ns, r.allocs, r.bytes, r.rel)
 		}
 	}
 	return t.Render(w)

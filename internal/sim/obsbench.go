@@ -25,6 +25,9 @@ type ObsBenchRow struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per request (omitted by records
+	// predating the allocation-free span collection work).
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
 	// VsOff is this row's throughput relative to the sampling-off row.
 	VsOff float64 `json:"vs_off"`
 }
@@ -100,6 +103,7 @@ func RunObsBench() ObsBenchReport {
 				best.OpsPerSec = ops
 				best.NsPerOp = nsPerOp
 				best.AllocsPerOp = r.AllocsPerOp()
+				best.BytesPerOp = r.AllocedBytesPerOp()
 			}
 		}
 		rep.Rows = append(rep.Rows, best)

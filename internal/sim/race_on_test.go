@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget guard skips under it, since instrumentation skews
+// testing.AllocsPerRun.
+const raceEnabled = true

@@ -255,14 +255,31 @@ type Decision struct {
 	// been matched under the current pseudonym: the quasi-identifier has
 	// been released to the SP.
 	QIDExposed bool
-	// TraceID is the request's W3C trace id (lowercase hex) when the
-	// request was traced — the key for /v1/spans?trace= and the audit
-	// log's trace_id field. Empty for untraced requests.
-	TraceID string
-	// Traceparent is the W3C traceparent header value identifying the
-	// request span, for callers that propagate the trace downstream.
-	// Empty for untraced requests.
-	Traceparent string
+	// Trace is the request's W3C trace context when the request was
+	// traced (the zero value for untraced requests). The TraceID and
+	// Traceparent methods render the hex forms on demand, so decisions
+	// whose trace identity is never read cost no allocations.
+	Trace obs.TraceContext
+}
+
+// TraceID returns the request's W3C trace id (lowercase hex) — the key
+// for /v1/spans?trace= and the audit log's trace_id field — or "" for
+// untraced requests. Rendered on demand from the binary Trace context.
+func (d *Decision) TraceID() string {
+	if !d.Trace.Valid() {
+		return ""
+	}
+	return d.Trace.TraceIDString()
+}
+
+// Traceparent returns the W3C traceparent header value identifying the
+// request span, for callers that propagate the trace downstream, or ""
+// for untraced requests.
+func (d *Decision) Traceparent() string {
+	if !d.Trace.Valid() {
+		return ""
+	}
+	return d.Trace.Traceparent()
 }
 
 // userState is the per-user bookkeeping. Its mutex serializes the
@@ -618,6 +635,12 @@ func (s *Server) Request(u phl.UserID, p geo.STPoint, service string, data map[s
 	return s.RequestTraced(u, p, service, data, obs.TraceContext{})
 }
 
+// timingsPool recycles the per-request Algorithm 1 timing arenas, so a
+// traced request pays no allocation for stage timing. An arena is
+// acquired only when a span is collected and returned when the request
+// finishes.
+var timingsPool = sync.Pool{New: func() any { return new(generalize.Timings) }}
+
 // RequestTraced is Request under an upstream trace context (parsed from
 // a traceparent header by internal/httpapi). A valid parent puts this
 // request's span in the caller's trace — and, when the parent is
@@ -628,7 +651,7 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 	// timing: one atomic load when tracing is off and no parent forces
 	// it. collect means the request gathers a span (so the tail sampler
 	// has something to keep); head means unconditional retention.
-	var sp obs.Span
+	var sp *obs.Span
 	var tc obs.TraceContext
 	var collect, head bool
 	if parent.Valid() {
@@ -642,21 +665,25 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 			tc = obs.MintTraceContext(head)
 		}
 	}
-	var tid string // guarded: the zero context must not render as zeros
-	if tc.Valid() {
-		tid = tc.TraceIDString()
-	}
 	if collect {
-		sp.TraceID = tid
-		sp.SpanID = tc.SpanIDString()
-		if parent.Valid() {
-			sp.ParentSpanID = parent.SpanIDString()
-		}
+		// The span comes from the pool and carries its identity in
+		// binary form; hex ids are rendered only if the tail sampler
+		// keeps it. RecordSpan (via finishRequest) recycles it.
+		sp = obs.NewSpan()
+		sp.SetIdentity(tc, parent)
 		sp.Kind = obs.SpanKindRequest
 		sp.User = int64(u)
 		sp.Service = service
 		sp.Begin()
 	}
+	// Two collection tiers: every collected span gets identity, start,
+	// outcome, events and total duration — enough for the tail sampler
+	// to rescue it and for slow/degraded spans to be diagnosable. Only
+	// head-retained spans (the every-Nth detail tier) additionally pay
+	// for per-stage lap timestamps and feed the stage latency
+	// histograms, so the collect-and-discard majority costs two clock
+	// reads (Begin and finish), not ten.
+	detail := collect && head
 
 	// The request is also a location update. Store and index carry their
 	// own synchronization, so ingestion happens outside any session lock.
@@ -678,7 +705,7 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 		if st.plan.Suppresses(p.P, p.T) {
 			s.Counters.Inc("suppressed")
 			dec := Decision{Suppressed: true}
-			s.finishRequest(collect, head, &sp, tc, u, p, service, &dec,
+			s.finishRequest(collect, head, sp, tc, u, p, service, &dec,
 				0, 0, 0, generalize.Unlimited, geo.STBox{}, "ondemand")
 			return dec
 		}
@@ -705,7 +732,7 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 	// matched pattern's session advances and the forwarded context is
 	// the union of their boxes. The union contains each session's box,
 	// so every session's witnesses remain LT-consistent with it.
-	if collect {
+	if detail {
 		sp.Sync()
 	}
 	var matched []int
@@ -722,15 +749,22 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 			dec.QIDExposed = true
 		}
 	}
-	if collect {
+	if detail {
 		sp.Mark(obs.StageMatch)
 	}
 
 	// tm collects Algorithm 1's per-phase time across all matched
-	// patterns' sessions; nil (no timing) unless this span is collected.
+	// patterns' sessions; nil (no timing) unless this span is in the
+	// detail tier. The arena is pooled: its laps are folded into the
+	// span right after the Generalize loop, so recycling at return is
+	// safe even though sess.Trace still points at it — every Generalize
+	// call is preceded by a fresh sess.Trace assignment, so the stale
+	// pointer is never dereferenced.
 	var tm *generalize.Timings
-	if collect {
-		tm = new(generalize.Timings)
+	if detail {
+		tm = timingsPool.Get().(*generalize.Timings)
+		*tm = generalize.Timings{}
+		defer timingsPool.Put(tm)
 	}
 	achievedK := 0 // witnesses+1, minimum over matched patterns
 	tol := generalize.Unlimited
@@ -770,7 +804,7 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 				Time: ctx.Time.ShrinkToward(p.T, tolMaxD(tol, ctx)),
 			}
 		}
-		if collect {
+		if detail {
 			sp.AddStage(obs.StageKNN, tm.KNNNanos)
 			sp.AddStage(obs.StageBox, tm.BoxNanos)
 			sp.AddStage(obs.StageTolerance, tm.ToleranceNanos)
@@ -779,11 +813,11 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 		if !dec.HKAnonymity {
 			s.Counters.Inc("hk_failures")
 			// Step 2 of §6.1: try to unlink future requests.
-			if collect {
+			if detail {
 				sp.Sync()
 			}
-			zone = s.unlink(u, st, pol, p, &dec, tid)
-			if collect {
+			zone = s.unlink(u, st, pol, p, &dec, tc)
+			if detail {
 				sp.Mark(obs.StageUnlink)
 			}
 		}
@@ -794,7 +828,7 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 		if pol.SuppressAtRisk {
 			s.Counters.Inc("suppressed")
 			dec.Suppressed = true
-			s.finishRequest(collect, head, &sp, tc, u, p, service, &dec,
+			s.finishRequest(collect, head, sp, tc, u, p, service, &dec,
 				id, pol.K, achievedK, tol, ctx, zone)
 			return dec
 		}
@@ -810,7 +844,7 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 	s.respMu.Lock()
 	s.routes[id] = u
 	s.respMu.Unlock()
-	if collect {
+	if detail {
 		sp.Sync()
 	}
 	var deliverErr error
@@ -836,16 +870,19 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 		if collect {
 			// The shed event names the admission failure; a
 			// "shed_breaker_open" event also trips the tail sampler's
-			// breaker keep rule.
+			// breaker keep rule. Events belong to the collect tier —
+			// they are exactly what tail-rescued spans are kept for.
 			sp.Event("shed_" + dec.DegradedReason)
+		}
+		if detail {
 			sp.Mark(obs.StageForward)
 		}
 		s.Counters.Inc("suppressed")
 		s.Counters.Inc("degraded")
-		s.finishRequest(collect, head, &sp, tc, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
+		s.finishRequest(collect, head, sp, tc, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
 		return dec
 	}
-	if collect {
+	if detail {
 		sp.Mark(obs.StageForward)
 	}
 	dec.Forwarded = true
@@ -860,7 +897,7 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 		s.Obs.GenAreaM2.Observe(ctx.Area.Area())
 		s.Obs.GenIntervalS.Observe(float64(ctx.Time.Duration()))
 	}
-	s.finishRequest(collect, head, &sp, tc, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
+	s.finishRequest(collect, head, sp, tc, u, p, service, &dec, id, pol.K, achievedK, tol, ctx, zone)
 	return dec
 }
 
@@ -882,16 +919,17 @@ func (s *Server) finishRequest(collect, head bool, sp *obs.Span, tc obs.TraceCon
 	if dec.Degraded {
 		outcome = obs.OutcomeDegraded
 	}
-	if tc.Valid() {
-		dec.TraceID = tc.TraceIDString()
-		dec.Traceparent = tc.Traceparent()
-	}
+	// The binary context is stored as-is; Decision.TraceID/Traceparent
+	// render hex on demand, so callers that never look pay nothing.
+	dec.Trace = tc
 	if collect {
 		sp.MsgID = int64(id)
 		sp.Generalized = dec.Generalized
 		sp.Unlinked = dec.Unlinked
 		sp.AtRisk = dec.AtRisk
 		sp.Outcome = outcome
+		// RecordSpan recycles the pooled span; sp must not be touched
+		// after this call.
 		s.Obs.RecordSpan(sp, head)
 	}
 	if !dec.Generalized && !dec.Suppressed && !dec.Unlinked && !dec.AtRisk {
@@ -904,7 +942,7 @@ func (s *Server) finishRequest(collect, head bool, sp *obs.Span, tc obs.TraceCon
 	e := obs.Event{
 		T:           p.T,
 		Kind:        obs.KindRequest,
-		TraceID:     dec.TraceID,
+		TraceID:     dec.TraceID(),
 		User:        int64(u),
 		MsgID:       int64(id),
 		Service:     service,
@@ -957,10 +995,10 @@ func (s *Server) decayFor(p Policy) generalize.DecaySchedule {
 // a static mix zone the user recently crossed, or inside a freshly
 // planned on-demand zone — and reset all partially matched patterns. On
 // failure the user is flagged at risk. It returns the audit label of
-// the zone that enabled the rotation ("" when none did); tid is the
-// triggering request's trace id for the rotation audit record. Callers
-// hold st.mu.
-func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, dec *Decision, tid string) string {
+// the zone that enabled the rotation ("" when none did); tc is the
+// triggering request's trace context for the rotation audit record.
+// Callers hold st.mu.
+func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, dec *Decision, tc obs.TraceContext) string {
 	// A recent static-zone crossing makes rotation safe immediately.
 	lookback := p.T - 4*3600
 	if z, crossed := s.cfg.StaticZones.CrossedZone(s.store.History(u), lookback, p.T); crossed {
@@ -968,7 +1006,7 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 		if zone == "" {
 			zone = "static"
 		}
-		s.rotate(u, st, p.T, zone, tid)
+		s.rotate(u, st, p.T, zone, tc)
 		dec.Unlinked = true
 		return zone
 	}
@@ -987,7 +1025,7 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 		if plan.Fallback {
 			zone = "ondemand_fallback"
 		}
-		s.rotate(u, st, p.T, zone, tid)
+		s.rotate(u, st, p.T, zone, tc)
 		dec.Unlinked = true
 		s.Counters.Inc("ondemand_zones")
 		return zone
@@ -1004,9 +1042,9 @@ func (s *Server) unlink(u phl.UserID, st *userState, pol Policy, p geo.STPoint, 
 }
 
 // rotate changes the pseudonym and resets all exposure evidence tied to
-// the old one; t and zone label the rotation's audit record, tid links
+// the old one; t and zone label the rotation's audit record, tc links
 // it to the triggering request's trace. Callers hold st.mu.
-func (s *Server) rotate(u phl.UserID, st *userState, t int64, zone, tid string) {
+func (s *Server) rotate(u phl.UserID, st *userState, t int64, zone string, tc obs.TraceContext) {
 	old, fresh := s.pseud.Rotate(u)
 	if n := s.getNotifier(); n != nil {
 		n.Unlinked(u, old, fresh)
@@ -1017,6 +1055,12 @@ func (s *Server) rotate(u phl.UserID, st *userState, t int64, zone, tid string) 
 	st.sessions = make(map[int]*generalize.Session)
 	st.atRisk = false
 	s.Counters.Inc("unlinkings")
+	// Rotations are rare, so rendering the trace id here (rather than on
+	// the request hot path) costs nothing per request.
+	var tid string
+	if tc.Valid() {
+		tid = tc.TraceIDString()
+	}
 	s.Obs.Audit(obs.Event{
 		T:            t,
 		Kind:         obs.KindRotation,
