@@ -14,6 +14,10 @@
 //	                    # (sampling off / tail 1/1000 / 100% / 100%+exemplars
 //	                    # / 100%+audit) and write its record; the table goes
 //	                    # to stdout
+//	lbbench -wirebench BENCH_wire.json
+//	                    # run the E-wire binary-protocol benchmark (text vs
+//	                    # binary codec round-trips, JSON vs batched binary
+//	                    # ingest) and write its record
 //	lbbench -benchdiff  # aggregate every checked-in BENCH_*.json into one
 //	                    # performance-trajectory table (scripts/benchdiff.sh)
 package main
@@ -37,6 +41,7 @@ func main() {
 		list      = flag.Bool("list", false, "list experiments and exit")
 		bench11   = flag.String("bench11", "", "run the E11 concurrency benchmark and write its JSON record to this path")
 		obsbench  = flag.String("obsbench", "", "run the E-obs instrumentation-overhead benchmark and write its JSON record to this path")
+		wirebench = flag.String("wirebench", "", "run the E-wire binary-protocol benchmark and write its JSON record to this path")
 		benchdiff = flag.Bool("benchdiff", false, "aggregate BENCH_*.json records into a performance-trajectory table")
 	)
 	flag.Parse()
@@ -107,6 +112,29 @@ func main() {
 		for _, row := range rep.Rows {
 			fmt.Printf("%-24s %8.0f req/s  %8.0f ns/op  %3d allocs/op  (%.3fx vs off)\n",
 				row.Mode, row.OpsPerSec, row.NsPerOp, row.AllocsPerOp, row.VsOff)
+		}
+		return
+	}
+
+	if *wirebench != "" {
+		f, err := os.Create(*wirebench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep := sim.RunWireBench()
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, row := range rep.Rows {
+			fmt.Printf("%-28s %12.0f ops/s  %8.1f ns/op  %3d allocs/op  (%.2fx vs text)\n",
+				row.Mode, row.OpsPerSec, row.NsPerOp, row.AllocsPerOp, row.VsText)
 		}
 		return
 	}

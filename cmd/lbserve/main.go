@@ -73,6 +73,9 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 256, "concurrently served requests before shedding with 503 (0 = unlimited)")
 		maxBody      = flag.Int64("max-body", httpapi.DefaultMaxBodyBytes, "request body byte bound; larger bodies get 413")
 
+		wireBatch     = flag.Bool("wire-batch", true, "serve the binary wire-protocol batch endpoint (POST /v1/batch)")
+		wireBatchBody = flag.Int64("wire-batch-max-body", wire.MaxFrameBytes+16, "body byte bound for /v1/batch (binary batches outgrow JSON bodies; 0 = use -max-body)")
+
 		// Async SP delivery: queue, retries, circuit breaking.
 		spQueue      = flag.Int("sp-queue", 1024, "async SP delivery queue bound; a full queue suppresses new requests (fail closed)")
 		spWorkers    = flag.Int("sp-workers", 4, "concurrent SP delivery workers")
@@ -183,7 +186,12 @@ func main() {
 	handler := httpapi.New(srv)
 	handler.SetMaxInFlight(*maxInFlight)
 	handler.SetMaxBodyBytes(*maxBody)
+	handler.SetWireBatch(*wireBatch)
+	handler.SetWireBatchMaxBodyBytes(*wireBatchBody)
 	handler.SetOutbox(outbox)
+	if !*wireBatch {
+		log.Printf("binary wire batch endpoint disabled")
+	}
 	if snap != nil {
 		// Three missed intervals without a successful snapshot marks the
 		// server degraded on /healthz.

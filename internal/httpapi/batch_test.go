@@ -1,0 +1,289 @@
+package httpapi
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"histanon/internal/tgran"
+	"histanon/internal/wire"
+)
+
+// buildLocationBatch encodes location updates for users [2..n+1] into
+// one batch frame, mirroring the crowd TestEndToEndFlow records over
+// JSON.
+func buildCrowdBatch(t *testing.T, n int) []byte {
+	t.Helper()
+	var frames []byte
+	for u := int64(2); u < int64(2+n); u++ {
+		frames = wire.AppendLocation(frames, wire.LocationUpdate{
+			User: u, X: float64(u * 20), Y: float64(u * 15), T: 7*tgran.Hour + u*30,
+		})
+	}
+	batch, err := wire.AppendBatch(nil, n, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batch
+}
+
+func postBatch(t *testing.T, url string, body []byte, accept string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", WireContentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBatchEndToEnd drives the binary channel through the same flow as
+// the JSON TestEndToEndFlow: crowd via a location batch, then a
+// service-call batch whose decision must match a JSON /v1/request for
+// the same op.
+func TestBatchEndToEnd(t *testing.T) {
+	hts, srv, provider := newTestServer(t)
+	c := NewClient(hts.URL)
+	if err := c.SetPolicyLevel(1, "medium"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLBQID(1, commuteSpec); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postBatch(t, hts.URL, buildCrowdBatch(t, 8), "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("location batch: status %d: %s", resp.StatusCode, body)
+	}
+
+	// A service call through the binary channel...
+	call := wire.ServiceCall{
+		User: 1, X: 100, Y: 100, T: 7*tgran.Hour + 600,
+		Service: "navigation", Data: map[string]string{"dest": "office"},
+	}
+	frames, err := wire.AppendServiceCall(nil, call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := wire.AppendBatch(nil, 1, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postBatch(t, hts.URL, batch, WireContentType)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("call batch: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != WireContentType {
+		t.Fatalf("response content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := wire.NewBatchDecoder(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decisions []wire.DecisionFrame
+	for dec.Next() {
+		if dec.Type() != wire.FrameDecision {
+			t.Fatalf("unexpected response frame %s", dec.Type())
+		}
+		d, err := wire.ParseDecisionPayload(dec.Flags(), dec.Payload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions = append(decisions, d)
+	}
+	if err := dec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("got %d decisions, want 1", len(decisions))
+	}
+	d := decisions[0]
+	if !d.Forwarded || !d.Generalized || d.MatchedLBQID != "commute" || !d.HKAnonymity {
+		t.Fatalf("decision: %+v", d)
+	}
+	if !d.HasContext || d.Context.Area.MaxX <= d.Context.Area.MinX || d.Pseudonym == "" {
+		t.Fatalf("decision context: %+v", d)
+	}
+
+	// The SP saw the same generalized request shape as over JSON.
+	reqs := provider.Requests()
+	if len(reqs) != 1 || reqs[0].Service != "navigation" {
+		t.Fatalf("provider requests: %+v", reqs)
+	}
+	if !reflect.DeepEqual(reqs[0].Context, d.Context) {
+		t.Fatalf("decision context %+v != forwarded context %+v", d.Context, reqs[0].Context)
+	}
+
+	// Wire metrics moved.
+	ws := srv.Wire
+	if ws.Batches.Load() != 2 || ws.Locations.Load() != 8 || ws.ServiceCalls.Load() != 1 {
+		t.Fatalf("wire stats: batches=%d locations=%d calls=%d",
+			ws.Batches.Load(), ws.Locations.Load(), ws.ServiceCalls.Load())
+	}
+	if ws.Bytes.Load() == 0 || ws.BatchFrames.Count() != 2 {
+		t.Fatalf("wire stats: bytes=%d batch_frames_count=%d", ws.Bytes.Load(), ws.BatchFrames.Count())
+	}
+
+	// And they show up in the exposition.
+	mresp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`histanon_wire_batches_total 2`,
+		`histanon_wire_frames_total{type="location"} 8`,
+		`histanon_wire_frames_total{type="service_call"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestBatchJSONResponse checks the non-binary Accept path.
+func TestBatchJSONResponse(t *testing.T) {
+	hts, _, _ := newTestServer(t)
+	resp := postBatch(t, hts.URL, buildCrowdBatch(t, 3), "application/json")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{`"frames":3`, `"locations":3`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("JSON response %s missing %q", body, want)
+		}
+	}
+}
+
+// TestBatchContentNegotiation pins the rejection paths: wrong
+// Content-Type gets 415, garbage and wrong frame types get 400 and
+// count decode errors.
+func TestBatchContentNegotiation(t *testing.T) {
+	hts, srv, _ := newTestServer(t)
+
+	req, _ := http.NewRequest(http.MethodPost, hts.URL+"/v1/batch", strings.NewReader(`{"user":1}`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("JSON body on batch endpoint: status %d, want 415", resp.StatusCode)
+	}
+
+	resp = postBatch(t, hts.URL, []byte("not a batch"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage batch: status %d, want 400", resp.StatusCode)
+	}
+
+	// A request frame is TS→SP traffic; the ingest endpoint rejects it.
+	r := &wire.Request{ID: 1, Pseudonym: "p", Service: "s"}
+	r.Context.Area.MaxX, r.Context.Area.MaxY = 1, 1
+	r.Context.Time.End = 1
+	frames, err := wire.EncodeBinaryRequest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := wire.AppendBatch(nil, 1, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postBatch(t, hts.URL, batch, "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("request frame on ingest: status %d, want 400", resp.StatusCode)
+	}
+
+	if got := srv.Wire.DecodeErrors.Load(); got != 2 {
+		t.Fatalf("decode errors %d, want 2", got)
+	}
+	if got := srv.Wire.Requests.Load(); got != 1 {
+		t.Fatalf("rejected request frames %d, want 1", got)
+	}
+}
+
+// TestBatchSenderEndToEnd exercises the client-side Batcher → HTTP →
+// batch decode → pipeline loop, decisions coming back through the
+// callback.
+func TestBatchSenderEndToEnd(t *testing.T) {
+	hts, _, _ := newTestServer(t)
+	c := NewClient(hts.URL)
+	if err := c.SetPolicyLevel(1, "medium"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLBQID(1, commuteSpec); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var decisions []wire.DecisionFrame
+	s, err := c.NewBatchSender(BatchSenderConfig{
+		MaxDelay: 5 * time.Millisecond,
+		OnDecision: func(d wire.DecisionFrame) {
+			mu.Lock()
+			decisions = append(decisions, d)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int64(2); u <= 9; u++ {
+		if err := s.RecordLocation(u, float64(u*20), float64(u*15), 7*tgran.Hour+u*30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Request(wire.ServiceCall{
+		User: 1, X: 100, Y: 100, T: 7*tgran.Hour + 600,
+		Service: "navigation", Data: map[string]string{"dest": "office"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Added != 9 || st.Flushed != 9 || st.Dropped != 0 || st.Pending != 0 {
+		t.Fatalf("sender stats: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(decisions) != 1 {
+		t.Fatalf("got %d decisions, want 1", len(decisions))
+	}
+	if !decisions[0].Forwarded || decisions[0].MatchedLBQID != "commute" {
+		t.Fatalf("decision: %+v", decisions[0])
+	}
+}

@@ -1,0 +1,123 @@
+package httpapi
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"histanon/internal/wire"
+)
+
+// Client-side batching: a wire.Batcher whose flushes POST binary
+// batches to /v1/batch. A device SDK records locations and issues
+// service calls through the BatchSender; the Batcher's size/deadline
+// policy decides when bytes actually move.
+
+// BatchSender batches binary frames toward one server. Safe for
+// concurrent use. Service-call decisions come back asynchronously
+// through the OnDecision callback (batching trades per-call latency
+// for throughput, so a synchronous decision API would defeat it).
+type BatchSender struct {
+	c *Client
+	b *wire.Batcher
+	// onDecision, when set, receives every decision frame of every
+	// flushed batch, in batch order.
+	onDecision func(wire.DecisionFrame)
+}
+
+// BatchSenderConfig configures NewBatchSender.
+type BatchSenderConfig struct {
+	// MaxBytes and MaxDelay are the wire.Batcher flush policy (zero
+	// values: 64 KiB, 25 ms).
+	MaxBytes int
+	MaxDelay time.Duration
+	// OnDecision, when non-nil, receives each service-call decision as
+	// its batch's response arrives.
+	OnDecision func(wire.DecisionFrame)
+}
+
+// NewBatchSender returns a sender flushing into POST /v1/batch.
+func (c *Client) NewBatchSender(cfg BatchSenderConfig) (*BatchSender, error) {
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 25 * time.Millisecond
+	}
+	s := &BatchSender{c: c, onDecision: cfg.OnDecision}
+	b, err := wire.NewBatcher(wire.BatcherConfig{
+		MaxBytes: cfg.MaxBytes,
+		MaxDelay: cfg.MaxDelay,
+		Flush:    s.ship,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.b = b
+	return s, nil
+}
+
+// RecordLocation queues one position sample.
+func (s *BatchSender) RecordLocation(user int64, x, y float64, t int64) error {
+	frame := wire.AppendLocation(nil, wire.LocationUpdate{User: user, X: x, Y: y, T: t})
+	return s.b.Add(frame)
+}
+
+// Request queues one service call. The decision arrives via OnDecision
+// after the batch carrying the call flushes.
+func (s *BatchSender) Request(call wire.ServiceCall) error {
+	frame, err := wire.AppendServiceCall(nil, call)
+	if err != nil {
+		return err
+	}
+	return s.b.Add(frame)
+}
+
+// Flush ships any pending frames now.
+func (s *BatchSender) Flush() error { return s.b.Flush() }
+
+// Close flushes and shuts the sender down.
+func (s *BatchSender) Close() error { return s.b.Close() }
+
+// Stats exposes the underlying Batcher's conservation-law counters.
+func (s *BatchSender) Stats() wire.BatcherStats { return s.b.Stats() }
+
+// ship is the Batcher's flush callback: one POST per batch.
+func (s *BatchSender) ship(batch []byte, n int) error {
+	req, err := http.NewRequest(http.MethodPost, s.c.BaseURL+"/v1/batch", bytes.NewReader(batch))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", WireContentType)
+	req.Header.Set("Accept", WireContentType)
+	resp, err := s.c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if s.onDecision == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	dec, err := wire.NewBatchDecoder(body)
+	if err != nil {
+		return err
+	}
+	for dec.Next() {
+		if dec.Type() != wire.FrameDecision {
+			return fmt.Errorf("httpapi: unexpected %s frame in batch response", dec.Type())
+		}
+		d, err := wire.ParseDecisionPayload(dec.Flags(), dec.Payload())
+		if err != nil {
+			return err
+		}
+		s.onDecision(d)
+	}
+	return dec.Err()
+}

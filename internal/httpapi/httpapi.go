@@ -7,6 +7,9 @@
 //	POST /v1/location   {"user":1,"x":10,"y":20,"t":25500}
 //	POST /v1/request    {"user":1,"x":10,"y":20,"t":25500,
 //	                     "service":"navigation","data":{"dest":"office"}}
+//	POST /v1/batch      binary wire batch of location/service-call frames
+//	                    (Content-Type application/x-histanon-wire; see
+//	                    internal/wire and DESIGN.md §10)
 //	POST /v1/lbqid      {"user":1,"spec":"lbqid \"commute\" { ... }"}
 //	POST /v1/policy     {"user":1,"level":"high"}  or  {"user":1,"k":7,"theta":0.4}
 //	POST /v1/mine       {"weekdaysOnly":true}            -> mined candidate LBQIDs
@@ -140,6 +143,11 @@ type Handler struct {
 
 	// maxBody bounds request bodies; overflowing requests get 413.
 	maxBody int64
+	// batchMaxBody, when > 0, bounds /v1/batch bodies separately from
+	// maxBody (binary batches are legitimately larger than JSON bodies).
+	batchMaxBody int64
+	// wireBatchOff disables the binary /v1/batch endpoint (404).
+	wireBatchOff bool
 	// maxInFlight bounds concurrently served requests (0 = unlimited);
 	// excess load is shed with 503 + Retry-After. /healthz and /metrics
 	// are exempt so operators can observe an overloaded server.
@@ -164,6 +172,7 @@ func New(srv *ts.Server) *Handler {
 	h := &Handler{srv: srv, mux: http.NewServeMux(), maxBody: DefaultMaxBodyBytes}
 	h.mux.HandleFunc("/v1/location", h.postOnly(h.handleLocation))
 	h.mux.HandleFunc("/v1/request", h.postOnly(h.handleRequest))
+	h.mux.HandleFunc("/v1/batch", h.postOnly(h.handleBatch))
 	h.mux.HandleFunc("/v1/lbqid", h.postOnly(h.handleLBQID))
 	h.mux.HandleFunc("/v1/policy", h.postOnly(h.handlePolicy))
 	h.mux.HandleFunc("/v1/mine", h.postOnly(h.handleMine))
@@ -455,29 +464,7 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 	if tp := dec.Traceparent(); tp != "" {
 		w.Header().Set("traceparent", tp)
 	}
-
-	resp := DecisionResponse{
-		Forwarded:      dec.Forwarded,
-		Generalized:    dec.Generalized,
-		HKAnonymity:    dec.HKAnonymity,
-		MatchedLBQID:   dec.MatchedLBQID,
-		Unlinked:       dec.Unlinked,
-		AtRisk:         dec.AtRisk,
-		Suppressed:     dec.Suppressed,
-		Degraded:       dec.Degraded,
-		DegradedReason: dec.DegradedReason,
-		QIDExposed:     dec.QIDExposed,
-		TraceID:        dec.TraceID(),
-	}
-	if dec.Request != nil {
-		resp.Pseudonym = string(dec.Request.Pseudonym)
-		resp.Context = &ContextJSON{
-			MinX: dec.Request.Context.Area.MinX, MinY: dec.Request.Context.Area.MinY,
-			MaxX: dec.Request.Context.Area.MaxX, MaxY: dec.Request.Context.Area.MaxY,
-			Start: dec.Request.Context.Time.Start, End: dec.Request.Context.Time.End,
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, decisionJSON(dec))
 }
 
 func (h *Handler) handleLBQID(w http.ResponseWriter, r *http.Request) {

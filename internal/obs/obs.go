@@ -62,6 +62,14 @@ const (
 	MetricHTTPInFlight          = "histanon_http_inflight"
 	MetricSnapshotAge           = "histanon_snapshot_age_seconds"
 	MetricSnapshotErrors        = "histanon_snapshot_errors_total"
+
+	// Binary wire-protocol families (internal/wire via internal/httpapi):
+	// the /v1/batch ingest channel.
+	MetricWireFrames       = "histanon_wire_frames_total"
+	MetricWireBatches      = "histanon_wire_batches_total"
+	MetricWireBytes        = "histanon_wire_bytes_total"
+	MetricWireDecodeErrors = "histanon_wire_decode_errors_total"
+	MetricWireBatchFrames  = "histanon_wire_batch_frames"
 )
 
 // MetricNames lists every metric family the server registers, for the
@@ -75,6 +83,8 @@ func MetricNames() []string {
 		MetricResilienceEvents, MetricResilienceQueueDepth,
 		MetricResilienceBreakerOpen, MetricHTTPShed, MetricHTTPInFlight,
 		MetricSnapshotAge, MetricSnapshotErrors,
+		MetricWireFrames, MetricWireBatches, MetricWireBytes,
+		MetricWireDecodeErrors, MetricWireBatchFrames,
 	}
 }
 

@@ -45,14 +45,15 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			NsPerOp     float64 `json:"ns_per_op"`
 			AllocsPerOp int64   `json:"allocs_per_op"`
 		} `json:"hot_paths"`
-		Rows []ObsBenchRow `json:"rows"`
+		Rows     []ObsBenchRow  `json:"rows"`
+		WireRows []WireBenchRow `json:"wire_rows"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, err
 	}
-	if probe.Throughput == nil && probe.Rows == nil {
-		return nil, fmt.Errorf("unrecognized bench record shape (no %q or %q key)",
-			"throughput", "rows")
+	if probe.Throughput == nil && probe.Rows == nil && probe.WireRows == nil {
+		return nil, fmt.Errorf("unrecognized bench record shape (no %q, %q or %q key)",
+			"throughput", "rows", "wire_rows")
 	}
 	var out []benchDiffRow
 	for _, tp := range probe.Throughput {
@@ -90,6 +91,21 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			allocs: fmt.Sprintf("%d", r.AllocsPerOp),
 			bytes:  bytes,
 			rel:    fmt.Sprintf("%.3fx", r.VsOff),
+		})
+	}
+	for _, r := range probe.WireRows {
+		bytes := "-"
+		if r.BytesPerOp > 0 {
+			bytes = fmt.Sprintf("%d", r.BytesPerOp)
+		}
+		out = append(out, benchDiffRow{
+			record: name,
+			config: r.Mode,
+			reqs:   fmt.Sprintf("%.0f", r.OpsPerSec),
+			ns:     fmt.Sprintf("%.0f", r.NsPerOp),
+			allocs: fmt.Sprintf("%d", r.AllocsPerOp),
+			bytes:  bytes,
+			rel:    fmt.Sprintf("%.3fx", r.VsText),
 		})
 	}
 	return out, nil

@@ -1,0 +1,263 @@
+// E-wire: binary wire-protocol benchmark. Two row groups, one record:
+//
+//   - codec rows compare one TS→SP request round-trip (encode + parse)
+//     through the text codec, the binary codec, and the pooled
+//     zero-copy binary parser (which must report 0 allocs/op);
+//   - ingest rows compare position-update ingestion into the full
+//     server pipeline through POST /v1/location JSON bodies against
+//     pre-encoded binary batches on POST /v1/batch, single-goroutine
+//     and at GOMAXPROCS.
+//
+// Each group's first row is its text-protocol baseline; VsText is the
+// row's throughput relative to that baseline. cmd/lbbench -wirebench
+// writes the BENCH_wire.json record benchdiff aggregates.
+
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/httpapi"
+	"histanon/internal/wire"
+)
+
+// WireBenchRow is one wire-protocol measurement.
+type WireBenchRow struct {
+	// Mode names the row ("codec: …" or "ingest: …"); ops are request
+	// round-trips for codec rows and position updates for ingest rows.
+	Mode        string  `json:"mode"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// VsText is throughput relative to the row group's text baseline
+	// (1.0 for the baselines themselves).
+	VsText float64 `json:"vs_text"`
+}
+
+// WireBenchReport is the machine-readable E-wire record. The JSON key
+// is "wire_rows" so benchdiff can tell the shape apart from E-obs.
+type WireBenchReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	BatchSize  int            `json:"batch_size"`
+	Rows       []WireBenchRow `json:"wire_rows"`
+}
+
+// WriteJSON emits the report for BENCH-style records.
+func (r WireBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// wireBenchRounds: best-of-N per row, same rationale as obsBenchRounds.
+const wireBenchRounds = 3
+
+// wireBatchSize is how many location updates one benchmark batch
+// carries — a device flushing a few seconds of 100 Hz samples.
+const wireBatchSize = 512
+
+// wireBenchRequest is the representative TS→SP request the codec rows
+// round-trip: a generalized commute request with a small data map.
+func wireBenchRequest() *wire.Request {
+	r := &wire.Request{ID: 12345, Pseudonym: "p-8842", Service: "navigation",
+		Data: map[string]string{"dest": "office", "lang": "en"}}
+	r.Context.Area = geo.Rect{MinX: 100.25, MinY: -50.5, MaxX: 200.75, MaxY: 50.5}
+	r.Context.Time.Start, r.Context.Time.End = 25200, 25800
+	return r
+}
+
+// wireBenchBatches pre-encodes n distinct location batches of
+// wireBatchSize updates each, spread across users and a day of
+// timestamps.
+func wireBenchBatches(n int) [][]byte {
+	out := make([][]byte, n)
+	t := int64(6 * 3600)
+	for i := range out {
+		var frames []byte
+		for j := 0; j < wireBatchSize; j++ {
+			t++
+			frames = wire.AppendLocation(frames, wire.LocationUpdate{
+				User: int64(2000 + (i*wireBatchSize+j)%4096),
+				X:    float64((i*31+j)%400) + 0.25,
+				Y:    float64((j*17+i)%400) + 0.5,
+				T:    t,
+			})
+		}
+		batch, err := wire.AppendBatch(nil, wireBatchSize, frames)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = batch
+	}
+	return out
+}
+
+// nullResponseWriter discards the handler's response; the benchmark
+// measures ingest, not response rendering I/O.
+type nullResponseWriter struct {
+	h http.Header
+}
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// ingestRequest builds a reusable POST with a resettable body.
+func ingestRequest(path, contentType, accept string) (*http.Request, *bytes.Reader) {
+	body := bytes.NewReader(nil)
+	req, err := http.NewRequest(http.MethodPost, path, io.NopCloser(body))
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	return req, body
+}
+
+// RunWireBench measures every row and derives the VsText columns.
+func RunWireBench() WireBenchReport {
+	rep := WireBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), BatchSize: wireBatchSize}
+
+	type benchCase struct {
+		mode string
+		// opsPerIter scales b.N iterations to reported ops.
+		opsPerIter int
+		run        func(b *testing.B)
+	}
+
+	req := wireBenchRequest()
+	binFrame, err := wire.EncodeBinaryRequest(req)
+	if err != nil {
+		panic(err)
+	}
+
+	cases := []benchCase{
+		{mode: "codec: text encode+parse", opsPerIter: 1, run: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := wire.EncodeRequest(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := wire.ParseRequest(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{mode: "codec: binary encode+parse", opsPerIter: 1, run: func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = wire.AppendBinaryRequest(buf[:0], req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := wire.ParseBinaryRequest(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{mode: "codec: binary pooled parse", opsPerIter: 1, run: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				br := wire.AcquireBinaryRequest()
+				if err := br.ParseFrame(binFrame); err != nil {
+					b.Fatal(err)
+				}
+				br.Release()
+			}
+		}},
+		{mode: "ingest: json /v1/location", opsPerIter: 1, run: func(b *testing.B) {
+			h := httpapi.New(NewThroughputServer(ThroughputClients))
+			hreq, body := ingestRequest("/v1/location", "application/json", "")
+			var w nullResponseWriter
+			jsonBodies := make([][]byte, 64)
+			for i := range jsonBodies {
+				jsonBodies[i] = []byte(fmt.Sprintf(
+					`{"user":%d,"x":%d.25,"y":%d.5,"t":%d}`,
+					2000+i, (i*31)%400, (i*17)%400, 21600+i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				body.Reset(jsonBodies[i%len(jsonBodies)])
+				// The JSON handlers wrap and replace r.Body per request;
+				// restore the raw reader so wrappers don't accumulate.
+				hreq.Body = io.NopCloser(body)
+				h.ServeHTTP(&w, hreq)
+			}
+		}},
+		{mode: "ingest: binary batch x1", opsPerIter: wireBatchSize, run: func(b *testing.B) {
+			h := httpapi.New(NewThroughputServer(ThroughputClients))
+			batches := wireBenchBatches(64)
+			hreq, body := ingestRequest("/v1/batch", httpapi.WireContentType, httpapi.WireContentType)
+			var w nullResponseWriter
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				body.Reset(batches[i%len(batches)])
+				h.ServeHTTP(&w, hreq)
+			}
+		}},
+		{mode: fmt.Sprintf("ingest: binary batch, parallel x%d", runtime.GOMAXPROCS(0)),
+			opsPerIter: wireBatchSize, run: func(b *testing.B) {
+				h := httpapi.New(NewThroughputServer(ThroughputClients))
+				batches := wireBenchBatches(64)
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					hreq, body := ingestRequest("/v1/batch", httpapi.WireContentType, httpapi.WireContentType)
+					var w nullResponseWriter
+					i := 0
+					for pb.Next() {
+						body.Reset(batches[i%len(batches)])
+						h.ServeHTTP(&w, hreq)
+						i++
+					}
+				})
+			}},
+	}
+
+	for _, c := range cases {
+		best := WireBenchRow{Mode: c.mode}
+		for round := 0; round < wireBenchRounds; round++ {
+			r := testing.Benchmark(c.run)
+			nsPerIter := float64(r.T.Nanoseconds()) / float64(r.N)
+			nsPerOp := nsPerIter / float64(c.opsPerIter)
+			if ops := 1e9 / nsPerOp; ops > best.OpsPerSec {
+				best.OpsPerSec = ops
+				best.NsPerOp = nsPerOp
+				best.AllocsPerOp = r.AllocsPerOp() / int64(c.opsPerIter)
+				best.BytesPerOp = r.AllocedBytesPerOp() / int64(c.opsPerIter)
+			}
+		}
+		rep.Rows = append(rep.Rows, best)
+	}
+
+	// VsText: each group is normalized by its own text baseline.
+	codecBase, ingestBase := rep.Rows[0].OpsPerSec, rep.Rows[3].OpsPerSec
+	for i := range rep.Rows {
+		base := codecBase
+		if i >= 3 {
+			base = ingestBase
+		}
+		rep.Rows[i].VsText = rep.Rows[i].OpsPerSec / base
+	}
+	return rep
+}

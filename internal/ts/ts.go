@@ -341,6 +341,13 @@ type Server struct {
 	// OBSERVABILITY.md for the operator-facing reference.
 	Obs *obs.Observer
 
+	// Wire counts binary wire-protocol activity on the batch ingest
+	// channel. The counters live here (not in httpapi) so the wire
+	// families are always registered, whether or not /v1/batch is
+	// mounted — the same zero-placeholder discipline as the resilience
+	// families.
+	Wire *WireStats
+
 	// regOnce/registry lazily build the Prometheus registry.
 	regOnce  sync.Once
 	registry *metrics.Registry
@@ -402,6 +409,7 @@ func New(cfg Config, out Outbox) *Server {
 		AreaM2:    &metrics.Summary{},
 		IntervalS: &metrics.Summary{},
 		Obs:       obs.New(),
+		Wire:      NewWireStats(),
 	}
 	s.fallible, _ = out.(FallibleOutbox)
 	s.traced, _ = out.(TracedOutbox)
@@ -535,6 +543,7 @@ func (s *Server) MetricsRegistry() *metrics.Registry {
 				}
 				return 0
 			})
+		s.Wire.register(r)
 		s.registry = r
 	})
 	return s.registry

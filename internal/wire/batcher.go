@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Batcher coalesces encoded frames into batch frames under a
+// size/deadline flush policy: a batch ships when the pending bytes
+// reach MaxBytes (or the frame count reaches MaxBatchFrames), when
+// MaxDelay has passed since the first pending frame, on an explicit
+// Flush, or on Close. Many producers may Add concurrently; flushes are
+// serialized, so the flush callback never runs reentrantly and batches
+// leave in drain order. Buffers are recycled across flushes, so the
+// steady state allocates nothing beyond what the callback does.
+//
+// Accounting obeys a conservation law the stress tests assert:
+//
+//	Added == Flushed + Dropped + Pending
+//
+// where Added counts every Add attempt, Dropped counts frames rejected
+// at Add (closed batcher, oversized frame) or lost to a failed flush
+// callback, and Pending counts frames currently buffered.
+
+// ErrBatcherClosed is returned by Add after Close.
+var ErrBatcherClosed = errors.New("wire: batcher closed")
+
+// FlushFunc ships one encoded batch frame holding n inner frames. The
+// batch buffer is recycled: it is valid only until the callback
+// returns. A non-nil error drops the batch (the frames are counted
+// Dropped, not retried — retry policy belongs to the caller's
+// transport).
+type FlushFunc func(batch []byte, n int) error
+
+// BatcherConfig configures a Batcher.
+type BatcherConfig struct {
+	// MaxBytes triggers a size flush when the pending encoded frames
+	// reach this many bytes. Defaults to 64 KiB; clamped so a batch can
+	// never exceed MaxFrameBytes.
+	MaxBytes int
+	// MaxDelay bounds how long the first frame of a batch waits before
+	// a deadline flush. Zero disables the deadline (size/manual flushes
+	// only).
+	MaxDelay time.Duration
+	// Flush ships each batch. Required.
+	Flush FlushFunc
+}
+
+// BatcherStats is a snapshot of the batcher's conservation-law
+// counters and per-trigger flush counts.
+type BatcherStats struct {
+	Added   uint64 // frames offered via Add
+	Flushed uint64 // frames shipped in successful batches
+	Dropped uint64 // frames rejected at Add or lost to failed flushes
+	Pending uint64 // frames currently buffered
+	Batches uint64 // successful flush callbacks
+
+	SizeFlushes     uint64 // flushes triggered by MaxBytes/MaxBatchFrames
+	DeadlineFlushes uint64 // flushes triggered by MaxDelay
+	ManualFlushes   uint64 // explicit Flush calls that shipped frames
+	CloseFlushes    uint64 // Close calls that shipped frames
+}
+
+// flush triggers, indexing BatcherStats' per-trigger counters.
+type flushTrigger int
+
+const (
+	flushSize flushTrigger = iota
+	flushDeadline
+	flushManual
+	flushClose
+)
+
+// Batcher implements the client-side batching policy. See the package
+// comment on this file for semantics.
+type Batcher struct {
+	maxBytes int
+	maxFrame int
+	delay    time.Duration
+	cb       FlushFunc
+
+	// flushMu serializes flushes: batch construction and the callback
+	// happen under it (but outside mu), so Add never blocks on the
+	// callback and batches ship in drain order.
+	flushMu sync.Mutex
+	// scratch is the batch-encode buffer, owned by the flush holder.
+	scratch []byte
+
+	mu    sync.Mutex
+	buf   []byte // pending encoded frames
+	spare []byte // recycled buffer for the next swap
+	count int    // frames in buf
+	// inflight counts frames drained from buf whose flush callback has
+	// not yet returned; Stats reports them as Pending so the
+	// conservation law holds at every instant, not just at quiescence.
+	inflight int
+	timer    *time.Timer
+	closed   bool
+	added    uint64
+	flushed  uint64
+	dropped  uint64
+	batches  uint64
+	trigs    [4]uint64
+}
+
+// NewBatcher returns a Batcher shipping batches through cfg.Flush.
+func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
+	if cfg.Flush == nil {
+		return nil, fmt.Errorf("wire: batcher needs a Flush callback")
+	}
+	maxBytes := cfg.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = 64 << 10
+	}
+	// A size trigger fires at maxBytes-1 pending plus one more frame of
+	// up to maxFrame bytes; the clamp keeps the worst case inside the
+	// frame limit (with headroom for the header and count varint).
+	if lim := (MaxFrameBytes - 16) / 2; maxBytes > lim {
+		maxBytes = lim
+	}
+	return &Batcher{
+		maxBytes: maxBytes,
+		maxFrame: maxBytes,
+		delay:    cfg.MaxDelay,
+		cb:       cfg.Flush,
+	}, nil
+}
+
+// Add buffers one encoded frame, flushing when the size policy
+// triggers. The frame bytes are copied; the caller may reuse them.
+func (b *Batcher) Add(frame []byte) error {
+	if len(frame) > b.maxFrame {
+		b.mu.Lock()
+		b.added++
+		b.dropped++
+		b.mu.Unlock()
+		return fmt.Errorf("wire: frame of %d bytes exceeds batcher limit %d", len(frame), b.maxFrame)
+	}
+	b.mu.Lock()
+	b.added++
+	if b.closed {
+		b.dropped++
+		b.mu.Unlock()
+		return ErrBatcherClosed
+	}
+	wasEmpty := b.count == 0
+	b.buf = append(b.buf, frame...)
+	b.count++
+	trigger := len(b.buf) >= b.maxBytes || b.count >= MaxBatchFrames
+	if wasEmpty && b.delay > 0 && !trigger {
+		b.timer = time.AfterFunc(b.delay, b.deadlineFlush)
+	}
+	b.mu.Unlock()
+	if trigger {
+		return b.flush(flushSize)
+	}
+	return nil
+}
+
+// Flush ships the pending frames now, regardless of the size/deadline
+// policy.
+func (b *Batcher) Flush() error { return b.flush(flushManual) }
+
+// Close flushes the pending frames and rejects further Adds. It is
+// idempotent; concurrent Adds that lose the race are counted Dropped.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	return b.flush(flushClose)
+}
+
+// deadlineFlush is the timer target.
+func (b *Batcher) deadlineFlush() { _ = b.flush(flushDeadline) }
+
+// flush drains the pending frames into one batch frame and ships it.
+// No-op when nothing is pending (a deadline firing after a size flush
+// already drained, say).
+func (b *Batcher) flush(trig flushTrigger) error {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+
+	b.mu.Lock()
+	if b.count == 0 {
+		b.mu.Unlock()
+		return nil
+	}
+	frames, n := b.buf, b.count
+	b.buf = b.spare
+	b.spare = nil
+	b.count = 0
+	b.inflight += n
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+
+	batch, err := AppendBatch(b.scratch[:0], n, frames)
+	if err == nil {
+		b.scratch = batch[:0]
+		err = b.cb(batch, n)
+	}
+
+	b.mu.Lock()
+	if b.spare == nil || cap(frames) > cap(b.spare) {
+		b.spare = frames[:0]
+	}
+	b.inflight -= n
+	if err != nil {
+		b.dropped += uint64(n)
+	} else {
+		b.flushed += uint64(n)
+		b.batches++
+		b.trigs[trig]++
+	}
+	b.mu.Unlock()
+	return err
+}
+
+// Stats snapshots the conservation-law counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatcherStats{
+		Added:           b.added,
+		Flushed:         b.flushed,
+		Dropped:         b.dropped,
+		Pending:         uint64(b.count + b.inflight),
+		Batches:         b.batches,
+		SizeFlushes:     b.trigs[flushSize],
+		DeadlineFlushes: b.trigs[flushDeadline],
+		ManualFlushes:   b.trigs[flushManual],
+		CloseFlushes:    b.trigs[flushClose],
+	}
+}

@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectBatches is a FlushFunc that decodes every batch into location
+// updates, for tests that tally delivery.
+type collectBatches struct {
+	mu      sync.Mutex
+	updates []LocationUpdate
+	batches int
+	fail    bool
+}
+
+func (c *collectBatches) flush(batch []byte, n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fail {
+		return errors.New("transport down")
+	}
+	dec, err := NewBatchDecoder(batch)
+	if err != nil {
+		return err
+	}
+	got := 0
+	for dec.Next() {
+		if dec.Type() != FrameLocation {
+			return fmt.Errorf("unexpected frame type %s", dec.Type())
+		}
+		l, err := ParseLocationPayload(dec.Flags(), dec.Payload())
+		if err != nil {
+			return err
+		}
+		c.updates = append(c.updates, l)
+		got++
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if got != n {
+		return fmt.Errorf("batch declared %d frames, decoded %d", n, got)
+	}
+	c.batches++
+	return nil
+}
+
+func TestBatcherSizeFlush(t *testing.T) {
+	sink := &collectBatches{}
+	frame := AppendLocation(nil, LocationUpdate{User: 1, X: 1, Y: 2, T: 3})
+	b, err := NewBatcher(BatcherConfig{MaxBytes: 4 * len(frame), Flush: sink.flush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.Add(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Stats()
+	if st.SizeFlushes != 2 || st.Flushed != 8 || st.Pending != 2 {
+		t.Fatalf("after 10 adds at 4-frame trigger: %+v", st)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = b.Stats()
+	if st.Added != 10 || st.Flushed != 10 || st.Pending != 0 || st.Dropped != 0 || st.CloseFlushes != 1 {
+		t.Fatalf("after close: %+v", st)
+	}
+	if len(sink.updates) != 10 {
+		t.Fatalf("delivered %d updates, want 10", len(sink.updates))
+	}
+	if err := b.Add(frame); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("add after close: %v", err)
+	}
+	if st := b.Stats(); st.Dropped != 1 {
+		t.Fatalf("add after close not counted dropped: %+v", st)
+	}
+}
+
+func TestBatcherDeadlineFlush(t *testing.T) {
+	sink := &collectBatches{}
+	b, err := NewBatcher(BatcherConfig{MaxBytes: 1 << 20, MaxDelay: 10 * time.Millisecond, Flush: sink.flush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Add(AppendLocation(nil, LocationUpdate{User: int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := b.Stats()
+		if st.Flushed == 3 {
+			if st.DeadlineFlushes != 1 {
+				t.Fatalf("want one deadline flush: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deadline flush never fired: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherFlushFailureCountsDropped(t *testing.T) {
+	sink := &collectBatches{fail: true}
+	b, err := NewBatcher(BatcherConfig{Flush: sink.flush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Add(AppendLocation(nil, LocationUpdate{User: int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err == nil {
+		t.Fatal("failed flush returned nil")
+	}
+	st := b.Stats()
+	if st.Dropped != 5 || st.Flushed != 0 || st.Pending != 0 || st.Batches != 0 {
+		t.Fatalf("after failed flush: %+v", st)
+	}
+	// Conservation still holds.
+	if st.Added != st.Flushed+st.Dropped+st.Pending {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+func TestBatcherRejectsOversizedFrame(t *testing.T) {
+	sink := &collectBatches{}
+	b, err := NewBatcher(BatcherConfig{MaxBytes: 64, Flush: sink.flush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(make([]byte, 1000)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	st := b.Stats()
+	if st.Added != 1 || st.Dropped != 1 {
+		t.Fatalf("oversized frame accounting: %+v", st)
+	}
+}
+
+// TestBatcherStress runs concurrent producers against size- and
+// deadline-triggered flushes and asserts the conservation law, no frame
+// loss, no duplication, and per-producer order preservation. Run under
+// -race in CI.
+func TestBatcherStress(t *testing.T) {
+	const producers = 8
+	const perProducer = 2000
+	sink := &collectBatches{}
+	b, err := NewBatcher(BatcherConfig{
+		MaxBytes: 256, // tiny, so size flushes race with everything
+		MaxDelay: 100 * time.Microsecond,
+		Flush:    sink.flush,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var frame []byte
+			for i := 0; i < perProducer; i++ {
+				frame = AppendLocation(frame[:0], LocationUpdate{User: int64(p), X: float64(i), Y: 0, T: int64(i)})
+				if err := b.Add(frame); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+				if i%512 == 0 {
+					_ = b.Flush() // manual flushes race with the policy
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := b.Stats()
+	const total = producers * perProducer
+	if st.Added != total {
+		t.Fatalf("added %d, want %d", st.Added, total)
+	}
+	if st.Added != st.Flushed+st.Dropped+st.Pending {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if st.Dropped != 0 || st.Pending != 0 || st.Flushed != total {
+		t.Fatalf("frames lost: %+v", st)
+	}
+	if st.SizeFlushes == 0 {
+		t.Fatalf("stress never triggered a size flush: %+v", st)
+	}
+
+	// Every frame delivered exactly once, in per-producer order.
+	next := make([]int64, producers)
+	for _, l := range sink.updates {
+		if l.T != next[l.User] {
+			t.Fatalf("producer %d: got seq %d, want %d (reorder or dup/loss)", l.User, l.T, next[l.User])
+		}
+		next[l.User]++
+	}
+	for p, n := range next {
+		if n != perProducer {
+			t.Fatalf("producer %d: delivered %d frames, want %d", p, n, perProducer)
+		}
+	}
+	if int(st.Batches) != sink.batches {
+		t.Fatalf("batch count mismatch: stats %d sink %d", st.Batches, sink.batches)
+	}
+}
+
+// TestBatcherSteadyStateAllocs checks the recycled-buffer claim: after
+// warmup, Add+flush cycles stay allocation-free apart from the timer.
+func TestBatcherSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	sink := func(batch []byte, n int) error { return nil }
+	frame := AppendLocation(nil, LocationUpdate{User: 1, X: 1, Y: 2, T: 3})
+	b, err := NewBatcher(BatcherConfig{MaxBytes: 8 * len(frame), Flush: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the buffer swap.
+	for i := 0; i < 64; i++ {
+		_ = b.Add(frame)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			if err := b.Add(frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state batching allocates %.1f per 16 adds, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-count guards skip under it, since instrumentation skews
+// testing.AllocsPerRun.
+const raceEnabled = false
