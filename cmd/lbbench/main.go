@@ -18,6 +18,11 @@
 //	                    # run the E-wire binary-protocol benchmark (text vs
 //	                    # binary codec round-trips, JSON vs batched binary
 //	                    # ingest) and write its record
+//	lbbench -compbench BENCH_comp.json
+//	                    # run the §E-comp suite: million-agent streaming
+//	                    # workloads over every scenario shape, plus the
+//	                    # four-approach privacy-vs-QoS comparison; writes
+//	                    # the record and prints both tables
 //	lbbench -benchdiff  # aggregate every checked-in BENCH_*.json into one
 //	                    # performance-trajectory table (scripts/benchdiff.sh)
 package main
@@ -42,6 +47,7 @@ func main() {
 		bench11   = flag.String("bench11", "", "run the E11 concurrency benchmark and write its JSON record to this path")
 		obsbench  = flag.String("obsbench", "", "run the E-obs instrumentation-overhead benchmark and write its JSON record to this path")
 		wirebench = flag.String("wirebench", "", "run the E-wire binary-protocol benchmark and write its JSON record to this path")
+		compbench = flag.String("compbench", "", "run the E-comp streaming + approach-comparison benchmark and write its JSON record to this path")
 		benchdiff = flag.Bool("benchdiff", false, "aggregate BENCH_*.json records into a performance-trajectory table")
 	)
 	flag.Parse()
@@ -139,13 +145,38 @@ func main() {
 		return
 	}
 
+	if *compbench != "" {
+		f, err := os.Create(*compbench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep := sim.RunCompBench(sim.DefaultCompBenchOptions())
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err == nil {
+			err = sim.CompStreamTable(rep).Render(os.Stdout)
+		}
+		if err == nil {
+			err = sim.CompFrontierTable(rep).Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var selected []sim.Experiment
 	if *ids == "" {
 		selected = sim.All()
 	} else {
 		for _, id := range strings.Split(*ids, ",") {
 			id = strings.TrimSpace(id)
-			e, ok := sim.ByID(strings.ToUpper(id))
+			e, ok := sim.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "lbbench: unknown experiment %q (try -list)\n", id)
 				os.Exit(2)

@@ -85,4 +85,10 @@
 //     log, Prometheus metrics (see OBSERVABILITY.md)
 //   - internal/mobility, internal/baseline, internal/sim — synthetic
 //     workloads, prior-art cloaking baselines, experiment harness
+//
+// internal/mobility also hosts the streaming workload engine
+// (million-agent scenarios derived on demand from (seed, agent id))
+// and the scenario registry behind the comparative benchmark of
+// EXPERIMENTS.md §E-comp; DESIGN.md §11 is the catalog of scenario
+// shapes and compared approaches.
 package histanon

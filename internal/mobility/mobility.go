@@ -11,6 +11,12 @@
 // recurring spatio-temporal patterns (so LBQIDs match), spatial and
 // temporal locality (so anonymity sets are non-trivial), and tunable
 // user density (the deployment-area analysis of §7).
+//
+// Two generators share one trajectory engine (the walker type):
+// Generate materializes a whole World — agents, events, sorted stream —
+// for the experiment suite, and Stream (stream.go) materializes agents
+// one at a time from (seed, agent id) for million-agent workloads where
+// O(population) resident state is not an option.
 package mobility
 
 import (
@@ -111,7 +117,7 @@ type World struct {
 type Agent struct {
 	User     phl.UserID
 	Commuter bool
-	// Home and Office index into World.Homes / World.Offices (Office is
+	// Home and Office index into the layout's Homes / Offices (Office is
 	// -1 for wanderers).
 	Home, Office int
 	// LeaveHome and LeaveOffice are second-of-day departure times
@@ -153,25 +159,42 @@ func Generate(cfg Config) *World {
 		w.Agents = append(w.Agents, a)
 	}
 
+	wk := &walker{
+		homes:       w.Homes,
+		offices:     w.Offices,
+		pois:        w.POIs,
+		speed:       cfg.Speed,
+		sampleEvery: cfg.SampleEvery,
+		idleEvery:   cfg.IdleEvery,
+		requestProb: cfg.RequestProb,
+		manhattan:   cfg.ManhattanRoutes,
+		sink:        func(ev Event) { w.Events = append(w.Events, ev) },
+	}
 	// Each agent gets an independent generator derived from the master
 	// seed so that per-agent streams are stable.
 	for i := range w.Agents {
 		agentRng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
-		w.simulateAgent(&w.Agents[i], agentRng)
+		wk.commuteDays(&w.Agents[i], agentRng, cfg.Days)
 	}
 	sort.SliceStable(w.Events, func(i, j int) bool { return w.Events[i].Point.T < w.Events[j].Point.T })
 	return w
 }
 
-func makePlaces(rng *rand.Rand, kind string, n int, width, height, size float64) []Place {
+func makePlaces(rng randSrc, kind string, n int, width, height, size float64) []Place {
+	return placesAt(rng, kind, n, 0, geo.Point{}, width, height, size)
+}
+
+// placesAt is makePlaces with a coordinate origin (federation city
+// blocks) and a naming offset (so names stay unique across cities).
+func placesAt(rng randSrc, kind string, n, nameFrom int, origin geo.Point, width, height, size float64) []Place {
 	out := make([]Place, n)
 	for i := range out {
 		c := geo.Point{
-			X: size + rng.Float64()*(width-2*size),
-			Y: size + rng.Float64()*(height-2*size),
+			X: origin.X + size + rng.Float64()*(width-2*size),
+			Y: origin.Y + size + rng.Float64()*(height-2*size),
 		}
 		out[i] = Place{
-			Name:   fmt.Sprintf("%s%d", kind, i),
+			Name:   fmt.Sprintf("%s%d", kind, nameFrom+i),
 			Center: c,
 			Area:   geo.RectAround(c).Expand(size / 2),
 		}
@@ -179,14 +202,31 @@ func makePlaces(rng *rand.Rand, kind string, n int, width, height, size float64)
 	return out
 }
 
-func (w *World) simulateAgent(a *Agent, rng *rand.Rand) {
-	for day := 0; day < w.Config.Days; day++ {
+// walker is the trajectory engine shared by Generate and Stream: the
+// city layout, the movement parameters, and the sink that receives the
+// agent's events. It holds no per-agent state — every day function
+// takes the agent and its rng as arguments — which is what lets the
+// streaming generator run millions of agents through one walker.
+type walker struct {
+	homes, offices, pois []Place
+	speed                float64
+	sampleEvery          int64
+	idleEvery            int64
+	requestProb          float64
+	manhattan            bool
+	sink                 func(Event)
+}
+
+// commuteDays runs the default day structure: weekday commutes for
+// commuter agents, errand days for everyone else and on weekends.
+func (wk *walker) commuteDays(a *Agent, rng randSrc, days int) {
+	for day := 0; day < days; day++ {
 		dayStart := int64(day) * tgran.Day
 		weekday := day%7 < 5
 		if a.Commuter && weekday {
-			w.commuterDay(a, rng, dayStart)
+			wk.commuterDay(a, rng, dayStart)
 		} else {
-			w.wandererDay(a, rng, dayStart)
+			wk.wandererDay(a, rng, dayStart)
 		}
 	}
 }
@@ -196,35 +236,40 @@ func (w *World) simulateAgent(a *Agent, rng *rand.Rand) {
 // afternoon window, idle at home. The four travel endpoints always carry
 // service requests — they are the events an LBQID like Example 2 feeds
 // on.
-func (w *World) commuterDay(a *Agent, rng *rand.Rand, dayStart int64) {
-	home := w.Homes[a.Home]
-	office := w.Offices[a.Office]
+func (wk *walker) commuterDay(a *Agent, rng randSrc, dayStart int64) {
+	home := wk.homes[a.Home]
+	office := wk.offices[a.Office]
 	jitter := func() int64 { return int64(rng.Intn(600)) - 300 }
 
 	leaveHome := dayStart + a.LeaveHome + jitter()
-	w.idle(a, rng, home, dayStart, leaveHome)
-	w.request(a, jitterPos(rng, home.Center, 30), leaveHome, "navigation")
-	arriveOffice := w.travel(a, rng, home.Center, office.Center, leaveHome)
-	w.request(a, jitterPos(rng, office.Center, 30), arriveOffice, "news")
+	wk.idle(a, rng, home, dayStart, leaveHome)
+	wk.request(a, jitterPos(rng, home.Center, 30), leaveHome, "navigation")
+	arriveOffice := wk.travel(a, rng, home.Center, office.Center, leaveHome)
+	wk.request(a, jitterPos(rng, office.Center, 30), arriveOffice, "news")
 
 	leaveOffice := dayStart + a.LeaveOffice + jitter()
 	if leaveOffice <= arriveOffice {
 		leaveOffice = arriveOffice + tgran.Hour
 	}
-	w.idle(a, rng, office, arriveOffice, leaveOffice)
-	w.request(a, jitterPos(rng, office.Center, 30), leaveOffice, "navigation")
-	arriveHome := w.travel(a, rng, office.Center, home.Center, leaveOffice)
-	w.request(a, jitterPos(rng, home.Center, 30), arriveHome, "weather")
-	w.idle(a, rng, home, arriveHome, dayStart+tgran.Day)
+	wk.idle(a, rng, office, arriveOffice, leaveOffice)
+	wk.request(a, jitterPos(rng, office.Center, 30), leaveOffice, "navigation")
+	arriveHome := wk.travel(a, rng, office.Center, home.Center, leaveOffice)
+	wk.request(a, jitterPos(rng, home.Center, 30), arriveHome, "weather")
+	wk.idle(a, rng, home, arriveHome, dayStart+tgran.Day)
 }
 
 // wandererDay strings together one to three errands to random POIs with
 // idle periods at home in between.
-func (w *World) wandererDay(a *Agent, rng *rand.Rand, dayStart int64) {
-	home := w.Homes[a.Home]
+func (wk *walker) wandererDay(a *Agent, rng randSrc, dayStart int64) {
+	wk.errandDay(a, rng, dayStart, 1+rng.Intn(3))
+}
+
+// errandDay is wandererDay with the errand count chosen by the caller
+// (the rural scenario shape runs zero-or-one-errand days).
+func (wk *walker) errandDay(a *Agent, rng randSrc, dayStart int64, errands int) {
+	home := wk.homes[a.Home]
 	now := dayStart
-	errands := 1 + rng.Intn(3)
-	for e := 0; e < errands && len(w.POIs) > 0; e++ {
+	for e := 0; e < errands && len(wk.pois) > 0; e++ {
 		leave := dayStart + (9+int64(e)*4)*tgran.Hour + int64(rng.Intn(int(tgran.Hour)))
 		if leave <= now {
 			leave = now + tgran.Hour
@@ -232,60 +277,60 @@ func (w *World) wandererDay(a *Agent, rng *rand.Rand, dayStart int64) {
 		if leave >= dayStart+tgran.Day-tgran.Hour {
 			break
 		}
-		poi := w.POIs[rng.Intn(len(w.POIs))]
-		w.idle(a, rng, home, now, leave)
-		arrive := w.travel(a, rng, home.Center, poi.Center, leave)
-		w.request(a, jitterPos(rng, poi.Center, 30), arrive, "poi-finder")
+		poi := wk.pois[rng.Intn(len(wk.pois))]
+		wk.idle(a, rng, home, now, leave)
+		arrive := wk.travel(a, rng, home.Center, poi.Center, leave)
+		wk.request(a, jitterPos(rng, poi.Center, 30), arrive, "poi-finder")
 		dwell := arrive + 900 + int64(rng.Intn(1800))
-		w.idle(a, rng, poi, arrive, dwell)
-		now = w.travel(a, rng, poi.Center, home.Center, dwell)
+		wk.idle(a, rng, poi, arrive, dwell)
+		now = wk.travel(a, rng, poi.Center, home.Center, dwell)
 	}
-	w.idle(a, rng, home, now, dayStart+tgran.Day)
+	wk.idle(a, rng, home, now, dayStart+tgran.Day)
 }
 
 // idle emits sparse keep-alive samples while the agent stays at a place.
-func (w *World) idle(a *Agent, rng *rand.Rand, at Place, from, to int64) {
-	for t := from; t < to; t += w.Config.IdleEvery {
-		w.emit(a, rng, jitterPos(rng, at.Center, 20), t, "")
+func (wk *walker) idle(a *Agent, rng randSrc, at Place, from, to int64) {
+	for t := from; t < to; t += wk.idleEvery {
+		wk.emit(a, rng, jitterPos(rng, at.Center, 20), t, "")
 	}
 }
 
 // travel emits samples along the path and returns the arrival time.
 // Paths are straight lines, or two axis-aligned legs with
 // ManhattanRoutes.
-func (w *World) travel(a *Agent, rng *rand.Rand, from, to geo.Point, depart int64) int64 {
-	if w.Config.ManhattanRoutes {
+func (wk *walker) travel(a *Agent, rng randSrc, from, to geo.Point, depart int64) int64 {
+	if wk.manhattan {
 		corner := geo.Point{X: to.X, Y: from.Y}
 		if rng.Intn(2) == 0 {
 			corner = geo.Point{X: from.X, Y: to.Y}
 		}
-		mid := w.travelLeg(a, rng, from, corner, depart)
-		return w.travelLeg(a, rng, corner, to, mid)
+		mid := wk.travelLeg(a, rng, from, corner, depart)
+		return wk.travelLeg(a, rng, corner, to, mid)
 	}
-	return w.travelLeg(a, rng, from, to, depart)
+	return wk.travelLeg(a, rng, from, to, depart)
 }
 
 // travelLeg emits samples along one straight segment.
-func (w *World) travelLeg(a *Agent, rng *rand.Rand, from, to geo.Point, depart int64) int64 {
+func (wk *walker) travelLeg(a *Agent, rng randSrc, from, to geo.Point, depart int64) int64 {
 	dist := from.Dist(to)
-	duration := int64(math.Ceil(dist / w.Config.Speed))
+	duration := int64(math.Ceil(dist / wk.speed))
 	if duration < 1 {
 		duration = 1
 	}
-	for t := int64(0); t < duration; t += w.Config.SampleEvery {
+	for t := int64(0); t < duration; t += wk.sampleEvery {
 		frac := float64(t) / float64(duration)
 		pos := geo.Point{
 			X: from.X + (to.X-from.X)*frac,
 			Y: from.Y + (to.Y-from.Y)*frac,
 		}
-		w.emit(a, rng, jitterPos(rng, pos, 15), depart+t, "")
+		wk.emit(a, rng, jitterPos(rng, pos, 15), depart+t, "")
 	}
 	return depart + duration
 }
 
 // request emits a location update that carries a service request.
-func (w *World) request(a *Agent, pos geo.Point, t int64, service string) {
-	w.Events = append(w.Events, Event{
+func (wk *walker) request(a *Agent, pos geo.Point, t int64, service string) {
+	wk.sink(Event{
 		User:    a.User,
 		Point:   geo.STPoint{P: pos, T: t},
 		Request: true,
@@ -295,19 +340,19 @@ func (w *World) request(a *Agent, pos geo.Point, t int64, service string) {
 
 // emit records a location update, possibly upgrading it to a background
 // request.
-func (w *World) emit(a *Agent, rng *rand.Rand, pos geo.Point, t int64, service string) {
+func (wk *walker) emit(a *Agent, rng randSrc, pos geo.Point, t int64, service string) {
 	ev := Event{User: a.User, Point: geo.STPoint{P: pos, T: t}}
-	if rng.Float64() < w.Config.RequestProb {
+	if rng.Float64() < wk.requestProb {
 		ev.Request = true
 		ev.Service = "localized-news"
 		if service != "" {
 			ev.Service = service
 		}
 	}
-	w.Events = append(w.Events, ev)
+	wk.sink(ev)
 }
 
-func jitterPos(rng *rand.Rand, c geo.Point, r float64) geo.Point {
+func jitterPos(rng randSrc, c geo.Point, r float64) geo.Point {
 	return geo.Point{
 		X: c.X + (rng.Float64()*2-1)*r,
 		Y: c.Y + (rng.Float64()*2-1)*r,

@@ -1,0 +1,52 @@
+// Streaming randomness: the materialized Generate path keeps using
+// math/rand (its output is pinned by checked-in experiment tables), but
+// a *rand.Rand costs ~5 KB of heap per source — fatal at a million
+// agents. The streaming generator instead derives an inline splitmix64
+// state from (seed, agent id), so materializing an agent allocates
+// nothing and any agent's trajectory can be regenerated independently
+// of every other agent.
+
+package mobility
+
+// randSrc is the randomness a trajectory consumes. *math/rand.Rand (the
+// materialized Generate path) and *smRand (the streaming path) both
+// satisfy it.
+type randSrc interface {
+	Float64() float64
+	Intn(n int) int
+}
+
+// smRand is a splitmix64 generator held inline (no allocation, no
+// shared state). Distinct (seed, stream) pairs yield statistically
+// independent sequences, which is what makes agent trajectories a pure
+// function of (seed, agent id).
+type smRand struct{ state uint64 }
+
+// newSMRand derives the generator for one (seed, stream) pair.
+func newSMRand(seed int64, stream uint64) smRand {
+	r := smRand{state: uint64(seed)*0x9e3779b97f4a7c15 ^ (stream+1)*0xbf58476d1ce4e5b9}
+	r.next() // burn one output to decorrelate adjacent streams
+	return r
+}
+
+func (r *smRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *smRand) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n). The modulo bias is < n/2^64 —
+// irrelevant at the simulator's small n.
+func (r *smRand) Intn(n int) int {
+	if n <= 0 {
+		panic("mobility: Intn n <= 0")
+	}
+	return int(r.next() % uint64(n))
+}

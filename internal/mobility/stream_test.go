@@ -1,0 +1,199 @@
+package mobility
+
+import (
+	"reflect"
+	"testing"
+
+	"histanon/internal/geo"
+)
+
+func testStreamConfig(shape Shape, agents int) StreamConfig {
+	sc, ok := ScenarioByName(string(shape))
+	if !ok {
+		// The commute shape has no scenario entry; use rush-hour geometry
+		// without the compressed window.
+		cfg := rushHourConfig(agents, 7)
+		cfg.Shape = shape
+		cfg.DepartureWindow = 0
+		return cfg
+	}
+	return sc.Config(agents, 7)
+}
+
+func collectAgent(s *Stream, id int) []Event {
+	var out []Event
+	s.AgentEvents(id, func(ev Event) { out = append(out, ev) })
+	return out
+}
+
+// TestStreamDeterministic pins the tentpole guarantee: an agent's
+// trajectory is a pure function of (seed, agent id) — identical across
+// runs, across Stream instances, and independent of which other agents
+// were generated before it.
+func TestStreamDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		cfg := sc.Config(200, 11)
+		a := NewStream(cfg)
+		b := NewStream(cfg)
+		// Generate unrelated agents first on b only: id 5 must not care.
+		collectAgent(b, 0)
+		collectAgent(b, 199)
+		for _, id := range []int{0, 5, 42, 199} {
+			ea, eb := collectAgent(a, id), collectAgent(b, id)
+			if len(ea) == 0 {
+				t.Fatalf("%s: agent %d emitted no events", sc.Name, id)
+			}
+			if !reflect.DeepEqual(ea, eb) {
+				t.Errorf("%s: agent %d trajectories differ across streams", sc.Name, id)
+			}
+		}
+	}
+}
+
+func TestStreamAgentMatchesEvents(t *testing.T) {
+	s := NewStream(testStreamConfig(ShapeRushHour, 100))
+	for id := 0; id < 100; id += 7 {
+		got := s.AgentEvents(id, func(Event) {})
+		if want := s.Agent(id); !reflect.DeepEqual(got, want) {
+			t.Fatalf("agent %d: AgentEvents roster %+v != Agent %+v", id, got, want)
+		}
+	}
+}
+
+// TestStreamEventsOrdered: per-agent streams must be monotone in time —
+// the PHL append fast path and the batch ingest channel both depend on
+// it — and every agent must emit at least one request over a day.
+func TestStreamEventsOrdered(t *testing.T) {
+	for _, sc := range Scenarios() {
+		cfg := sc.Config(150, 3)
+		s := NewStream(cfg)
+		requests := 0
+		for id := 0; id < cfg.Agents; id++ {
+			last := int64(-1)
+			n := 0
+			s.AgentEvents(id, func(ev Event) {
+				if ev.Point.T < last {
+					t.Fatalf("%s: agent %d time went backwards (%d < %d)", sc.Name, id, ev.Point.T, last)
+				}
+				last = ev.Point.T
+				n++
+				if ev.Request {
+					requests++
+				}
+			})
+			if n == 0 {
+				t.Fatalf("%s: agent %d emitted nothing", sc.Name, id)
+			}
+		}
+		if requests == 0 {
+			t.Fatalf("%s: no service requests in the whole workload", sc.Name)
+		}
+	}
+}
+
+// TestStadiumConvergence: the stadium shape must actually converge —
+// a majority of agents requesting service at the venue in the event
+// window is what makes it the mix-zone stress case.
+func TestStadiumConvergence(t *testing.T) {
+	cfg := testStreamConfig(ShapeStadium, 200)
+	s := NewStream(cfg)
+	venue, ok := s.Venue()
+	if !ok {
+		t.Fatal("stadium stream has no venue")
+	}
+	zone := venue.Area.Expand(200)
+	window := geo.Interval{Start: cfg.EventStart - 3600, End: cfg.EventStart + cfg.EventDwell + 3600}
+	attendees := 0
+	for id := 0; id < cfg.Agents; id++ {
+		seen := false
+		s.AgentEvents(id, func(ev Event) {
+			if ev.Request && zone.Contains(ev.Point.P) && window.Contains(ev.Point.T) {
+				seen = true
+			}
+		})
+		if seen {
+			attendees++
+		}
+	}
+	if frac := float64(attendees) / float64(cfg.Agents); frac < 0.4 {
+		t.Fatalf("only %.0f%% of agents converge on the venue, want ≥40%%", 100*frac)
+	}
+}
+
+// TestFederationCrossCity: the federation shape must produce cross-city
+// commuters and agents spread over every city block.
+func TestFederationCrossCity(t *testing.T) {
+	cfg := testStreamConfig(ShapeFederation, 400)
+	s := NewStream(cfg)
+	cities := cfg.Cities
+	homeCities := map[int]bool{}
+	crossCity := 0
+	for id := 0; id < cfg.Agents; id++ {
+		a := s.Agent(id)
+		hc := a.Home / cfg.Homes
+		homeCities[hc] = true
+		if a.Commuter && a.Office/cfg.Offices != hc {
+			crossCity++
+		}
+	}
+	if len(homeCities) != cities {
+		t.Fatalf("agents live in %d cities, want %d", len(homeCities), cities)
+	}
+	if crossCity == 0 {
+		t.Fatal("no cross-city commuters in the federation shape")
+	}
+}
+
+// TestStreamLayoutBounded: resident state is the layout only, and the
+// layout scales with places, not population.
+func TestStreamLayoutBounded(t *testing.T) {
+	small := NewStream(testStreamConfig(ShapeRural, 1000))
+	big := NewStream(testStreamConfig(ShapeRural, 100000))
+	if len(big.Homes()) >= 100000/10 {
+		t.Fatalf("layout grows too fast: %d homes for 100k agents", len(big.Homes()))
+	}
+	if len(small.Homes()) == 0 || len(small.POIs()) == 0 {
+		t.Fatal("empty layout")
+	}
+}
+
+func TestStreamPanicsOnBadConfig(t *testing.T) {
+	bad := []StreamConfig{
+		{},
+		{Agents: 10, Days: 1, Homes: 1, Offices: 1}, // zero speed
+		{Agents: 10, Days: 1, Homes: 0, Offices: 1, Speed: 1, SampleEvery: 1, IdleEvery: 1},
+		{Agents: 10, Days: 1, Homes: 1, Offices: 1, Speed: 1, SampleEvery: 1,
+			IdleEvery: 1, Shape: ShapeStadium}, // stadium without event times
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: expected panic", i)
+				}
+			}()
+			NewStream(cfg)
+		}()
+	}
+}
+
+// TestCommuteShapeMirrorsGenerate: the shared walker must give the
+// streaming commute shape the same day structure Generate uses (idle →
+// travel with endpoint requests → idle), visible as four service
+// requests per weekday for a commuter.
+func TestCommuteShapeMirrorsGenerate(t *testing.T) {
+	cfg := testStreamConfig(ShapeCommute, 50)
+	cfg.CommuterFrac = 1
+	cfg.RequestProb = 0
+	cfg.Days = 1 // day 0 is a Monday
+	s := NewStream(cfg)
+	reqs := 0
+	s.AgentEvents(3, func(ev Event) {
+		if ev.Request {
+			reqs++
+		}
+	})
+	if reqs != 4 {
+		t.Fatalf("commuter weekday carried %d requests, want 4", reqs)
+	}
+}

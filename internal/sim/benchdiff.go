@@ -45,15 +45,16 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			NsPerOp     float64 `json:"ns_per_op"`
 			AllocsPerOp int64   `json:"allocs_per_op"`
 		} `json:"hot_paths"`
-		Rows     []ObsBenchRow  `json:"rows"`
-		WireRows []WireBenchRow `json:"wire_rows"`
+		Rows       []ObsBenchRow  `json:"rows"`
+		WireRows   []WireBenchRow `json:"wire_rows"`
+		StreamRows []StreamRow    `json:"stream_rows"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, err
 	}
-	if probe.Throughput == nil && probe.Rows == nil && probe.WireRows == nil {
-		return nil, fmt.Errorf("unrecognized bench record shape (no %q, %q or %q key)",
-			"throughput", "rows", "wire_rows")
+	if probe.Throughput == nil && probe.Rows == nil && probe.WireRows == nil && probe.StreamRows == nil {
+		return nil, fmt.Errorf("unrecognized bench record shape (no %q, %q, %q or %q key)",
+			"throughput", "rows", "wire_rows", "stream_rows")
 	}
 	var out []benchDiffRow
 	for _, tp := range probe.Throughput {
@@ -106,6 +107,21 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			allocs: fmt.Sprintf("%d", r.AllocsPerOp),
 			bytes:  bytes,
 			rel:    fmt.Sprintf("%.3fx", r.VsText),
+		})
+	}
+	// E-comp streaming rows measure whole-workload events/s, not
+	// per-op costs: req/s carries the event rate, the per-op cells
+	// stay "-", and "relative" carries the peak heap (the row's own
+	// bounded-memory claim).
+	for _, r := range probe.StreamRows {
+		out = append(out, benchDiffRow{
+			record: name,
+			config: fmt.Sprintf("%s/%s agents=%d", r.Scenario, r.Mode, r.Agents),
+			reqs:   fmt.Sprintf("%.0f", r.EventsPerSec),
+			ns:     "-",
+			allocs: "-",
+			bytes:  "-",
+			rel:    fmt.Sprintf("%.0fMB peak", r.PeakHeapMB),
 		})
 	}
 	return out, nil
