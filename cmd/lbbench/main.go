@@ -23,6 +23,12 @@
 //	                    # workloads over every scenario shape, plus the
 //	                    # four-approach privacy-vs-QoS comparison; writes
 //	                    # the record and prints both tables
+//	lbbench -storagebench BENCH_storage.json
+//	                    # run the E-storage durability benchmark on a temp
+//	                    # dir: WAL ingestion overhead vs the in-memory
+//	                    # store per fsync policy, crash-recovery time for
+//	                    # the 10⁶-update workload, post-recovery heap, and
+//	                    # cold-read tail latency (-storage-n scales it)
 //	lbbench -benchdiff  # aggregate every checked-in BENCH_*.json into one
 //	                    # performance-trajectory table (scripts/benchdiff.sh)
 package main
@@ -41,14 +47,16 @@ import (
 
 func main() {
 	var (
-		ids       = flag.String("e", "", "comma-separated experiment ids (default: all)")
-		markdown  = flag.Bool("md", false, "render markdown tables")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		bench11   = flag.String("bench11", "", "run the E11 concurrency benchmark and write its JSON record to this path")
-		obsbench  = flag.String("obsbench", "", "run the E-obs instrumentation-overhead benchmark and write its JSON record to this path")
-		wirebench = flag.String("wirebench", "", "run the E-wire binary-protocol benchmark and write its JSON record to this path")
-		compbench = flag.String("compbench", "", "run the E-comp streaming + approach-comparison benchmark and write its JSON record to this path")
-		benchdiff = flag.Bool("benchdiff", false, "aggregate BENCH_*.json records into a performance-trajectory table")
+		ids          = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		markdown     = flag.Bool("md", false, "render markdown tables")
+		list         = flag.Bool("list", false, "list experiments and exit")
+		bench11      = flag.String("bench11", "", "run the E11 concurrency benchmark and write its JSON record to this path")
+		obsbench     = flag.String("obsbench", "", "run the E-obs instrumentation-overhead benchmark and write its JSON record to this path")
+		wirebench    = flag.String("wirebench", "", "run the E-wire binary-protocol benchmark and write its JSON record to this path")
+		compbench    = flag.String("compbench", "", "run the E-comp streaming + approach-comparison benchmark and write its JSON record to this path")
+		storagebench = flag.String("storagebench", "", "run the E-storage durability benchmark and write its JSON record to this path")
+		storageN     = flag.Int("storage-n", 1_000_000, "E-storage workload size in location updates")
+		benchdiff    = flag.Bool("benchdiff", false, "aggregate BENCH_*.json records into a performance-trajectory table")
 	)
 	flag.Parse()
 
@@ -166,6 +174,48 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *storagebench != "" {
+		dir, err := os.MkdirTemp("", "storagebench")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		rep, err := sim.RunStorageBench(dir, *storageN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*storagebench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, row := range rep.StorageRows {
+			switch {
+			case row.RecoveryMs > 0:
+				fmt.Printf("%-12s %9d records  %8.0f ms recovery  %6d replayed  %6.1f MB heap\n",
+					row.Mode, row.Records, row.RecoveryMs, row.Replayed, row.HeapMB)
+			case row.ColdP99Us > 0:
+				fmt.Printf("%-12s %9d queries  %8.0f ns/op  p99 %.0f\u00b5s\n",
+					row.Mode, row.Records, row.NsPerOp, row.ColdP99Us)
+			default:
+				fmt.Printf("%-12s %9d records  %8.0f ops/s  %8.0f ns/op  (%.3fx vs memory, %d fsyncs)\n",
+					row.Mode, row.Records, row.OpsPerSec, row.NsPerOp, row.VsMemory, row.Fsyncs)
+			}
 		}
 		return
 	}

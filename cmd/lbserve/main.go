@@ -45,6 +45,7 @@ import (
 	"histanon/internal/obs"
 	"histanon/internal/policy"
 	"histanon/internal/resilience"
+	"histanon/internal/storage"
 	"histanon/internal/ts"
 	"histanon/internal/wire"
 )
@@ -57,13 +58,18 @@ func main() {
 		policyFile = flag.String("policies", "", "rule-based policy file (see internal/policy)")
 		printFwd   = flag.Bool("print-forwarded", false, "log every request forwarded to the SP side")
 		snapshot   = flag.String("snapshot", "", "PHL snapshot file: loaded at boot, written every -snapshot-interval and on SIGINT/SIGTERM")
-		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "periodic PHL snapshot period (needs -snapshot)")
-		sample     = flag.Float64("trace-sample", 0.01, "fraction of requests to trace into /v1/spans and the stage histograms (0 = off, 1 = all)")
-		traceBuf   = flag.Int("trace-buffer", obs.DefaultRingSize, "span ring-buffer capacity")
-		tailSlow   = flag.Duration("trace-tail-slow", 0, "tail-sampling slow threshold: completed spans at least this slow are retained even when head sampling missed them (0 = off)")
-		exemplars  = flag.Bool("metrics-exemplars", false, "emit OpenMetrics exemplars (trace ids) on /metrics histogram buckets")
-		auditPath  = flag.String("audit", "", "privacy audit log (JSON lines), appended; flushed on SIGINT/SIGTERM")
-		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator networks only)")
+
+		walDir    = flag.String("wal-dir", "", "durable tiered PHL storage directory: write-ahead log + incremental snapshots + cold tier; boot recovers the PHL from it (see DESIGN.md §12)")
+		walFsync  = flag.String("wal-fsync", "batch", "WAL fsync policy: batch (group commit, default), always (fsync per record), none (fsync only on rotation/shutdown)")
+		hotWindow = flag.Duration("hot-window", time.Hour, "how much recent history stays in memory; older samples demote to on-disk runs (needs -wal-dir)")
+		coldCache = flag.Int("cold-cache-entries", 1024, "LRU cache capacity for cold-tier run reads (needs -wal-dir)")
+		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "periodic PHL snapshot period (needs -snapshot)")
+		sample    = flag.Float64("trace-sample", 0.01, "fraction of requests to trace into /v1/spans and the stage histograms (0 = off, 1 = all)")
+		traceBuf  = flag.Int("trace-buffer", obs.DefaultRingSize, "span ring-buffer capacity")
+		tailSlow  = flag.Duration("trace-tail-slow", 0, "tail-sampling slow threshold: completed spans at least this slow are retained even when head sampling missed them (0 = off)")
+		exemplars = flag.Bool("metrics-exemplars", false, "emit OpenMetrics exemplars (trace ids) on /metrics histogram buckets")
+		auditPath = flag.String("audit", "", "privacy audit log (JSON lines), appended; flushed on SIGINT/SIGTERM")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator networks only)")
 
 		// HTTP hardening: slowloris and overload protection.
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
@@ -142,6 +148,33 @@ func main() {
 		},
 		Audit: func(e obs.Event) { audit.Log(e) },
 	})
+	// Durable tiered storage: when -wal-dir is set the PHL lives in a
+	// WAL + snapshot-chain store and survives crashes; the store also
+	// serves as the spatio-temporal index so demotion stays invisible
+	// to Algorithm 1. A WAL failure is fail-stop: the server suppresses
+	// every request until restarted on a healthy disk.
+	var tiered *storage.TieredStore
+	if *walDir != "" {
+		sync, err := storage.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("lbserve: %v", err)
+		}
+		st, info, err := storage.Open(storage.Options{
+			Dir:              *walDir,
+			Sync:             sync,
+			HotWindow:        int64(hotWindow.Seconds()),
+			ColdCacheEntries: *coldCache,
+		})
+		if err != nil {
+			log.Fatalf("lbserve: opening storage %s: %v", *walDir, err)
+		}
+		tiered = st
+		cfg.Store = st
+		log.Printf("recovered %d users / %d samples from %s in %s (%d cold, %d WAL records replayed, torn tail: %v)",
+			st.NumUsers(), st.NumSamples(), *walDir, info.Duration.Round(time.Millisecond),
+			info.ColdSamples, info.Replayed, info.TornTail)
+	}
+
 	srv := ts.New(cfg, outbox)
 
 	// Observability knobs: span sampling, ring size, tail sampling,
@@ -197,6 +230,9 @@ func main() {
 		// server degraded on /healthz.
 		handler.SetSnapshotAge(snap.AgeSeconds, 3*snap.Interval().Seconds())
 	}
+	if tiered != nil {
+		handler.SetStorage(tiered)
+	}
 	wto := *writeTimeout
 	if *pprofOn {
 		handler.EnablePprof()
@@ -232,6 +268,13 @@ func main() {
 			}
 		}
 		outbox.Close()
+		if tiered != nil {
+			if err := tiered.Close(); err != nil {
+				log.Printf("lbserve: closing storage: %v", err)
+			} else {
+				log.Printf("storage checkpointed to %s", *walDir)
+			}
+		}
 		if err := audit.Close(); err != nil {
 			log.Printf("lbserve: closing audit log: %v", err)
 		}

@@ -192,7 +192,7 @@ func AnalyzeDeployment(in DeployInput) (DeployReport, error) { return deploy.Ana
 // MineLBQIDs derives distinctive recurring patterns — candidate
 // quasi-identifiers — from a location store (§4's sketched derivation
 // process).
-func MineLBQIDs(store *phl.Store, cfg MineConfig) []MinedCandidate {
+func MineLBQIDs(store phl.Storer, cfg MineConfig) []MinedCandidate {
 	return mine.Mine(store, cfg)
 }
 

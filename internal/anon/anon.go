@@ -13,13 +13,13 @@ import (
 // box. This is the single-request notion of location k-anonymity used by
 // Gruteser–Grunwald (paper ref. [11]) — the set of *potential* senders,
 // the paper's deliberately weaker requirement compared to ref. [9].
-func AnonymitySet(store *phl.Store, box geo.STBox) []phl.UserID {
+func AnonymitySet(store phl.Storer, box geo.STBox) []phl.UserID {
 	return store.UsersIn(box)
 }
 
 // IsKAnonymous reports whether a single generalized context covers at
 // least k potential senders.
-func IsKAnonymous(store *phl.Store, box geo.STBox, k int) bool {
+func IsKAnonymous(store phl.Storer, box geo.STBox, k int) bool {
 	return store.CountUsersIn(box) >= k
 }
 
@@ -27,7 +27,7 @@ func IsKAnonymous(store *phl.Store, box geo.STBox, k int) bool {
 // Locations is LT-consistent with every one of the generalized contexts
 // (paper Def. 7): every user in the set could have issued the whole
 // linked request series.
-func HistoricalAnonymitySet(store *phl.Store, boxes []geo.STBox) []phl.UserID {
+func HistoricalAnonymitySet(store phl.Storer, boxes []geo.STBox) []phl.UserID {
 	return store.LTConsistentUsers(boxes)
 }
 
@@ -37,7 +37,7 @@ func HistoricalAnonymitySet(store *phl.Store, boxes []geo.STBox) []phl.UserID {
 // is not required to be consistent (it trivially should be, since the
 // contexts generalize the issuer's true positions) and is never counted
 // twice.
-func HistoricalLevel(store *phl.Store, issuer phl.UserID, boxes []geo.STBox) int {
+func HistoricalLevel(store phl.Storer, issuer phl.UserID, boxes []geo.STBox) int {
 	level := 1
 	for _, u := range store.LTConsistentUsers(boxes) {
 		if u != issuer {
@@ -50,7 +50,7 @@ func HistoricalLevel(store *phl.Store, issuer phl.UserID, boxes []geo.STBox) int
 // SatisfiesHistoricalK decides Def. 8: the request series of issuer
 // satisfies historical k-anonymity when there exist k−1 personal
 // histories of other users, each LT-consistent with the series.
-func SatisfiesHistoricalK(store *phl.Store, issuer phl.UserID, boxes []geo.STBox, k int) bool {
+func SatisfiesHistoricalK(store phl.Storer, issuer phl.UserID, boxes []geo.STBox, k int) bool {
 	if k <= 1 {
 		return true
 	}
@@ -70,7 +70,7 @@ func SatisfiesHistoricalK(store *phl.Store, issuer phl.UserID, boxes []geo.STBox
 // Witnesses returns up to k−1 users, other than the issuer, whose
 // histories are LT-consistent with the series — the explicit witnesses
 // of Def. 8. ok is false when fewer than k−1 exist.
-func Witnesses(store *phl.Store, issuer phl.UserID, boxes []geo.STBox, k int) ([]phl.UserID, bool) {
+func Witnesses(store phl.Storer, issuer phl.UserID, boxes []geo.STBox, k int) ([]phl.UserID, bool) {
 	if k <= 1 {
 		return nil, true
 	}

@@ -107,7 +107,7 @@ func (g FixedGrid) CloakAll(reqs []Request, _ int) []Cloaked {
 // quadrant during the request's time window).
 type GruteserGrunwald struct {
 	// Store is the location database used to count potential senders.
-	Store *phl.Store
+	Store phl.Storer
 	// City is the quadtree root.
 	City geo.Rect
 	// Window is the half-width (seconds) of the temporal cloak around

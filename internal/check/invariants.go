@@ -55,7 +55,7 @@ func (c PopulationConfig) withDefaults() PopulationConfig {
 // same samples — the two views Algorithm 1 requires to agree.
 type Population struct {
 	Cfg    PopulationConfig
-	Store  *phl.Store
+	Store  phl.Storer
 	Index  stindex.Index
 	Metric geo.STMetric
 	// Rng continues the generator stream past population building, so

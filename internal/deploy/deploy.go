@@ -29,7 +29,7 @@ import (
 // Input is the deployment question.
 type Input struct {
 	// Store holds representative movement data for the area.
-	Store *phl.Store
+	Store phl.Storer
 	// Index must cover the same data (built by BuildIndex when nil).
 	Index stindex.Index
 	// Metric is the Algorithm-1 3D metric.
@@ -108,7 +108,7 @@ type Report struct {
 }
 
 // BuildIndex constructs the default grid index over a store.
-func BuildIndex(store *phl.Store) stindex.Index {
+func BuildIndex(store phl.Storer) stindex.Index {
 	idx := stindex.NewGrid(500, 1800)
 	for _, u := range store.Users() {
 		for _, p := range store.History(u).Points() {

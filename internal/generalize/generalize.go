@@ -166,7 +166,7 @@ type Result struct {
 // trajectory query, the store the per-user closest-point query.
 type Generalizer struct {
 	Index  stindex.Index
-	Store  *phl.Store
+	Store  phl.Storer
 	Metric geo.STMetric
 	// Randomize, when non-nil, pads every produced box by bounded random
 	// amounts to blunt inference attacks (§7); see Randomizer.

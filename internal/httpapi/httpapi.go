@@ -47,6 +47,7 @@ import (
 	"histanon/internal/obs"
 	"histanon/internal/phl"
 	"histanon/internal/resilience"
+	"histanon/internal/storage"
 	"histanon/internal/ts"
 )
 
@@ -163,6 +164,10 @@ type Handler struct {
 	// degraded. Zero-valued when snapshotting is off.
 	snapshotAge        func() float64
 	snapshotStaleAfter float64
+
+	// storage, when set, contributes the durable tiered store's WAL,
+	// tier and recovery state to /healthz.
+	storage *storage.TieredStore
 }
 
 // New returns an http.Handler exposing srv with the default body bound
@@ -217,6 +222,12 @@ func (h *Handler) SetSnapshotAge(age func() float64, staleAfter float64) {
 	h.snapshotAge = age
 	h.snapshotStaleAfter = staleAfter
 }
+
+// SetStorage wires the durable tiered PHL store into /healthz: WAL
+// health (a failed WAL suppresses every request and marks the server
+// degraded), hot/cold tier occupancy, cold-read errors and what the
+// last crash recovery replayed. Configure before serving traffic.
+func (h *Handler) SetStorage(st *storage.TieredStore) { h.storage = st }
 
 // EnablePprof mounts the net/http/pprof profiling handlers under
 // /debug/pprof/. Call it only on operator-facing listeners: profiles
@@ -366,6 +377,32 @@ type HealthResponse struct {
 	// SnapshotAgeSeconds is the age of the last durable PHL snapshot
 	// (-1 = none yet); omitted when snapshotting is off.
 	SnapshotAgeSeconds *float64 `json:"snapshotAgeSeconds,omitempty"`
+	// Storage describes the durable tiered PHL store, when one is wired.
+	Storage *StorageHealth `json:"storage,omitempty"`
+}
+
+// StorageHealth is the durable-storage section of /healthz: the state
+// an operator needs to tell "suppressing because the WAL died" from
+// "serving normally with most of the PHL demoted to disk".
+type StorageHealth struct {
+	// Failed is true once a WAL write or fsync has failed; the store is
+	// fail-stop and every request is suppressed until a restart.
+	Failed bool `json:"failed"`
+	// WALLagRecords counts appended records not yet covered by an fsync.
+	WALLagRecords int64 `json:"walLagRecords"`
+	// WALErrors / ColdReadErrors / SnapshotErrors are cumulative.
+	WALErrors      int64 `json:"walErrors"`
+	ColdReadErrors int64 `json:"coldReadErrors"`
+	SnapshotErrors int64 `json:"snapshotErrors"`
+	// HotSamples / ColdSamples split the PHL between memory and disk;
+	// ChainFiles is the snapshot chain length (compaction bounds it).
+	HotSamples  int `json:"hotSamples"`
+	ColdSamples int `json:"coldSamples"`
+	ChainFiles  int `json:"chainFiles"`
+	// RecoverySeconds / RecoveryReplayed describe the last boot: wall
+	// time to recover and WAL records replayed past the snapshot chain.
+	RecoverySeconds  float64 `json:"recoverySeconds"`
+	RecoveryReplayed int     `json:"recoveryReplayed"`
 }
 
 // OutboxHealth is the delivery-queue section of /healthz.
@@ -412,6 +449,25 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.SnapshotAgeSeconds = &age
 		if h.snapshotStaleAfter > 0 && (age < 0 || age > h.snapshotStaleAfter) {
 			resp.Degraded = append(resp.Degraded, "snapshot_stale")
+		}
+	}
+	if st := h.storage; st != nil {
+		stats := st.Stats()
+		rec := st.Recovery()
+		resp.Storage = &StorageHealth{
+			Failed:           stats.Failed,
+			WALLagRecords:    stats.WALLag,
+			WALErrors:        stats.WALErrors,
+			ColdReadErrors:   stats.ColdErrors,
+			SnapshotErrors:   stats.SnapshotErrors,
+			HotSamples:       stats.HotSamples,
+			ColdSamples:      stats.ColdSamples,
+			ChainFiles:       stats.ChainFiles,
+			RecoverySeconds:  rec.Duration.Seconds(),
+			RecoveryReplayed: rec.Replayed,
+		}
+		if stats.Failed {
+			resp.Degraded = append(resp.Degraded, "storage_wal_failed")
 		}
 	}
 	if len(resp.Degraded) > 0 {

@@ -1,0 +1,124 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+	"histanon/internal/sp"
+	"histanon/internal/storage"
+	"histanon/internal/ts"
+)
+
+// newTieredTestServer builds the HTTP layer over a trusted server
+// whose PHL lives in a durable tiered store on a crash-simulating
+// MemFS, with /healthz wired to the store.
+func newTieredTestServer(t *testing.T) (*httptest.Server, *ts.Server, *storage.MemFS, *storage.TieredStore) {
+	t.Helper()
+	fsys := storage.NewMemFS()
+	st, _, err := storage.Open(storage.Options{
+		Dir:              "store",
+		FS:               fsys,
+		SnapshotEvery:    32,
+		HotWindow:        60,
+		MaxDeltas:        3,
+		ColdCacheEntries: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := ts.New(ts.Config{DefaultPolicy: ts.Policy{K: 2}, Store: st}, sp.NewProvider())
+	h := New(srv)
+	h.SetStorage(st)
+	hts := httptest.NewServer(h)
+	t.Cleanup(hts.Close)
+	return hts, srv, fsys, st
+}
+
+func getHealth(t *testing.T, url string) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	return hr
+}
+
+// /healthz must report the tiered store's real state: demoted samples
+// on a healthy server, then storage_wal_failed once the WAL dies.
+func TestHealthzStorageSection(t *testing.T) {
+	hts, srv, fsys, st := newTieredTestServer(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1500; i++ {
+		srv.RecordLocation(phl.UserID(rng.Intn(20)), geo.STPoint{
+			P: geo.Point{X: rng.Float64() * 2e3, Y: rng.Float64() * 2e3},
+			T: int64(i),
+		})
+	}
+
+	hr := getHealth(t, hts.URL)
+	if hr.Status != "ok" {
+		t.Fatalf("healthy tiered server reports %q (%v)", hr.Status, hr.Degraded)
+	}
+	sh := hr.Storage
+	if sh == nil {
+		t.Fatal("healthz has no storage section despite SetStorage")
+	}
+	if sh.Failed {
+		t.Fatal("healthy store reported failed")
+	}
+	if sh.ColdSamples == 0 || sh.HotSamples == 0 {
+		t.Fatalf("tier occupancy not reported: hot=%d cold=%d", sh.HotSamples, sh.ColdSamples)
+	}
+	if sh.HotSamples+sh.ColdSamples != st.NumSamples() {
+		t.Fatalf("hot %d + cold %d != %d samples", sh.HotSamples, sh.ColdSamples, st.NumSamples())
+	}
+
+	// Kill the WAL: the next record latches fail-stop, and /healthz
+	// must flip to degraded with the storage reason.
+	fsys.FailSyncs = errors.New("injected fsync failure")
+	srv.RecordLocation(1, geo.STPoint{P: geo.Point{X: 1, Y: 1}, T: 9000})
+	fsys.FailSyncs = nil
+	if !st.StorageFailed() {
+		t.Fatal("fsync failure did not latch")
+	}
+	hr = getHealth(t, hts.URL)
+	if hr.Status != "degraded" {
+		t.Fatalf("failed store reports status %q", hr.Status)
+	}
+	if hr.Storage == nil || !hr.Storage.Failed {
+		t.Fatalf("storage section does not report the failure: %+v", hr.Storage)
+	}
+	found := false
+	for _, reason := range hr.Degraded {
+		if reason == "storage_wal_failed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded reasons %v missing storage_wal_failed", hr.Degraded)
+	}
+}
+
+// A server without a tiered store must keep /healthz free of the
+// storage section.
+func TestHealthzNoStorageSection(t *testing.T) {
+	hts, _, _ := newTestServer(t)
+	if hr := getHealth(t, hts.URL); hr.Storage != nil {
+		t.Fatalf("unexpected storage section: %+v", hr.Storage)
+	}
+}

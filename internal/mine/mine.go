@@ -127,7 +127,7 @@ type hauntKey struct {
 
 // Mine analyzes every user's history in the store and returns the
 // distinctive recurring patterns, ordered by user then support.
-func Mine(store *phl.Store, cfg Config) []Candidate {
+func Mine(store phl.Storer, cfg Config) []Candidate {
 	users := store.Users()
 	// Stage 1: haunts per user.
 	haunts := make(map[phl.UserID]map[hauntKey]*haunt, len(users))

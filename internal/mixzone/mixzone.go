@@ -153,7 +153,7 @@ func onlyTimeMetric() geo.STMetric { return geo.STMetric{TimeScale: 1e12} }
 // ⟨p,t⟩; a greedy pass keeps those whose heading differs from every kept
 // heading by at least MinAngle. ok is false when fewer than k diverging
 // users are found among the nearest candidates.
-func FindDiverging(idx stindex.Index, store *phl.Store, issuer phl.UserID,
+func FindDiverging(idx stindex.Index, store phl.Storer, issuer phl.UserID,
 	p geo.Point, t int64, k int, d Divergence, m geo.STMetric) ([]phl.UserID, bool) {
 	if k <= 0 {
 		return nil, true
@@ -239,7 +239,7 @@ func (pl Plan) MixSet() int { return len(pl.Participants) + 1 }
 // fellow participants. ok is false when not enough diverging users are
 // available; the zone cannot be formed and the caller should fall back
 // to notifying the user (paper §6.1 step 2).
-func (o OnDemand) Plan(idx stindex.Index, store *phl.Store, issuer phl.UserID,
+func (o OnDemand) Plan(idx stindex.Index, store phl.Storer, issuer phl.UserID,
 	p geo.Point, t int64, k int, m geo.STMetric) (Plan, bool) {
 	users, ok := FindDiverging(idx, store, issuer, p, t, k, o.Divergence, m)
 	quiet := o.Quiet

@@ -79,6 +79,26 @@ const (
 	MetricSimStreamRequests = "histanon_sim_stream_requests_total"
 	MetricSimStreamBatches  = "histanon_sim_stream_batches_total"
 	MetricSimStreamBytes    = "histanon_sim_stream_bytes_total"
+
+	// Durable tiered-storage families (internal/storage TieredStore):
+	// WAL durability, snapshot chain maintenance, hot/cold demotion and
+	// the cold read path.
+	MetricStorageWALAppends      = "histanon_storage_wal_appends_total"
+	MetricStorageWALFsyncs       = "histanon_storage_wal_fsyncs_total"
+	MetricStorageWALBytes        = "histanon_storage_wal_bytes_total"
+	MetricStorageWALErrors       = "histanon_storage_wal_errors_total"
+	MetricStorageWALLag          = "histanon_storage_wal_lag_records"
+	MetricStorageSnapshots       = "histanon_storage_snapshots_total"
+	MetricStorageSnapshotErrors  = "histanon_storage_snapshot_errors_total"
+	MetricStorageDemotions       = "histanon_storage_demotions_total"
+	MetricStorageDemotedSamples  = "histanon_storage_demoted_samples_total"
+	MetricStorageColdReads       = "histanon_storage_cold_reads_total"
+	MetricStorageHotSamples      = "histanon_storage_hot_samples"
+	MetricStorageColdSamples     = "histanon_storage_cold_samples"
+	MetricStorageChainFiles      = "histanon_storage_snapshot_chain_files"
+	MetricStorageRecoverySeconds = "histanon_storage_recovery_seconds"
+	MetricStorageRecoveryRecords = "histanon_storage_recovery_records"
+	MetricStorageFailed          = "histanon_storage_failed"
 )
 
 // MetricNames lists every metric family the server registers, for the
@@ -94,6 +114,13 @@ func MetricNames() []string {
 		MetricSnapshotAge, MetricSnapshotErrors,
 		MetricWireFrames, MetricWireBatches, MetricWireBytes,
 		MetricWireDecodeErrors, MetricWireBatchFrames,
+		MetricStorageWALAppends, MetricStorageWALFsyncs, MetricStorageWALBytes,
+		MetricStorageWALErrors, MetricStorageWALLag,
+		MetricStorageSnapshots, MetricStorageSnapshotErrors,
+		MetricStorageDemotions, MetricStorageDemotedSamples,
+		MetricStorageColdReads, MetricStorageHotSamples, MetricStorageColdSamples,
+		MetricStorageChainFiles, MetricStorageRecoverySeconds,
+		MetricStorageRecoveryRecords, MetricStorageFailed,
 	}
 }
 

@@ -133,6 +133,41 @@ func (h *History) LTConsistent(boxes []geo.STBox) bool {
 	return true
 }
 
+// HistoryFromPoints builds a History directly from samples that are
+// already in time order (ties in arrival order). The slice is adopted,
+// not copied; callers hand over ownership. It exists for storage layers
+// that materialize histories from durable tiers and must reproduce the
+// exact sample order an in-memory History would hold.
+func HistoryFromPoints(pts []geo.STPoint) *History { return &History{pts: pts} }
+
+// Storer is the PHL database interface the privacy layers compute over.
+// *Store is the canonical in-memory implementation; the storage package
+// provides a durable hot/cold tiered one. Implementations must be safe
+// for concurrent use and must preserve Store's semantics exactly:
+// History returns samples in time order with arrival-order ties, and the
+// user-iteration methods enumerate users in first-seen order.
+type Storer interface {
+	// Record appends a location sample for the user.
+	Record(u UserID, p geo.STPoint)
+	// History returns the user's history (read-only), or nil when the
+	// user is unknown.
+	History(u UserID) *History
+	// Users returns all known users in first-seen order.
+	Users() []UserID
+	// NumUsers returns the number of users with at least one sample.
+	NumUsers() int
+	// NumSamples returns the total number of samples across all users.
+	NumSamples() int
+	// UsersIn returns the users having at least one sample in the box,
+	// in first-seen order.
+	UsersIn(b geo.STBox) []UserID
+	// CountUsersIn returns how many users have a sample in the box.
+	CountUsersIn(b geo.STBox) int
+	// LTConsistentUsers returns the users whose history is LT-consistent
+	// with every one of the given boxes, in first-seen order.
+	LTConsistentUsers(boxes []geo.STBox) []UserID
+}
+
 // Store is the trusted server's PHL database: one History per user.
 // It is safe for concurrent use.
 type Store struct {

@@ -9,6 +9,7 @@ package resilience
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,7 +87,29 @@ func (s *Snapshotter) save() error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, s.path)
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename is not durable until the parent directory's entry
+	// table reaches disk: without this fsync a crash can resurface the
+	// old snapshot — or, for a first snapshot, no file at all — even
+	// though Save already returned success.
+	return syncDir(filepath.Dir(s.path))
+}
+
+// syncDir fsyncs a directory; a package-level hook so tests can observe
+// and fail it.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // Start launches the periodic snapshot loop. Call Stop to end it.

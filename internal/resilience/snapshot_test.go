@@ -88,6 +88,43 @@ func TestSnapshotterPeriodicLoop(t *testing.T) {
 	}
 }
 
+// Save must fsync the parent directory after the rename: on a real
+// filesystem a crash can otherwise undo the rename and resurface the
+// old snapshot after Save already reported success.
+func TestSnapshotterSaveSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	s := NewSnapshotter(path, time.Hour, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v1")
+		return err
+	})
+
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	var synced []string
+	syncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	if err := s.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("parent dir fsyncs = %v, want exactly [%s] after the rename", synced, dir)
+	}
+
+	// A failing directory fsync means the rename may not survive a
+	// crash: Save must report it, not swallow it.
+	fail := errors.New("dir fsync failed")
+	syncDir = func(string) error { return fail }
+	if err := s.Save(); !errors.Is(err, fail) {
+		t.Fatalf("Save with failing dir fsync = %v, want %v", err, fail)
+	}
+	if s.Errors() != 1 {
+		t.Fatalf("Errors = %d, want 1", s.Errors())
+	}
+}
+
 func TestSnapshotterIntervalFloor(t *testing.T) {
 	s := NewSnapshotter("x", 10*time.Millisecond, func(io.Writer) error { return nil })
 	if s.Interval() != time.Second {

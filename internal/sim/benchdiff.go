@@ -45,16 +45,18 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			NsPerOp     float64 `json:"ns_per_op"`
 			AllocsPerOp int64   `json:"allocs_per_op"`
 		} `json:"hot_paths"`
-		Rows       []ObsBenchRow  `json:"rows"`
-		WireRows   []WireBenchRow `json:"wire_rows"`
-		StreamRows []StreamRow    `json:"stream_rows"`
+		Rows        []ObsBenchRow     `json:"rows"`
+		WireRows    []WireBenchRow    `json:"wire_rows"`
+		StreamRows  []StreamRow       `json:"stream_rows"`
+		StorageRows []StorageBenchRow `json:"storage_rows"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, err
 	}
-	if probe.Throughput == nil && probe.Rows == nil && probe.WireRows == nil && probe.StreamRows == nil {
-		return nil, fmt.Errorf("unrecognized bench record shape (no %q, %q, %q or %q key)",
-			"throughput", "rows", "wire_rows", "stream_rows")
+	if probe.Throughput == nil && probe.Rows == nil && probe.WireRows == nil &&
+		probe.StreamRows == nil && probe.StorageRows == nil {
+		return nil, fmt.Errorf("unrecognized bench record shape (no %q, %q, %q, %q or %q key)",
+			"throughput", "rows", "wire_rows", "stream_rows", "storage_rows")
 	}
 	var out []benchDiffRow
 	for _, tp := range probe.Throughput {
@@ -123,6 +125,29 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			bytes:  "-",
 			rel:    fmt.Sprintf("%.0fMB peak", r.PeakHeapMB),
 		})
+	}
+	// E-storage rows: ingestion modes carry per-record costs and the
+	// durability price in "relative"; the recovery and cold-read rows
+	// carry their own headline number there instead.
+	for _, r := range probe.StorageRows {
+		row := benchDiffRow{
+			record: name,
+			config: fmt.Sprintf("storage %s n=%d", r.Mode, r.Records),
+			reqs:   "-", ns: "-", allocs: "-", bytes: "-", rel: "-",
+		}
+		if r.OpsPerSec > 0 {
+			row.reqs = fmt.Sprintf("%.0f", r.OpsPerSec)
+			row.ns = fmt.Sprintf("%.0f", r.NsPerOp)
+		}
+		switch {
+		case r.RecoveryMs > 0:
+			row.rel = fmt.Sprintf("%.0fms recovery, %.0fMB heap", r.RecoveryMs, r.HeapMB)
+		case r.ColdP99Us > 0:
+			row.rel = fmt.Sprintf("p99 %.0fµs", r.ColdP99Us)
+		case r.VsMemory > 0:
+			row.rel = fmt.Sprintf("%.3fx", r.VsMemory)
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }

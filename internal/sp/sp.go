@@ -75,7 +75,7 @@ func (p *Provider) ByPseudonym() map[wire.Pseudonym][]*wire.Request {
 type Attacker struct {
 	// Knowledge is the external observation source (worst case: the full
 	// PHL database).
-	Knowledge *phl.Store
+	Knowledge phl.Storer
 	// Linker links requests across pseudonyms; nil means
 	// pseudonym-equality only.
 	Linker link.Func

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// The on-disk encodings reuse internal/wire's varint idioms: zigzag
+// varints for signed fields, and dual fixed-point/IEEE coordinates —
+// positions from real deployments are finite decimals that a 2^20
+// fixed-point grid represents exactly in a few bytes, while arbitrary
+// float64s (simulation workloads) fall back to raw IEEE bits so decode
+// is always bit-exact.
+
+// coordScale is the fixed-point coordinate scale: 2^20 units per meter,
+// a power of two so scaling is exact for every representable value.
+const coordScale = 1 << 20
+
+// coordMaxAbs bounds fixed-point magnitudes to the float64
+// exact-integer range, so int64→float64 on decode cannot round.
+const coordMaxAbs = 1 << 53
+
+// record flag bits.
+const (
+	flagFixedX = 1 << 0 // X is fixed-point zigzag varint, else IEEE bits
+	flagFixedY = 1 << 1 // Y likewise
+)
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// fixedCoord reports whether v is exactly representable in fixed point
+// and, if so, its scaled integer value. Negative zero, NaN, infinities
+// and magnitudes leaving the exact-integer range are excluded.
+func fixedCoord(v float64) (int64, bool) {
+	if v == 0 {
+		return 0, !math.Signbit(v)
+	}
+	f := v * coordScale
+	if math.IsInf(f, 0) || f != math.Trunc(f) || math.Abs(f) > coordMaxAbs {
+		return 0, false
+	}
+	return int64(f), true
+}
+
+// appendSample encodes one (user, sample) pair: flags byte, user zigzag
+// varint, T zigzag varint, then each coordinate as either a fixed-point
+// zigzag varint or 8 raw IEEE-754 bytes per its flag bit.
+func appendSample(dst []byte, u phl.UserID, p geo.STPoint) []byte {
+	var flags byte
+	fx, okx := fixedCoord(p.P.X)
+	fy, oky := fixedCoord(p.P.Y)
+	if okx {
+		flags |= flagFixedX
+	}
+	if oky {
+		flags |= flagFixedY
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, zigzag(int64(u)))
+	dst = binary.AppendUvarint(dst, zigzag(p.T))
+	if okx {
+		dst = binary.AppendUvarint(dst, zigzag(fx))
+	} else {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.P.X))
+	}
+	if oky {
+		dst = binary.AppendUvarint(dst, zigzag(fy))
+	} else {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.P.Y))
+	}
+	return dst
+}
+
+// sampleReader decodes appendSample payloads from a byte slice with
+// minimal-form varint enforcement (a non-canonical encoding is
+// corruption, not an alternative spelling — recovery must not accept
+// bytes the writer could never have produced).
+type sampleReader struct {
+	buf []byte
+	off int
+}
+
+func (r *sampleReader) len() int { return len(r.buf) - r.off }
+
+func (r *sampleReader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("storage: truncated record")
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *sampleReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("storage: bad varint")
+	}
+	// Minimal form: re-encoding must not shrink.
+	if n > 1 && v>>(7*(n-1)) == 0 {
+		return 0, fmt.Errorf("storage: non-minimal varint")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *sampleReader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, fmt.Errorf("storage: truncated float")
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// sample decodes one (user, sample) pair.
+func (r *sampleReader) sample() (phl.UserID, geo.STPoint, error) {
+	var p geo.STPoint
+	flags, err := r.byte()
+	if err != nil {
+		return 0, p, err
+	}
+	if flags&^(flagFixedX|flagFixedY) != 0 {
+		return 0, p, fmt.Errorf("storage: unknown sample flags %#x", flags)
+	}
+	uu, err := r.uvarint()
+	if err != nil {
+		return 0, p, err
+	}
+	tt, err := r.uvarint()
+	if err != nil {
+		return 0, p, err
+	}
+	p.T = unzigzag(tt)
+	if flags&flagFixedX != 0 {
+		v, err := r.uvarint()
+		if err != nil {
+			return 0, p, err
+		}
+		p.P.X = float64(unzigzag(v)) / coordScale
+	} else {
+		v, err := r.u64()
+		if err != nil {
+			return 0, p, err
+		}
+		p.P.X = math.Float64frombits(v)
+	}
+	if flags&flagFixedY != 0 {
+		v, err := r.uvarint()
+		if err != nil {
+			return 0, p, err
+		}
+		p.P.Y = float64(unzigzag(v)) / coordScale
+	} else {
+		v, err := r.u64()
+		if err != nil {
+			return 0, p, err
+		}
+		p.P.Y = math.Float64frombits(v)
+	}
+	return phl.UserID(unzigzag(uu)), p, nil
+}
+
+// castagnoli is the CRC-32C table; the same polynomial guards WAL
+// records, snapshot runs and whole snapshot files.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }

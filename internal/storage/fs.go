@@ -1,0 +1,132 @@
+// Package storage is the durable tiered backing store for the Personal
+// History of Locations: an append-only CRC-framed write-ahead log makes
+// every acknowledged location update crash-durable, incremental delta
+// snapshots (full dumps only at compaction) bound recovery to the latest
+// snapshot chain plus a WAL tail replay, and a hot/cold split keeps only
+// recent trajectory windows in memory — older history demotes to on-disk
+// per-user runs behind an LRU-cached read path.
+//
+// The TieredStore implements both phl.Storer and stindex.Index, so it
+// plugs into the trusted server where the flat in-memory store and grid
+// index sit today; the internal/check differential oracle pins its
+// query answers byte-identical to the all-hot implementations. Faults
+// are fail-stop and fail-closed: a WAL error permanently fails the
+// store, a cold read error is counted and surfaced, and the server
+// degrades affected requests to audited suppression (ts.FaultyStorage).
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the storage layer needs. The
+// production implementation is OSFS; tests use MemFS (which models
+// crash semantics: unsynced writes are lost, possibly torn) and the
+// chaos harness wraps either in a fault injector.
+type FS interface {
+	// Create opens the named file for appending, truncating any
+	// existing content.
+	Create(name string) (File, error)
+	// Open opens the named file read-only.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname. Durable only
+	// after SyncDir on the parent directory.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// ReadDir lists the file names in the directory, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// inside it durable.
+	SyncDir(dir string) error
+}
+
+// File is the per-file surface: sequential writes for the WAL and
+// snapshot writers, random reads for the cold-tier read path.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+	// Size returns the current byte size of the file.
+	Size() (int64, error)
+}
+
+// OSFS implements FS on the operating system's filesystem.
+type OSFS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// join builds a path inside the store directory; filepath.Join keeps
+// OSFS and MemFS path handling identical.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"sync"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// runKey identifies one decoded cold run: a (snapshot file, user) pair.
+type runKey struct {
+	seq  uint64
+	user phl.UserID
+}
+
+// runCache is a small mutex-guarded LRU over decoded cold runs. Cold
+// reads are the tiered store's only disk touches after recovery; the
+// cache bounds how often a busy anonymity-set computation re-decodes
+// the same demoted trajectory while keeping resident memory capped at
+// cap entries (the -cold-cache-entries flag).
+type runCache struct {
+	mu   sync.Mutex
+	cap  int
+	ents map[runKey]*runEnt
+	head *runEnt // most recent
+	tail *runEnt // least recent
+}
+
+type runEnt struct {
+	key        runKey
+	pts        []geo.STPoint
+	prev, next *runEnt
+}
+
+func newRunCache(capacity int) *runCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &runCache{cap: capacity, ents: make(map[runKey]*runEnt)}
+}
+
+// get returns the cached run and moves it to the front.
+func (c *runCache) get(k runKey) ([]geo.STPoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.ents[k]
+	if !ok {
+		return nil, false
+	}
+	c.unlink(e)
+	c.push(e)
+	return e.pts, true
+}
+
+// put inserts a run, evicting from the cold end past capacity.
+func (c *runCache) put(k runKey, pts []geo.STPoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.ents[k]; ok {
+		e.pts = pts
+		c.unlink(e)
+		c.push(e)
+		return
+	}
+	e := &runEnt{key: k, pts: pts}
+	c.ents[k] = e
+	c.push(e)
+	for len(c.ents) > c.cap {
+		last := c.tail
+		c.unlink(last)
+		delete(c.ents, last.key)
+	}
+}
+
+// drop invalidates every entry (compaction renames the backing files).
+func (c *runCache) drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ents = make(map[runKey]*runEnt)
+	c.head, c.tail = nil, nil
+}
+
+func (c *runCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ents)
+}
+
+func (c *runCache) unlink(e *runEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *runCache) push(e *runEnt) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}

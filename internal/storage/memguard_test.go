@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// TestTieredBoundedMemoryMillionUpdates is the bounded-memory guard:
+// a 10⁶-update PHL ingested on a real filesystem must end up almost
+// entirely demoted to disk, with the resident heap bounded far below
+// what holding the same history in memory costs (~50 MB and up for
+// 10⁶ samples across point slices and per-user structures), while
+// still answering queries over the full, mostly-cold history.
+func TestTieredBoundedMemoryMillionUpdates(t *testing.T) {
+	if raceEnabled {
+		t.Skip("heap accounting is skewed under -race")
+	}
+	if testing.Short() {
+		t.Skip("10⁶-update ingestion")
+	}
+	const (
+		n     = 1_000_000
+		users = 1000
+		span  = int64(n)
+	)
+	dir := t.TempDir()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	st, _, err := Open(Options{Dir: dir, Sync: SyncNone, HotWindow: span / 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	perUser := make([]int, users)
+	for i := 0; i < n; i++ {
+		u := rng.Intn(users)
+		perUser[u]++
+		st.Record(phl.UserID(u), geo.STPoint{
+			P: geo.Point{X: rng.Float64() * 20e3, Y: rng.Float64() * 20e3},
+			T: int64(i) * span / n,
+		})
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+
+	stats := st.Stats()
+	if stats.ColdSamples < n*9/10 {
+		t.Fatalf("only %d of %d samples demoted; the guard is vacuous", stats.ColdSamples, n)
+	}
+	if stats.HotSamples > n/10 {
+		t.Fatalf("%d samples still hot, want < %d", stats.HotSamples, n/10)
+	}
+	// The measured steady state is ~9 MB (cold-run catalog + hot
+	// window + cache); 32 MB leaves slack for allocator noise while
+	// still failing if demotion ever stops releasing memory.
+	if limit := int64(32 << 20); growth > limit {
+		t.Fatalf("heap grew %d bytes over the 10⁶-update ingestion, want <= %d", growth, limit)
+	}
+
+	// The demoted history must still be fully served.
+	if got := st.NumSamples(); got != n {
+		t.Fatalf("NumSamples = %d, want %d", got, n)
+	}
+	for trial := 0; trial < 50; trial++ {
+		u := rng.Intn(users)
+		if got := st.History(phl.UserID(u)).Len(); got != perUser[u] {
+			t.Fatalf("History(%d).Len() = %d, want %d", u, got, perUser[u])
+		}
+	}
+	everything := geo.STBox{
+		Area: geo.Rect{MinX: 0, MinY: 0, MaxX: 20e3, MaxY: 20e3},
+		Time: geo.Interval{Start: 0, End: span},
+	}
+	if got := st.CountUsersIn(everything); got != users {
+		t.Fatalf("CountUsersIn(everything) = %d, want %d", got, users)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package storage
+
+// raceEnabled reports whether the race detector is compiled in; the
+// bounded-memory guard skips under it, since instrumentation inflates
+// heap accounting and ingestion speed.
+const raceEnabled = false

@@ -1,0 +1,427 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+// Snapshot files carry the durable PHL state the WAL tail is replayed
+// on top of. A delta file holds the samples appended since the previous
+// file in the chain (grouped per user, time-sorted); a full file —
+// written only at compaction — holds everything. Each file ends in an
+// index block giving every user run's offset, extent, bounding box and
+// CRC, so the cold tier can read one user's history without touching
+// the rest of the file.
+//
+// Layout:
+//
+//	header   magic "PSN1" | version | kind | seq u64 | prevSeq u64 | crc32c
+//	body     per-user runs: samples in appendSample encoding
+//	index    entryCount uvarint, then per run:
+//	         user zigzag | offset uvarint | bytes uvarint | count uvarint |
+//	         minT zigzag | maxT zigzag | minX minY maxX maxY f64 | crc32c(run)
+//	trailer  indexOffset u64 | fileCRC u32  (fileCRC covers all prior bytes)
+//
+// seq is the WAL sequence watermark: the chain through this file holds
+// exactly the samples of WAL records 1..seq. prevSeq chains deltas to
+// their predecessor (a full file has prevSeq 0); recovery refuses a
+// chain with a gap — a missing delta is corruption, not an option.
+const (
+	snapMagic   = "PSN1"
+	snapVersion = 1
+	// snapHeaderLen is magic(4)+version(1)+kind(1)+seq(8)+prevSeq(8)+crc(4).
+	snapHeaderLen = 26
+)
+
+type snapKind byte
+
+const (
+	snapFull  snapKind = 0
+	snapDelta snapKind = 1
+)
+
+func snapshotName(kind snapKind, seq uint64) string {
+	if kind == snapFull {
+		return fmt.Sprintf("full-%016x.snap", seq)
+	}
+	return fmt.Sprintf("delta-%016x.snap", seq)
+}
+
+// parseSnapshotName inverts snapshotName; ok=false for other files.
+func parseSnapshotName(name string) (snapKind, uint64, bool) {
+	var kind snapKind
+	var hexpart string
+	switch {
+	case strings.HasPrefix(name, "full-") && strings.HasSuffix(name, ".snap"):
+		kind, hexpart = snapFull, strings.TrimSuffix(strings.TrimPrefix(name, "full-"), ".snap")
+	case strings.HasPrefix(name, "delta-") && strings.HasSuffix(name, ".snap"):
+		kind, hexpart = snapDelta, strings.TrimSuffix(strings.TrimPrefix(name, "delta-"), ".snap")
+	default:
+		return 0, 0, false
+	}
+	if len(hexpart) != 16 {
+		return 0, 0, false
+	}
+	var v uint64
+	for _, c := range hexpart {
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return 0, 0, false
+		}
+	}
+	return kind, v, true
+}
+
+// runRef locates one user's run inside one snapshot file: the in-memory
+// catalog entry the cold tier prunes and reads by. It costs ~80 bytes
+// regardless of how many samples the run holds — that is the memory the
+// hot/cold split trades disk reads for.
+type runRef struct {
+	user       phl.UserID
+	offset     int64 // absolute file offset
+	length     int64 // encoded byte length
+	count      int   // samples in the run
+	minT, maxT int64
+	bbox       geo.Rect
+	crc        uint32
+}
+
+// userRun pairs a user with the samples to dump into one run.
+type userRun struct {
+	user phl.UserID
+	pts  []geo.STPoint
+}
+
+// encodeSnapshot renders a complete snapshot file image. Runs must be
+// per-user time-sorted; users are written in the given order.
+func encodeSnapshot(kind snapKind, seq, prevSeq uint64, runs []userRun) []byte {
+	buf := make([]byte, 0, 64+len(runs)*64)
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapVersion, byte(kind))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, prevSeq)
+	buf = binary.LittleEndian.AppendUint32(buf, crc(buf))
+
+	type entry struct {
+		runRef
+	}
+	entries := make([]entry, 0, len(runs))
+	for _, run := range runs {
+		if len(run.pts) == 0 {
+			continue
+		}
+		start := len(buf)
+		minT, maxT := run.pts[0].T, run.pts[0].T
+		bbox := geo.RectAround(run.pts[0].P)
+		for _, p := range run.pts {
+			buf = appendSample(buf, run.user, p)
+			if p.T < minT {
+				minT = p.T
+			}
+			if p.T > maxT {
+				maxT = p.T
+			}
+			bbox = bbox.Extend(p.P)
+		}
+		entries = append(entries, entry{runRef{
+			user:   run.user,
+			offset: int64(start),
+			length: int64(len(buf) - start),
+			count:  len(run.pts),
+			minT:   minT,
+			maxT:   maxT,
+			bbox:   bbox,
+			crc:    crc(buf[start:]),
+		}})
+	}
+
+	indexOffset := uint64(len(buf))
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, zigzag(int64(e.user)))
+		buf = binary.AppendUvarint(buf, uint64(e.offset))
+		buf = binary.AppendUvarint(buf, uint64(e.length))
+		buf = binary.AppendUvarint(buf, uint64(e.count))
+		buf = binary.AppendUvarint(buf, zigzag(e.minT))
+		buf = binary.AppendUvarint(buf, zigzag(e.maxT))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.bbox.MinX))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.bbox.MinY))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.bbox.MaxX))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.bbox.MaxY))
+		buf = binary.LittleEndian.AppendUint32(buf, e.crc)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, indexOffset)
+	buf = binary.LittleEndian.AppendUint32(buf, crc(buf))
+	return buf
+}
+
+// snapMeta is a decoded snapshot file: its chain position and catalog
+// entries (not the samples themselves).
+type snapMeta struct {
+	kind    snapKind
+	seq     uint64
+	prevSeq uint64
+	runs    []runRef
+}
+
+// decodeSnapshot parses and fully verifies a snapshot file image: file
+// CRC, header, index block shape, and every entry's bounds. Run bodies
+// are NOT decoded — the catalog alone suffices to serve cold queries,
+// and per-run CRCs guard later reads.
+func decodeSnapshot(data []byte) (*snapMeta, error) {
+	if len(data) < snapHeaderLen+12 {
+		return nil, fmt.Errorf("storage: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != snapMagic || data[4] != snapVersion {
+		return nil, fmt.Errorf("storage: snapshot bad magic or version")
+	}
+	if binary.LittleEndian.Uint32(data[snapHeaderLen-4:snapHeaderLen]) != crc(data[:snapHeaderLen-4]) {
+		return nil, fmt.Errorf("storage: snapshot header checksum mismatch")
+	}
+	if got := binary.LittleEndian.Uint32(data[len(data)-4:]); got != crc(data[:len(data)-4]) {
+		return nil, fmt.Errorf("storage: snapshot file checksum mismatch")
+	}
+	kind := snapKind(data[5])
+	if kind != snapFull && kind != snapDelta {
+		return nil, fmt.Errorf("storage: snapshot unknown kind %d", kind)
+	}
+	m := &snapMeta{
+		kind:    kind,
+		seq:     binary.LittleEndian.Uint64(data[6:14]),
+		prevSeq: binary.LittleEndian.Uint64(data[14:22]),
+	}
+	indexOffset := binary.LittleEndian.Uint64(data[len(data)-12 : len(data)-4])
+	if indexOffset < snapHeaderLen || indexOffset > uint64(len(data)-12) {
+		return nil, fmt.Errorf("storage: snapshot index offset out of range")
+	}
+	r := sampleReader{buf: data[:len(data)-12], off: int(indexOffset)}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("storage: snapshot index: %v", err)
+	}
+	if n > uint64(indexOffset) { // each run is at least 1 byte
+		return nil, fmt.Errorf("storage: snapshot index claims %d runs", n)
+	}
+	var prevEnd int64 = snapHeaderLen
+	for i := uint64(0); i < n; i++ {
+		var e runRef
+		var v uint64
+		if v, err = r.uvarint(); err != nil {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: %v", i, err)
+		}
+		e.user = phl.UserID(unzigzag(v))
+		if v, err = r.uvarint(); err != nil {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: %v", i, err)
+		}
+		e.offset = int64(v)
+		if v, err = r.uvarint(); err != nil {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: %v", i, err)
+		}
+		e.length = int64(v)
+		if v, err = r.uvarint(); err != nil {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: %v", i, err)
+		}
+		if v > uint64(e.length) { // each sample is at least 4 bytes, so count <= length
+			return nil, fmt.Errorf("storage: snapshot index entry %d: count %d exceeds run bytes", i, v)
+		}
+		e.count = int(v)
+		if v, err = r.uvarint(); err != nil {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: %v", i, err)
+		}
+		e.minT = unzigzag(v)
+		if v, err = r.uvarint(); err != nil {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: %v", i, err)
+		}
+		e.maxT = unzigzag(v)
+		var f [4]float64
+		for j := range f {
+			u, err := r.u64()
+			if err != nil {
+				return nil, fmt.Errorf("storage: snapshot index entry %d: %v", i, err)
+			}
+			f[j] = math.Float64frombits(u)
+		}
+		e.bbox = geo.Rect{MinX: f[0], MinY: f[1], MaxX: f[2], MaxY: f[3]}
+		u32, err := r.u64crc()
+		if err != nil {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: %v", i, err)
+		}
+		e.crc = u32
+		// Runs must tile the body in order with no gaps or overlaps:
+		// anything else cannot have come from the writer.
+		if e.offset != prevEnd || e.length <= 0 || e.minT > e.maxT || !e.bbox.Valid() {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: malformed run bounds", i)
+		}
+		prevEnd = e.offset + e.length
+		if prevEnd > int64(indexOffset) {
+			return nil, fmt.Errorf("storage: snapshot index entry %d: run exceeds body", i)
+		}
+		m.runs = append(m.runs, e)
+	}
+	if prevEnd != int64(indexOffset) {
+		return nil, fmt.Errorf("storage: snapshot body has %d bytes not covered by the index", int64(indexOffset)-prevEnd)
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("storage: snapshot index has %d trailing bytes", len(r.buf)-r.off)
+	}
+	return m, nil
+}
+
+// u64crc reads a 4-byte CRC field.
+func (r *sampleReader) u64crc() (uint32, error) {
+	if r.off+4 > len(r.buf) {
+		return 0, fmt.Errorf("storage: truncated checksum")
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+// decodeRun decodes one run body previously located by a runRef. Every
+// sample must carry the run's user and arrive time-sorted, or the run
+// is corrupt.
+func decodeRun(data []byte, ref runRef) ([]geo.STPoint, error) {
+	if crc(data) != ref.crc {
+		return nil, fmt.Errorf("storage: run for %v: checksum mismatch", ref.user)
+	}
+	pts := make([]geo.STPoint, 0, ref.count)
+	r := sampleReader{buf: data}
+	for r.len() > 0 {
+		u, p, err := r.sample()
+		if err != nil {
+			return nil, fmt.Errorf("storage: run for %v: %v", ref.user, err)
+		}
+		if u != ref.user {
+			return nil, fmt.Errorf("storage: run for %v: sample for %v", ref.user, u)
+		}
+		if len(pts) > 0 && p.T < pts[len(pts)-1].T {
+			return nil, fmt.Errorf("storage: run for %v: samples out of order", ref.user)
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) != ref.count {
+		return nil, fmt.Errorf("storage: run for %v: %d samples, index says %d", ref.user, len(pts), ref.count)
+	}
+	return pts, nil
+}
+
+// writeSnapshotFile atomically persists a snapshot image: temp file,
+// fsync, rename to the final name, fsync the directory. Returns the
+// final path.
+func writeSnapshotFile(fsys FS, dir string, kind snapKind, seq uint64, img []byte) (string, error) {
+	tmp := join(dir, snapshotName(kind, seq)+".tmp")
+	final := join(dir, snapshotName(kind, seq))
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// loadSnapshotChain reads the directory's snapshot files and returns
+// the live chain: the newest full file (if any) and every delta after
+// it, in order, each fully verified. Files superseded by a newer full
+// snapshot are returned in stale for deletion. A gap or verification
+// failure refuses recovery.
+func loadSnapshotChain(fsys FS, dir string) (chain []*snapMeta, paths []string, stale []string, err error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	type cand struct {
+		kind snapKind
+		seq  uint64
+		name string
+	}
+	var cands []cand
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			// An interrupted atomic write; harmless, delete later.
+			stale = append(stale, join(dir, name))
+			continue
+		}
+		if kind, seq, ok := parseSnapshotName(name); ok {
+			cands = append(cands, cand{kind, seq, name})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	// The newest full snapshot starts the chain; anything older is
+	// superseded.
+	start := 0
+	for i, c := range cands {
+		if c.kind == snapFull {
+			start = i
+		}
+	}
+	for i, c := range cands {
+		if i < start {
+			stale = append(stale, join(dir, c.name))
+		}
+	}
+	cands = cands[start:]
+	var prevSeq uint64
+	for i, c := range cands {
+		path := join(dir, c.name)
+		f, err := fsys.Open(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close()
+			return nil, nil, nil, err
+		}
+		data := make([]byte, size)
+		if size > 0 {
+			if n, err := f.ReadAt(data, 0); int64(n) != size {
+				f.Close()
+				return nil, nil, nil, fmt.Errorf("storage: short read of %s: %v", path, err)
+			}
+		}
+		f.Close()
+		m, err := decodeSnapshot(data)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("storage: %s: %v", path, err)
+		}
+		if m.kind != c.kind || m.seq != c.seq {
+			return nil, nil, nil, fmt.Errorf("storage: %s: header disagrees with name", path)
+		}
+		if i == 0 && m.kind == snapDelta && m.prevSeq != 0 {
+			return nil, nil, nil, fmt.Errorf("storage: %s: chain gap (predecessor through %d is missing)", path, m.prevSeq)
+		}
+		if i > 0 && m.prevSeq != prevSeq {
+			return nil, nil, nil, fmt.Errorf("storage: %s: chain gap (prev %d, expected %d)", path, m.prevSeq, prevSeq)
+		}
+		prevSeq = m.seq
+		chain = append(chain, m)
+		paths = append(paths, path)
+	}
+	return chain, paths, stale, nil
+}

@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"histanon/internal/geo"
+	"histanon/internal/phl"
+)
+
+func randRuns(rng *rand.Rand, users, per int) []userRun {
+	var runs []userRun
+	for u := 0; u < users; u++ {
+		pts := make([]geo.STPoint, 0, per)
+		t := int64(rng.Intn(1000))
+		for i := 0; i < per; i++ {
+			t += int64(rng.Intn(30))
+			pts = append(pts, geo.STPoint{
+				P: geo.Point{X: rng.Float64() * 1e4, Y: rng.Float64() * 1e4},
+				T: t,
+			})
+		}
+		runs = append(runs, userRun{user: phl.UserID(u), pts: pts})
+	}
+	return runs
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	runs := randRuns(rng, 20, 50)
+	img := encodeSnapshot(snapDelta, 777, 123, runs)
+	meta, err := decodeSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.kind != snapDelta || meta.seq != 777 || meta.prevSeq != 123 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if len(meta.runs) != len(runs) {
+		t.Fatalf("%d runs, want %d", len(meta.runs), len(runs))
+	}
+	for i, ref := range meta.runs {
+		if ref.user != runs[i].user || ref.count != len(runs[i].pts) {
+			t.Fatalf("run %d ref = %+v", i, ref)
+		}
+		pts, err := decodeRun(img[ref.offset:ref.offset+ref.length], ref)
+		if err != nil {
+			t.Fatalf("decodeRun %d: %v", i, err)
+		}
+		for j, p := range pts {
+			if p != runs[i].pts[j] {
+				t.Fatalf("run %d sample %d = %+v, want %+v", i, j, p, runs[i].pts[j])
+			}
+		}
+	}
+}
+
+func TestSnapshotEmptyRunsSkipped(t *testing.T) {
+	runs := []userRun{
+		{user: 1, pts: nil},
+		{user: 2, pts: []geo.STPoint{{P: geo.Point{X: 1, Y: 2}, T: 3}}},
+	}
+	img := encodeSnapshot(snapFull, 9, 0, runs)
+	meta, err := decodeSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.runs) != 1 || meta.runs[0].user != 2 {
+		t.Fatalf("runs = %+v", meta.runs)
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := encodeSnapshot(snapFull, 5, 0, randRuns(rng, 5, 20))
+	// Flip every byte position in a sparse sample of offsets: decode
+	// must fail or (for run-body damage) decodeRun must fail later.
+	for off := 0; off < len(img); off += 13 {
+		bad := append([]byte(nil), img...)
+		bad[off] ^= 0x10
+		meta, err := decodeSnapshot(bad)
+		if err != nil {
+			continue // whole-file or header CRC caught it
+		}
+		caught := false
+		for _, ref := range meta.runs {
+			if _, err := decodeRun(bad[ref.offset:ref.offset+ref.length], ref); err != nil {
+				caught = true
+			}
+		}
+		if !caught {
+			t.Fatalf("corruption at offset %d slipped through", off)
+		}
+	}
+}
+
+func TestSnapshotTruncationDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	img := encodeSnapshot(snapFull, 5, 0, randRuns(rng, 5, 20))
+	for cut := 0; cut < len(img); cut += 97 {
+		if _, err := decodeSnapshot(img[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestSnapshotChainLoad(t *testing.T) {
+	fsys := NewMemFS()
+	dir := "snap"
+	rng := rand.New(rand.NewSource(4))
+
+	img1 := encodeSnapshot(snapFull, 100, 0, randRuns(rng, 3, 10))
+	if _, err := writeSnapshotFile(fsys, dir, snapFull, 100, img1); err != nil {
+		t.Fatal(err)
+	}
+	img2 := encodeSnapshot(snapDelta, 200, 100, randRuns(rng, 3, 10))
+	if _, err := writeSnapshotFile(fsys, dir, snapDelta, 200, img2); err != nil {
+		t.Fatal(err)
+	}
+	img3 := encodeSnapshot(snapDelta, 300, 200, randRuns(rng, 3, 10))
+	if _, err := writeSnapshotFile(fsys, dir, snapDelta, 300, img3); err != nil {
+		t.Fatal(err)
+	}
+
+	chain, paths, stale, err := loadSnapshotChain(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 || len(paths) != 3 || len(stale) != 0 {
+		t.Fatalf("chain %d paths %d stale %d", len(chain), len(paths), len(stale))
+	}
+	if chain[0].seq != 100 || chain[1].seq != 200 || chain[2].seq != 300 {
+		t.Fatalf("chain seqs %d %d %d", chain[0].seq, chain[1].seq, chain[2].seq)
+	}
+}
+
+func TestSnapshotChainGapRefuses(t *testing.T) {
+	fsys := NewMemFS()
+	dir := "snap"
+	rng := rand.New(rand.NewSource(5))
+	for _, s := range []struct {
+		kind         snapKind
+		seq, prevSeq uint64
+	}{{snapFull, 100, 0}, {snapDelta, 200, 100}, {snapDelta, 300, 200}} {
+		img := encodeSnapshot(s.kind, s.seq, s.prevSeq, randRuns(rng, 2, 5))
+		if _, err := writeSnapshotFile(fsys, dir, s.kind, s.seq, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove the middle delta: the chain now has a hole.
+	if err := fsys.Remove(join(dir, snapshotName(snapDelta, 200))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := loadSnapshotChain(fsys, dir); err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("expected chain gap error, got %v", err)
+	}
+}
+
+func TestSnapshotChainStaleAndTmpFiles(t *testing.T) {
+	fsys := NewMemFS()
+	dir := "snap"
+	rng := rand.New(rand.NewSource(6))
+	// An old full + delta, then a newer full that supersedes both, plus
+	// a leftover temp file from a crashed writer.
+	imgOldFull := encodeSnapshot(snapFull, 50, 0, randRuns(rng, 2, 5))
+	if _, err := writeSnapshotFile(fsys, dir, snapFull, 50, imgOldFull); err != nil {
+		t.Fatal(err)
+	}
+	imgOldDelta := encodeSnapshot(snapDelta, 80, 50, randRuns(rng, 2, 5))
+	if _, err := writeSnapshotFile(fsys, dir, snapDelta, 80, imgOldDelta); err != nil {
+		t.Fatal(err)
+	}
+	imgNewFull := encodeSnapshot(snapFull, 90, 0, randRuns(rng, 2, 5))
+	if _, err := writeSnapshotFile(fsys, dir, snapFull, 90, imgNewFull); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := fsys.Create(join(dir, snapshotName(snapDelta, 95)+".tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Write([]byte("partial"))
+	tmp.Close()
+
+	chain, _, stale, err := loadSnapshotChain(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].seq != 90 {
+		t.Fatalf("chain = %d files, first seq %d; want the newest full only", len(chain), chain[0].seq)
+	}
+	if len(stale) != 3 {
+		t.Fatalf("stale = %d files, want 3 (old full, old delta, tmp)", len(stale))
+	}
+}
+
+// A crash between writing a snapshot temp file and the directory sync
+// must leave the previous chain intact and loadable.
+func TestSnapshotCrashBeforeRenameKeepsOldChain(t *testing.T) {
+	fsys := NewMemFS()
+	dir := "snap"
+	rng := rand.New(rand.NewSource(7))
+	img := encodeSnapshot(snapFull, 10, 0, randRuns(rng, 2, 5))
+	if _, err := writeSnapshotFile(fsys, dir, snapFull, 10, img); err != nil {
+		t.Fatal(err)
+	}
+	// Start writing the next delta but crash before it is durable.
+	tmp, _ := fsys.Create(join(dir, snapshotName(snapDelta, 20)+".tmp"))
+	img2 := encodeSnapshot(snapDelta, 20, 10, randRuns(rng, 2, 5))
+	tmp.Write(img2[:len(img2)/2])
+	fsys.Crash()
+	chain, _, _, err := loadSnapshotChain(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].seq != 10 {
+		t.Fatalf("old chain lost: %d files", len(chain))
+	}
+}
+
+func TestSnapshotFirstDeltaMustFollowFull(t *testing.T) {
+	fsys := NewMemFS()
+	dir := "snap"
+	rng := rand.New(rand.NewSource(8))
+	// A delta whose prevSeq is non-zero with no full file before it.
+	img := encodeSnapshot(snapDelta, 200, 100, randRuns(rng, 2, 5))
+	if _, err := writeSnapshotFile(fsys, dir, snapDelta, 200, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := loadSnapshotChain(fsys, dir); err == nil {
+		t.Fatal("orphan delta accepted as a chain")
+	}
+}

@@ -164,6 +164,23 @@ type MetricsSource interface {
 	RegisterMetrics(r *metrics.Registry)
 }
 
+// FaultyStorage is implemented by PHL stores whose reads or writes can
+// fail (internal/storage's tiered store: cold-tier reads hit disk, and
+// the WAL can lose its backing device). The server resolves it once at
+// construction; every request samples the fault counter before touching
+// the store and again before forwarding, and any movement — or a
+// permanently failed store — degrades the request to audited
+// suppression, never to an answer computed over a partial PHL.
+type FaultyStorage interface {
+	// StorageFaults returns a monotone count of storage faults (cold
+	// read errors, WAL append/sync errors) observed so far.
+	StorageFaults() int64
+	// StorageFailed reports whether the store's durable write path is
+	// down for good (a WAL error is fail-stop). While true, every
+	// request is suppressed.
+	StorageFailed() bool
+}
+
 // PolicyResolver chooses a per-request policy from the request context —
 // the "more involved rule-based policy specifications" of §3. The
 // internal/policy package provides a rule-language implementation.
@@ -219,6 +236,13 @@ type Config struct {
 	// faults, and deployments use to pick another stindex
 	// implementation. The index must be empty at configuration time.
 	Index stindex.Index
+	// Store, when non-nil, replaces the default in-memory PHL store —
+	// the hook the durable tiered store (internal/storage) plugs into.
+	// When the store also implements stindex.Index and Index is nil, it
+	// doubles as the spatio-temporal index so hot/cold demotion stays
+	// transparent to Algorithm 1. The store must be empty or restored
+	// from its own durable state at configuration time.
+	Store phl.Storer
 }
 
 // Decision reports what the TS did with one request.
@@ -305,9 +329,14 @@ type Server struct {
 	// traced additionally carries trace contexts into the delivery queue.
 	fallible FallibleOutbox
 	traced   TracedOutbox
-	store    *phl.Store
+	store    phl.Storer
 	index    stindex.Index
-	pseud    *pseudonym.Manager
+	// faulty is store's fault-reporting interface, when it has one
+	// (resolved once at construction so the hot path pays no assertion).
+	// A durable store reports cold-read and WAL failures through it;
+	// requests observing a fault degrade to audited suppression.
+	faulty FaultyStorage
+	pseud  *pseudonym.Manager
 	// gen is shared by all generalization sessions; its components
 	// (index, store, randomizer) each carry their own synchronization.
 	gen *generalize.Generalizer
@@ -392,14 +421,24 @@ func New(cfg Config, out Outbox) *Server {
 	if cfg.StaticZones == nil {
 		cfg.StaticZones = mixzone.NewRegistry()
 	}
+	store := cfg.Store
+	if store == nil {
+		store = phl.NewStore()
+	}
 	index := cfg.Index
 	if index == nil {
-		index = stindex.NewGrid(cfg.GridCell, cfg.GridBucket)
+		// A store that is also an stindex.Index (the tiered store)
+		// serves both roles, so demoted samples stay queryable.
+		if idx, ok := store.(stindex.Index); ok {
+			index = idx
+		} else {
+			index = stindex.NewGrid(cfg.GridCell, cfg.GridBucket)
+		}
 	}
 	s := &Server{
 		cfg:       cfg,
 		out:       out,
-		store:     phl.NewStore(),
+		store:     store,
 		index:     index,
 		pseud:     pseudonym.NewManager(),
 		users:     make(map[phl.UserID]*userState),
@@ -413,6 +452,7 @@ func New(cfg Config, out Outbox) *Server {
 	}
 	s.fallible, _ = out.(FallibleOutbox)
 	s.traced, _ = out.(TracedOutbox)
+	s.faulty, _ = store.(FaultyStorage)
 	s.gen = &generalize.Generalizer{
 		Index:  s.index,
 		Store:  s.store,
@@ -426,7 +466,7 @@ func New(cfg Config, out Outbox) *Server {
 }
 
 // Store exposes the PHL database (read-only use expected).
-func (s *Server) Store() *phl.Store { return s.store }
+func (s *Server) Store() phl.Storer { return s.store }
 
 // Pseudonyms exposes the pseudonym manager, which only the TS holds
 // (experiments use it as the re-identification ground truth).
@@ -543,6 +583,43 @@ func (s *Server) MetricsRegistry() *metrics.Registry {
 				}
 				return 0
 			})
+		// The storage families mirror the same pattern: a durable tiered
+		// store registers live series, the default in-memory store gets
+		// zero placeholders.
+		if src, ok := s.store.(MetricsSource); ok {
+			src.RegisterMetrics(r)
+		} else {
+			for _, name := range []string{
+				obs.MetricStorageWALAppends, obs.MetricStorageWALFsyncs,
+				obs.MetricStorageWALBytes, obs.MetricStorageWALErrors,
+				obs.MetricStorageSnapshotErrors, obs.MetricStorageDemotions,
+				obs.MetricStorageDemotedSamples,
+			} {
+				r.RegisterCounterFunc(name,
+					"Durable tiered-storage counter (zero: in-memory store).",
+					nil, func() int64 { return 0 })
+			}
+			for _, kind := range []string{"full", "delta"} {
+				r.RegisterCounterFunc(obs.MetricStorageSnapshots,
+					"Snapshot files written, by kind.",
+					metrics.Labels{"kind": kind}, func() int64 { return 0 })
+			}
+			for _, result := range []string{"hit", "miss", "error"} {
+				r.RegisterCounterFunc(obs.MetricStorageColdReads,
+					"Cold-tier run reads, by result.",
+					metrics.Labels{"result": result}, func() int64 { return 0 })
+			}
+			for _, name := range []string{
+				obs.MetricStorageWALLag, obs.MetricStorageHotSamples,
+				obs.MetricStorageColdSamples, obs.MetricStorageChainFiles,
+				obs.MetricStorageRecoverySeconds, obs.MetricStorageRecoveryRecords,
+				obs.MetricStorageFailed,
+			} {
+				r.RegisterGaugeFunc(name,
+					"Durable tiered-storage gauge (zero: in-memory store).",
+					nil, func() float64 { return 0 })
+			}
+		}
 		s.Wire.register(r)
 		s.registry = r
 	})
@@ -696,6 +773,12 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 
 	// The request is also a location update. Store and index carry their
 	// own synchronization, so ingestion happens outside any session lock.
+	// faults0 is sampled before the write so a WAL failure during this
+	// very update already counts against forwarding it.
+	var faults0 int64
+	if s.faulty != nil {
+		faults0 = s.faulty.StorageFaults()
+	}
 	s.store.Record(u, p)
 	s.index.Insert(u, p)
 
@@ -837,6 +920,36 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 		if pol.SuppressAtRisk {
 			s.Counters.Inc("suppressed")
 			dec.Suppressed = true
+			s.finishRequest(collect, head, sp, tc, u, p, service, &dec,
+				id, pol.K, achievedK, tol, ctx, zone)
+			return dec
+		}
+	}
+
+	// Fail closed on storage faults: if the durable store lost its write
+	// path, or any cold read failed while this request's anonymity sets
+	// were computed, the boxes above may describe a partial PHL — the
+	// achieved k could be weaker than reported. Suppress and audit
+	// rather than forward. (Concurrent requests may observe each other's
+	// faults and over-suppress; that errs in the conservative
+	// direction.)
+	if s.faulty != nil {
+		var reason string
+		switch {
+		case s.faulty.StorageFailed():
+			reason = "storage_wal_failed"
+		case s.faulty.StorageFaults() != faults0:
+			reason = "storage_cold_read"
+		}
+		if reason != "" {
+			dec.Suppressed = true
+			dec.Degraded = true
+			dec.DegradedReason = reason
+			if collect {
+				sp.Event("shed_" + reason)
+			}
+			s.Counters.Inc("suppressed")
+			s.Counters.Inc("degraded")
 			s.finishRequest(collect, head, sp, tc, u, p, service, &dec,
 				id, pol.K, achievedK, tol, ctx, zone)
 			return dec
@@ -1147,7 +1260,11 @@ func quietForTheta(theta float64, tr link.Tracking) int64 {
 // specifications, and exposure state deliberately starts fresh (a
 // restart is an unlinking opportunity, not a liability).
 func (s *Server) WritePHLSnapshot(w io.Writer) error {
-	return s.store.WriteSnapshot(w)
+	sw, ok := s.store.(interface{ WriteSnapshot(w io.Writer) error })
+	if !ok {
+		return fmt.Errorf("ts: store %T does not support full snapshots", s.store)
+	}
+	return sw.WriteSnapshot(w)
 }
 
 // RestorePHL loads a snapshot written by WritePHLSnapshot into the
