@@ -29,6 +29,10 @@
 //	                    # store per fsync policy, crash-recovery time for
 //	                    # the 10⁶-update workload, post-recovery heap, and
 //	                    # cold-read tail latency (-storage-n scales it)
+//	lbbench -slobench BENCH_slo.json
+//	                    # run the E-slo privacy-SLO-engine overhead
+//	                    # benchmark (engine off / on / on+canary over the
+//	                    # E11 hot path) and write its record
 //	lbbench -benchdiff  # aggregate every checked-in BENCH_*.json into one
 //	                    # performance-trajectory table (scripts/benchdiff.sh)
 package main
@@ -55,6 +59,7 @@ func main() {
 		wirebench    = flag.String("wirebench", "", "run the E-wire binary-protocol benchmark and write its JSON record to this path")
 		compbench    = flag.String("compbench", "", "run the E-comp streaming + approach-comparison benchmark and write its JSON record to this path")
 		storagebench = flag.String("storagebench", "", "run the E-storage durability benchmark and write its JSON record to this path")
+		slobench     = flag.String("slobench", "", "run the E-slo privacy-SLO-engine overhead benchmark and write its JSON record to this path")
 		storageN     = flag.Int("storage-n", 1_000_000, "E-storage workload size in location updates")
 		benchdiff    = flag.Bool("benchdiff", false, "aggregate BENCH_*.json records into a performance-trajectory table")
 	)
@@ -149,6 +154,29 @@ func main() {
 		for _, row := range rep.Rows {
 			fmt.Printf("%-28s %12.0f ops/s  %8.1f ns/op  %3d allocs/op  (%.2fx vs text)\n",
 				row.Mode, row.OpsPerSec, row.NsPerOp, row.AllocsPerOp, row.VsText)
+		}
+		return
+	}
+
+	if *slobench != "" {
+		f, err := os.Create(*slobench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep := sim.RunSLOBench()
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, row := range rep.SLORows {
+			fmt.Printf("%-24s %8.0f req/s  %8.0f ns/op  %3d allocs/op  (%.3fx vs off)\n",
+				row.Mode, row.OpsPerSec, row.NsPerOp, row.AllocsPerOp, row.VsOff)
 		}
 		return
 	}

@@ -45,6 +45,7 @@ import (
 	"histanon/internal/obs"
 	"histanon/internal/policy"
 	"histanon/internal/resilience"
+	"histanon/internal/slo"
 	"histanon/internal/storage"
 	"histanon/internal/ts"
 	"histanon/internal/wire"
@@ -70,6 +71,14 @@ func main() {
 		exemplars = flag.Bool("metrics-exemplars", false, "emit OpenMetrics exemplars (trace ids) on /metrics histogram buckets")
 		auditPath = flag.String("audit", "", "privacy audit log (JSON lines), appended; flushed on SIGINT/SIGTERM")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (operator networks only)")
+
+		// Privacy-SLO engine: windowed burn-rate alerting over the
+		// decision stream plus the live re-identification canary
+		// (GET /v1/slo, the SLO section of /healthz, histanon_slo_*).
+		sloOn        = flag.Bool("slo", true, "enable the privacy-SLO engine (windowed achieved-k tracking and burn-rate alerts)")
+		sloObjective = flag.String("slo-objective", "below_k<0.1%", "privacy objectives, comma-separated signal<budget%[;warn=F][;page=F][;min=N] (signals: below_k, suppression, degraded)")
+		sloWindows   = flag.String("slo-windows", "1m,10m,1h", "SLO sliding windows, comma-separated durations, strictly increasing whole seconds")
+		canaryEvery  = flag.Duration("canary-interval", 0, "re-identification canary probe interval (0 = canary off); probes replay recent forwarded requests through the LT-consistency attack, read-only and rate-limited")
 
 		// HTTP hardening: slowloris and overload protection.
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "http.Server ReadTimeout")
@@ -175,7 +184,26 @@ func main() {
 			info.ColdSamples, info.Replayed, info.TornTail)
 	}
 
+	// SLO engine configuration must settle before ts.New: the engine's
+	// windows and objectives are fixed at construction (the metric
+	// families registered per window depend on them).
+	if *sloOn {
+		objectives, err := slo.ParseObjectives(*sloObjective)
+		if err != nil {
+			log.Fatalf("lbserve: -slo-objective: %v", err)
+		}
+		windows, err := slo.ParseWindows(*sloWindows)
+		if err != nil {
+			log.Fatalf("lbserve: -slo-windows: %v", err)
+		}
+		cfg.SLO = slo.Options{Windows: windows, Objectives: objectives}
+	}
+
 	srv := ts.New(cfg, outbox)
+	if *sloOn {
+		srv.SLO.SetEnabled(true)
+		log.Printf("privacy-SLO engine on: objectives %q, windows %q", *sloObjective, *sloWindows)
+	}
 
 	// Observability knobs: span sampling, ring size, tail sampling,
 	// exemplars, audit sink, delivery spans. The tracer swap must precede
@@ -233,6 +261,21 @@ func main() {
 	if tiered != nil {
 		handler.SetStorage(tiered)
 	}
+	// The re-identification canary: read-only LT-consistency probes over
+	// recently forwarded requests, deferring to admission pressure (the
+	// handler's saturation state is its pressure hook).
+	var canaryStop chan struct{}
+	if *sloOn && *canaryEvery > 0 {
+		canary := slo.NewCanary(slo.CanaryOptions{
+			Store:    srv.Store(),
+			Interval: *canaryEvery,
+			Pressure: handler.UnderPressure,
+		})
+		srv.SLO.AttachCanary(canary)
+		canaryStop = make(chan struct{})
+		go canary.Run(canaryStop)
+		log.Printf("re-identification canary probing every %s", *canaryEvery)
+	}
 	wto := *writeTimeout
 	if *pprofOn {
 		handler.EnablePprof()
@@ -259,6 +302,9 @@ func main() {
 		// Shutdown order: stop the periodic loop, write the final
 		// snapshot, drain the delivery queue, flush the audit log (the
 		// drain can append drop events), then close the listener.
+		if canaryStop != nil {
+			close(canaryStop)
+		}
 		if snap != nil {
 			snap.Stop()
 			if err := snap.Save(); err != nil {

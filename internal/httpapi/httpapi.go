@@ -185,6 +185,7 @@ func New(srv *ts.Server) *Handler {
 	h.mux.HandleFunc("/v1/stats", h.handleStats)
 	h.mux.HandleFunc("/v1/spans", h.handleSpans)
 	h.mux.HandleFunc("/v1/spans/summary", h.handleSpansSummary)
+	h.mux.HandleFunc("/v1/slo", h.handleSLO)
 	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	h.mux.HandleFunc("/healthz", h.handleHealthz)
 	return h
@@ -343,10 +344,11 @@ func (h *Handler) handleSpansSummary(w http.ResponseWriter, r *http.Request) {
 
 // ServeHTTP implements http.Handler. When an admission limit is set,
 // requests beyond it are shed with 503 + Retry-After instead of queuing
-// without bound; /healthz and /metrics bypass the limit so the overload
-// itself stays observable.
+// without bound; /healthz, /metrics and /v1/slo bypass the limit so the
+// overload — and any privacy burn it causes — stays observable.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if h.maxInFlight > 0 && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+	if h.maxInFlight > 0 && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" &&
+		r.URL.Path != "/v1/slo" {
 		if h.inflight.Add(1) > h.maxInFlight {
 			h.inflight.Add(-1)
 			h.shed.Add(1)
@@ -379,6 +381,9 @@ type HealthResponse struct {
 	SnapshotAgeSeconds *float64 `json:"snapshotAgeSeconds,omitempty"`
 	// Storage describes the durable tiered PHL store, when one is wired.
 	Storage *StorageHealth `json:"storage,omitempty"`
+	// SLO summarizes the privacy-SLO engine (objective states and canary
+	// staleness) when the engine is enabled.
+	SLO *SLOHealth `json:"slo,omitempty"`
 }
 
 // StorageHealth is the durable-storage section of /healthz: the state
@@ -470,6 +475,7 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp.Degraded = append(resp.Degraded, "storage_wal_failed")
 		}
 	}
+	resp.SLO = h.sloHealth(&resp.Degraded)
 	if len(resp.Degraded) > 0 {
 		resp.Status = "degraded"
 	}

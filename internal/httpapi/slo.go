@@ -1,0 +1,207 @@
+// GET /v1/slo: the privacy-SLO engine's live view — window aggregates,
+// objective burn rates and states, and the re-identification canary —
+// plus the SLO section of /healthz. Every JSON field here is documented
+// in OBSERVABILITY.md (checkobsdocs.sh gates the two against each
+// other). The endpoint is admission-exempt like /metrics: a privacy
+// burn during overload is exactly when an operator needs to read it.
+
+package httpapi
+
+import (
+	"net/http"
+
+	"histanon/internal/slo"
+)
+
+// SLOResponse is the body of GET /v1/slo.
+type SLOResponse struct {
+	// Enabled reports whether the engine is recording; all other fields
+	// read zero while disabled.
+	Enabled bool `json:"enabled"`
+	// T is the engine's logical clock: the newest decision timestamp
+	// observed (-1 before any decision).
+	T int64 `json:"t"`
+	// DecisionsTotal / BelowKTotal are lifetime counts.
+	DecisionsTotal int64 `json:"decisionsTotal"`
+	BelowKTotal    int64 `json:"belowKTotal"`
+	// Windows holds per-window privacy aggregates, shortest first.
+	Windows []SLOWindowJSON `json:"windows"`
+	// Objectives holds per-objective burn rates and alert states.
+	Objectives []SLOObjectiveJSON `json:"objectives"`
+	// Canary describes the re-identification canary, when one is wired.
+	Canary *SLOCanaryJSON `json:"canary,omitempty"`
+}
+
+// SLOWindowJSON is one sliding window's aggregate.
+type SLOWindowJSON struct {
+	// Window is the window name ("1m"); Seconds its span.
+	Window  string `json:"window"`
+	Seconds int64  `json:"seconds"`
+	// Decisions is how many decisions the window holds; BelowK how many
+	// achieved less than the requested k.
+	Decisions int64 `json:"decisions"`
+	BelowK    int64 `json:"belowK"`
+	// BelowKRatio / SuppressionRatio / DegradedRatio are fractions of
+	// Decisions (0 when the window is empty).
+	BelowKRatio      float64 `json:"belowKRatio"`
+	SuppressionRatio float64 `json:"suppressionRatio"`
+	DegradedRatio    float64 `json:"degradedRatio"`
+	// KP5 / KP50 are achieved-k quantiles over the window's generalized
+	// decisions (0 when none).
+	KP5  float64 `json:"kP5"`
+	KP50 float64 `json:"kP50"`
+}
+
+// SLOObjectiveJSON is one objective's burn-rate evaluation.
+type SLOObjectiveJSON struct {
+	// Objective is the bounded signal ("below_k"); Spec the full
+	// objective in spec syntax.
+	Objective string `json:"objective"`
+	Spec      string `json:"spec"`
+	// BudgetPct is the error budget in percent.
+	BudgetPct float64 `json:"budgetPct"`
+	// State is "ok", "warning" or "page"; Since the logical time the
+	// objective entered it.
+	State string `json:"state"`
+	Since int64  `json:"since"`
+	// Burns holds the per-window burn rates behind the state.
+	Burns []SLOBurnJSON `json:"burns"`
+}
+
+// SLOBurnJSON is one window's burn measurement for one objective.
+type SLOBurnJSON struct {
+	Window    string `json:"window"`
+	Decisions int64  `json:"decisions"`
+	// Ratio is the observed bad-decision fraction; Burn is Ratio over
+	// the objective's budget (1.0 = spending exactly the budget).
+	Ratio float64 `json:"ratio"`
+	Burn  float64 `json:"burn"`
+}
+
+// SLOCanaryJSON is the canary section of /v1/slo.
+type SLOCanaryJSON struct {
+	// Captured is how many forwarded generalized requests the capture
+	// ring currently holds; Probes how many attack rounds have run.
+	Captured int   `json:"captured"`
+	Probes   int64 `json:"probes"`
+	// AgeSeconds is the wall age of the last probe (-1 before the
+	// first); Stale is true when the canary has work but hasn't probed
+	// within three intervals (pressure or failure starvation).
+	AgeSeconds float64 `json:"ageSeconds"`
+	Stale      bool    `json:"stale"`
+	// Last is the most recent probe result (see slo.CanaryResult).
+	Last *slo.CanaryResult `json:"last,omitempty"`
+}
+
+// handleSLO serves GET /v1/slo. It runs a fresh burn-rate evaluation at
+// the engine's logical now, so the response always reflects the current
+// windows (and any due state transition is taken, audited and counted
+// before it is reported).
+func (h *Handler) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	e := h.srv.SLO
+	resp := SLOResponse{
+		Enabled:        e.Enabled(),
+		T:              e.Now(),
+		DecisionsTotal: e.DecisionsTotal(),
+		BelowKTotal:    e.BelowKTotal(),
+	}
+	for _, s := range e.Snapshots(resp.T) {
+		resp.Windows = append(resp.Windows, SLOWindowJSON{
+			Window:           s.Name,
+			Seconds:          s.Seconds,
+			Decisions:        s.Decisions,
+			BelowK:           s.BelowK,
+			BelowKRatio:      s.BelowKRatio(),
+			SuppressionRatio: s.SuppressionRatio(),
+			DegradedRatio:    s.DegradedRatio(),
+			KP5:              s.KQuantile(0.05),
+			KP50:             s.KQuantile(0.50),
+		})
+	}
+	for _, os := range e.Evaluate(resp.T).Objectives {
+		oj := SLOObjectiveJSON{
+			Objective: os.Objective.Signal,
+			Spec:      os.Objective.Spec(),
+			BudgetPct: os.Objective.Budget * 100,
+			State:     os.State.String(),
+			Since:     os.Since,
+		}
+		for _, b := range os.Burns {
+			oj.Burns = append(oj.Burns, SLOBurnJSON{
+				Window: b.Window, Decisions: b.Decisions,
+				Ratio: b.Ratio, Burn: b.Burn,
+			})
+		}
+		resp.Objectives = append(resp.Objectives, oj)
+	}
+	if c := e.CanaryAttached(); c != nil {
+		cj := &SLOCanaryJSON{
+			Captured:   c.Captured(),
+			Probes:     c.Probes(),
+			AgeSeconds: c.AgeSeconds(),
+			Stale:      c.Stale(),
+		}
+		if last, ok := c.Last(); ok {
+			cj.Last = &last
+		}
+		resp.Canary = cj
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SLOHealth is the privacy-SLO section of /healthz: present whenever
+// the engine is enabled, so a liveness probe also answers "is the
+// privacy budget burning".
+type SLOHealth struct {
+	// State is the worst objective state ("ok", "warning", "page").
+	State string `json:"state"`
+	// Objectives maps each objective's signal to its state.
+	Objectives map[string]string `json:"objectives,omitempty"`
+	// CanaryAgeSeconds / CanaryStale mirror the canary's staleness
+	// (omitted when no canary is wired).
+	CanaryAgeSeconds *float64 `json:"canaryAgeSeconds,omitempty"`
+	CanaryStale      bool     `json:"canaryStale,omitempty"`
+}
+
+// sloHealth builds the /healthz SLO section and appends any degraded
+// reasons (slo_warning:<objective>, slo_page:<objective>, canary_stale).
+// Returns nil while the engine is disabled.
+func (h *Handler) sloHealth(degraded *[]string) *SLOHealth {
+	e := h.srv.SLO
+	if !e.Enabled() {
+		return nil
+	}
+	sh := &SLOHealth{
+		State:      e.WorstState().String(),
+		Objectives: map[string]string{},
+	}
+	for _, o := range e.Objectives() {
+		st, _ := e.State(o.Signal)
+		sh.Objectives[o.Signal] = st.String()
+		switch st {
+		case slo.StateWarning:
+			*degraded = append(*degraded, "slo_warning:"+o.Signal)
+		case slo.StatePage:
+			*degraded = append(*degraded, "slo_page:"+o.Signal)
+		}
+	}
+	if c := e.CanaryAttached(); c != nil {
+		age := c.AgeSeconds()
+		sh.CanaryAgeSeconds = &age
+		sh.CanaryStale = c.Stale()
+		if sh.CanaryStale {
+			*degraded = append(*degraded, "canary_stale")
+		}
+	}
+	return sh
+}
+
+// UnderPressure reports whether admission control is saturated — the
+// canary's pressure hook: probes defer to user traffic while shedding.
+func (h *Handler) UnderPressure() bool {
+	return h.maxInFlight > 0 && h.inflight.Load() >= h.maxInFlight
+}

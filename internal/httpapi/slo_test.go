@@ -1,0 +1,299 @@
+// End-to-end privacy-burn smoke: real HTTP traffic seeds a below-k
+// breach, and the resulting warning → page escalation must be visible on
+// every operator surface at once — /v1/slo, the /healthz SLO section,
+// the histanon_slo_* metric families, and the KindSLO audit records.
+
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"histanon/internal/obs"
+	"histanon/internal/slo"
+	"histanon/internal/sp"
+	"histanon/internal/tgran"
+	"histanon/internal/ts"
+)
+
+// newSLOTestServer builds a server with short SLO windows, an aggressive
+// below_k objective (10% budget, warn 2x, page 10x, min 5), a live audit
+// log, and the engine enabled — the same shape lbserve wires, scaled for
+// a test.
+func newSLOTestServer(t *testing.T) (*httptest.Server, *ts.Server, *bytes.Buffer) {
+	t.Helper()
+	srv := ts.New(ts.Config{
+		DefaultPolicy: ts.Policy{K: 3},
+		SLO: slo.Options{
+			Windows: []slo.WindowSpec{
+				{Name: "5s", Seconds: 5}, {Name: "15s", Seconds: 15}, {Name: "60s", Seconds: 60},
+			},
+			Objectives: []slo.Objective{{
+				Signal: slo.SignalBelowK, Budget: 0.10,
+				WarnBurn: 2, PageBurn: 10, MinDecisions: 5,
+			}},
+			MinEvalGap: -1,
+		},
+	}, sp.NewProvider())
+	var audit bytes.Buffer
+	srv.Obs.SetAudit(obs.NewAuditLog(&audit))
+	srv.SLO.SetEnabled(true)
+	hts := httptest.NewServer(New(srv))
+	t.Cleanup(hts.Close)
+	return hts, srv, &audit
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestSLOBreachEndToEnd(t *testing.T) {
+	hts, srv, audit := newSLOTestServer(t)
+	c := NewClient(hts.URL)
+
+	// User 1 commutes through a crowded area: requests achieve k.
+	// User 20 demands k=50 from a store holding ~10 users: generalization
+	// cannot find enough peers anywhere, so every request lands at
+	// achieved k=1 — the seeded privacy burn.
+	if err := c.AddLBQID(1, commuteSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPolicy(20, 50, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLBQID(20, `
+lbqid "lonely" {
+    element area [1000,1400]x[1000,1400] time [06:00,10:00]
+    recurrence 1.Days
+}`); err != nil {
+		t.Fatal(err)
+	}
+	for u := int64(2); u <= 9; u++ {
+		if err := c.RecordLocation(u, float64(u*20), float64(u*15), 7*tgran.Hour+u*30); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	base := int64(7 * tgran.Hour)
+	// Phase 1: 60s of healthy traffic fills every window at 0% below-k.
+	for i := int64(0); i < 60; i++ {
+		dec, err := c.Request(ServiceRequest{
+			User: 1, X: 100, Y: 100, T: base + i, Service: "navigation",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Generalized || !dec.HKAnonymity {
+			t.Fatalf("healthy request %d: %+v", i, dec)
+		}
+	}
+	var healthy SLOResponse
+	getJSON(t, hts.URL+"/v1/slo", &healthy)
+	if !healthy.Enabled || healthy.Objectives[0].State != "ok" {
+		t.Fatalf("healthy /v1/slo: %+v", healthy)
+	}
+
+	// Phase 2: 20s of below-k traffic — 100% burn in the short and mid
+	// windows, 10x the 10% budget.
+	for i := int64(60); i < 80; i++ {
+		dec, err := c.Request(ServiceRequest{
+			User: 20, X: 1200, Y: 1200, T: base + i, Service: "navigation",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.HKAnonymity {
+			t.Fatalf("breach request %d unexpectedly achieved k: %+v", i, dec)
+		}
+	}
+
+	// /v1/slo: the objective must have escalated to page, and the short
+	// window must read a 100% below-k ratio.
+	var burned SLOResponse
+	getJSON(t, hts.URL+"/v1/slo", &burned)
+	if burned.Objectives[0].State != "page" {
+		t.Fatalf("breached /v1/slo state = %q: %+v", burned.Objectives[0].State, burned)
+	}
+	if burned.Windows[0].BelowKRatio != 1 {
+		t.Fatalf("short window ratio = %g: %+v", burned.Windows[0].BelowKRatio, burned.Windows[0])
+	}
+	var pageBurn float64
+	for _, b := range burned.Objectives[0].Burns {
+		if b.Window == "5s" {
+			pageBurn = b.Burn
+		}
+	}
+	if pageBurn < 10 {
+		t.Fatalf("short-window burn = %g, want >= 10", pageBurn)
+	}
+	if burned.BelowKTotal != 20 || burned.DecisionsTotal != 80 {
+		t.Fatalf("totals: %+v", burned)
+	}
+
+	// /healthz: the SLO section reports the page and names the objective
+	// in the degraded reasons.
+	var health HealthResponse
+	getJSON(t, hts.URL+"/healthz", &health)
+	if health.SLO == nil || health.SLO.State != "page" {
+		t.Fatalf("/healthz SLO section: %+v", health.SLO)
+	}
+	if health.SLO.Objectives[slo.SignalBelowK] != "page" {
+		t.Fatalf("/healthz objective states: %+v", health.SLO.Objectives)
+	}
+	found := false
+	for _, d := range health.Degraded {
+		if d == "slo_page:"+slo.SignalBelowK {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded reasons lack the page: %v", health.Degraded)
+	}
+
+	// /metrics: state gauge at 2 (page), transition counters present.
+	resp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metricsOut := string(body)
+	for _, want := range []string{
+		obs.MetricSLOState + `{objective="below_k"} 2`,
+		obs.MetricSLOTransitions + `{objective="below_k",to="page"} 1`,
+		obs.MetricSLOBelowK + " 20",
+		obs.MetricSLODecisions + " 80",
+	} {
+		if !strings.Contains(metricsOut, want) {
+			t.Fatalf("/metrics lacks %q", want)
+		}
+	}
+
+	// Audit log: the escalation left KindSLO records, ending in the page
+	// transition with a burn rate at or above the page threshold.
+	if err := srv.Obs.AuditSink().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(audit.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sloEvents []obs.Event
+	for _, e := range events {
+		if e.Kind == obs.KindSLO {
+			sloEvents = append(sloEvents, e)
+		}
+	}
+	if len(sloEvents) == 0 {
+		t.Fatal("no KindSLO audit records")
+	}
+	last := sloEvents[len(sloEvents)-1]
+	if last.Objective != slo.SignalBelowK || last.SLOState != "page" || last.BurnRate < 10 {
+		t.Fatalf("last KindSLO record: %+v", last)
+	}
+
+	// The engine's own state agrees with every surface.
+	if st, _ := srv.SLO.State(slo.SignalBelowK); st != slo.StatePage {
+		t.Fatalf("engine state = %v", st)
+	}
+}
+
+func TestSLOEndpointDisabledEngine(t *testing.T) {
+	srv := ts.New(ts.Config{DefaultPolicy: ts.Policy{K: 3}}, sp.NewProvider())
+	hts := httptest.NewServer(New(srv))
+	t.Cleanup(hts.Close)
+
+	var resp SLOResponse
+	if code := getJSON(t, hts.URL+"/v1/slo", &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if resp.Enabled || resp.T != -1 || resp.DecisionsTotal != 0 {
+		t.Fatalf("disabled response: %+v", resp)
+	}
+	// No SLO section in /healthz while the engine is off.
+	var health HealthResponse
+	getJSON(t, hts.URL+"/healthz", &health)
+	if health.SLO != nil {
+		t.Fatalf("/healthz has an SLO section with the engine off: %+v", health.SLO)
+	}
+}
+
+func TestSLOEndpointMethodNotAllowed(t *testing.T) {
+	hts, _, _ := newSLOTestServer(t)
+	resp, err := http.Post(hts.URL+"/v1/slo", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/slo status = %d", resp.StatusCode)
+	}
+}
+
+func TestSLOCanaryOverHTTP(t *testing.T) {
+	hts, srv, _ := newSLOTestServer(t)
+	c := NewClient(hts.URL)
+
+	store, ok := srv.Store().(slo.AttackStore)
+	if !ok {
+		t.Fatal("store does not expose the attack read")
+	}
+	canary := slo.NewCanary(slo.CanaryOptions{Store: store, Pressure: nil})
+	srv.SLO.AttachCanary(canary)
+
+	if err := c.AddLBQID(1, commuteSpec); err != nil {
+		t.Fatal(err)
+	}
+	for u := int64(2); u <= 9; u++ {
+		if err := c.RecordLocation(u, float64(u*20), float64(u*15), 7*tgran.Hour+u*30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 10; i++ {
+		if _, err := c.Request(ServiceRequest{
+			User: 1, X: 100, Y: 100, T: 7*tgran.Hour + i, Service: "navigation",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if canary.Captured() == 0 {
+		t.Fatal("the canary captured nothing")
+	}
+	if _, ok := canary.Probe(); !ok {
+		t.Fatal("probe skipped")
+	}
+
+	var resp SLOResponse
+	getJSON(t, hts.URL+"/v1/slo", &resp)
+	if resp.Canary == nil {
+		t.Fatal("/v1/slo lacks the canary section")
+	}
+	if resp.Canary.Probes != 1 || resp.Canary.Captured == 0 || resp.Canary.Last == nil {
+		t.Fatalf("canary section: %+v", resp.Canary)
+	}
+	if resp.Canary.Last.Identified != 0 {
+		t.Fatalf("canary re-identified under k-anonymity: %+v", resp.Canary.Last)
+	}
+	var health HealthResponse
+	getJSON(t, hts.URL+"/healthz", &health)
+	if health.SLO == nil || health.SLO.CanaryAgeSeconds == nil {
+		t.Fatalf("/healthz lacks canary staleness: %+v", health.SLO)
+	}
+	if health.SLO.CanaryStale {
+		t.Fatal("fresh canary reads stale")
+	}
+}

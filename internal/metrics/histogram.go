@@ -222,6 +222,42 @@ func (h *Histogram) Merge(o *Histogram) error {
 	}
 }
 
+// AddBucketCounts folds raw per-bucket counts into h — the merge path
+// for aggregators (sliding windows, shard sums, audit replays) that
+// accumulate bucket counts outside a Histogram and want quantile and
+// exposition support over the sum. counts must have exactly one entry
+// per bucket including the overflow slot (len(Bounds())+1), in the
+// BucketCounts index space; sum is the corresponding observation sum
+// (pass 0 when unknown — Quantile does not use it). Negative counts and
+// length mismatches return an error without mutating h.
+func (h *Histogram) AddBucketCounts(counts []int64, sum float64) error {
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("metrics: AddBucketCounts length mismatch: got %d, want %d", len(counts), len(h.counts))
+	}
+	var total int64
+	for i, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("metrics: AddBucketCounts negative count %d at bucket %d", c, i)
+		}
+		total += c
+	}
+	if math.IsNaN(sum) {
+		return fmt.Errorf("metrics: AddBucketCounts NaN sum")
+	}
+	for i, c := range counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(total)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+sum)) {
+			return nil
+		}
+	}
+}
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts
 // by linear interpolation inside the owning bucket. It returns NaN with
 // no observations; observations in the overflow bucket resolve to the

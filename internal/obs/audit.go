@@ -31,6 +31,11 @@ const (
 	// dropped before reaching the service provider (deadline expiry,
 	// breaker opening mid-flight, or retries exhausted).
 	KindDelivery = "delivery"
+	// KindSLO is a privacy-SLO burn-rate state transition from
+	// internal/slo: an objective moved between ok, warning and page.
+	// These records make alert history replayable from the audit log
+	// alone, next to the decisions that caused the burn.
+	KindSLO = "slo"
 )
 
 // Event is one audit record. Numeric identity fields are int64 so logs
@@ -94,6 +99,17 @@ type Event struct {
 	// identifiers (KindRotation only).
 	OldPseudonym string `json:"old_pseudonym,omitempty"`
 	NewPseudonym string `json:"new_pseudonym,omitempty"`
+	// Objective names the privacy objective whose burn-rate state changed
+	// (KindSLO only), as written in the objective spec (e.g. "below_k").
+	Objective string `json:"objective,omitempty"`
+	// SLOState and SLOFrom record a KindSLO transition's new and previous
+	// states ("ok", "warning", "page").
+	SLOState string `json:"slo_state,omitempty"`
+	SLOFrom  string `json:"slo_from,omitempty"`
+	// BurnRate is the short-window burn rate (observed bad-decision ratio
+	// divided by the objective's budget) at the moment of a KindSLO
+	// transition.
+	BurnRate float64 `json:"burn_rate,omitempty"`
 }
 
 // AuditLog writes events as JSON lines. It is safe for concurrent use;

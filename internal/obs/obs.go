@@ -99,6 +99,25 @@ const (
 	MetricStorageRecoverySeconds = "histanon_storage_recovery_seconds"
 	MetricStorageRecoveryRecords = "histanon_storage_recovery_records"
 	MetricStorageFailed          = "histanon_storage_failed"
+
+	// Privacy-SLO families (internal/slo): windowed privacy aggregates,
+	// burn-rate alert states and the re-identification canary.
+	MetricSLODecisions         = "histanon_slo_decisions_total"
+	MetricSLOBelowK            = "histanon_slo_below_k_total"
+	MetricSLODroppedLate       = "histanon_slo_dropped_late_total"
+	MetricSLOBelowKRatio       = "histanon_slo_below_k_ratio"
+	MetricSLOSuppressionRatio  = "histanon_slo_suppression_ratio"
+	MetricSLODegradedRatio     = "histanon_slo_degraded_ratio"
+	MetricSLOAchievedKQuantile = "histanon_slo_achieved_k_quantile"
+	MetricSLOBurnRate          = "histanon_slo_burn_rate"
+	MetricSLOState             = "histanon_slo_state"
+	MetricSLOTransitions       = "histanon_slo_transitions_total"
+	MetricSLOCanaryLinkProb    = "histanon_slo_canary_link_probability"
+	MetricSLOCanaryReident     = "histanon_slo_canary_reidentified_ratio"
+	MetricSLOCanaryAnonSet     = "histanon_slo_canary_anon_set_mean"
+	MetricSLOCanaryProbes      = "histanon_slo_canary_probes_total"
+	MetricSLOCanarySkipped     = "histanon_slo_canary_skipped_total"
+	MetricSLOCanaryAge         = "histanon_slo_canary_age_seconds"
 )
 
 // MetricNames lists every metric family the server registers, for the
@@ -121,6 +140,13 @@ func MetricNames() []string {
 		MetricStorageColdReads, MetricStorageHotSamples, MetricStorageColdSamples,
 		MetricStorageChainFiles, MetricStorageRecoverySeconds,
 		MetricStorageRecoveryRecords, MetricStorageFailed,
+		MetricSLODecisions, MetricSLOBelowK, MetricSLODroppedLate,
+		MetricSLOBelowKRatio, MetricSLOSuppressionRatio,
+		MetricSLODegradedRatio, MetricSLOAchievedKQuantile,
+		MetricSLOBurnRate, MetricSLOState, MetricSLOTransitions,
+		MetricSLOCanaryLinkProb, MetricSLOCanaryReident,
+		MetricSLOCanaryAnonSet, MetricSLOCanaryProbes,
+		MetricSLOCanarySkipped, MetricSLOCanaryAge,
 	}
 }
 

@@ -289,7 +289,7 @@ func TestMetricNamesUniqueAndValid(t *testing.T) {
 		}
 		seen[name] = true
 	}
-	if len(seen) != 41 {
-		t.Fatalf("MetricNames lists %d families, want 41", len(seen))
+	if len(seen) != 57 {
+		t.Fatalf("MetricNames lists %d families, want 57", len(seen))
 	}
 }

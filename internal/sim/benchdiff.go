@@ -49,14 +49,15 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 		WireRows    []WireBenchRow    `json:"wire_rows"`
 		StreamRows  []StreamRow       `json:"stream_rows"`
 		StorageRows []StorageBenchRow `json:"storage_rows"`
+		SLORows     []SLOBenchRow     `json:"slo_rows"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, err
 	}
 	if probe.Throughput == nil && probe.Rows == nil && probe.WireRows == nil &&
-		probe.StreamRows == nil && probe.StorageRows == nil {
-		return nil, fmt.Errorf("unrecognized bench record shape (no %q, %q, %q, %q or %q key)",
-			"throughput", "rows", "wire_rows", "stream_rows", "storage_rows")
+		probe.StreamRows == nil && probe.StorageRows == nil && probe.SLORows == nil {
+		return nil, fmt.Errorf("unrecognized bench record shape (no %q, %q, %q, %q, %q or %q key)",
+			"throughput", "rows", "wire_rows", "stream_rows", "storage_rows", "slo_rows")
 	}
 	var out []benchDiffRow
 	for _, tp := range probe.Throughput {
@@ -126,6 +127,24 @@ func parseBenchRecord(name string, data []byte) ([]benchDiffRow, error) {
 			rel:    fmt.Sprintf("%.0fMB peak", r.PeakHeapMB),
 		})
 	}
+	// E-slo rows share the overhead-record shape: "relative" carries
+	// the throughput ratio against the engine-off baseline.
+	for _, r := range probe.SLORows {
+		bytes := "-"
+		if r.BytesPerOp > 0 {
+			bytes = fmt.Sprintf("%d", r.BytesPerOp)
+		}
+		out = append(out, benchDiffRow{
+			record: name,
+			config: r.Mode,
+			reqs:   fmt.Sprintf("%.0f", r.OpsPerSec),
+			ns:     fmt.Sprintf("%.0f", r.NsPerOp),
+			allocs: fmt.Sprintf("%d", r.AllocsPerOp),
+			bytes:  bytes,
+			rel:    fmt.Sprintf("%.3fx", r.VsOff),
+		})
+	}
+
 	// E-storage rows: ingestion modes carry per-record costs and the
 	// durability price in "relative"; the recovery and cold-read rows
 	// carry their own headline number there instead.

@@ -1,0 +1,113 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseObjectives pins the objective-spec parser's invariants: on
+// accept, every objective is well-formed (known signal, budget in (0,1),
+// 1 ≤ warn ≤ page, min ≥ 0, no duplicate signals) and its Spec()
+// rendering re-parses to the same objective; on reject, the error names
+// the package. CI runs the checked-in corpus
+// (testdata/fuzz/FuzzParseObjectives) on every build.
+func FuzzParseObjectives(f *testing.F) {
+	for _, seed := range []string{
+		"below_k<0.1%",
+		"below_k<0.1%;warn=2;page=10;min=50",
+		"below_k<0.1%,suppression<5%,degraded<1%",
+		" below_k < 5% ; page = 20 ",
+		"",
+		",",
+		"below_k",
+		"typo<1%",
+		"below_k<1",
+		"below_k<0%",
+		"below_k<100%",
+		"below_k<1%;warn=0.5",
+		"below_k<1%;warn=5;page=2",
+		"below_k<1%,below_k<2%",
+		"below_k<1e-4%",
+		"below_k<1%;min=-1",
+		"below_k<1%;;min=3",
+		"suppression<99.999%",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		objs, err := ParseObjectives(spec)
+		if err != nil {
+			if !strings.Contains(err.Error(), "slo:") {
+				t.Fatalf("error without package prefix: %v", err)
+			}
+			return
+		}
+		if len(objs) == 0 {
+			t.Fatalf("accepted %q with zero objectives", spec)
+		}
+		seen := map[string]bool{}
+		for _, o := range objs {
+			switch o.Signal {
+			case SignalBelowK, SignalSuppression, SignalDegraded:
+			default:
+				t.Fatalf("accepted unknown signal %q from %q", o.Signal, spec)
+			}
+			if seen[o.Signal] {
+				t.Fatalf("accepted duplicate signal %q from %q", o.Signal, spec)
+			}
+			seen[o.Signal] = true
+			if !(o.Budget > 0 && o.Budget < 1) {
+				t.Fatalf("budget %g out of (0,1) from %q", o.Budget, spec)
+			}
+			if o.WarnBurn < 1 || o.PageBurn < o.WarnBurn {
+				t.Fatalf("burns %g/%g malformed from %q", o.WarnBurn, o.PageBurn, spec)
+			}
+			if o.MinDecisions < 0 {
+				t.Fatalf("min %d negative from %q", o.MinDecisions, spec)
+			}
+			// Spec() must round-trip through the parser.
+			again, err := ParseObjectives(o.Spec())
+			if err != nil {
+				t.Fatalf("Spec() %q of %q does not re-parse: %v", o.Spec(), spec, err)
+			}
+			if len(again) != 1 || again[0].Signal != o.Signal ||
+				again[0].WarnBurn != o.WarnBurn || again[0].PageBurn != o.PageBurn {
+				t.Fatalf("Spec() round trip drifted: %+v -> %q -> %+v", o, o.Spec(), again)
+			}
+		}
+	})
+}
+
+// FuzzParseWindows pins the window parser the same way: accepted window
+// lists are positive whole seconds, strictly increasing, ≤ 24h, and
+// usable to construct an engine without panicking.
+func FuzzParseWindows(f *testing.F) {
+	for _, seed := range []string{
+		"1m,10m,1h", "30s", "", "nope", "500ms", "-1m", "25h", "10m,1m", "1m, 1m",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		ws, err := ParseWindows(spec)
+		if err != nil {
+			return
+		}
+		if len(ws) == 0 {
+			t.Fatalf("accepted %q with zero windows", spec)
+		}
+		prev := int64(0)
+		for _, w := range ws {
+			if w.Seconds <= prev || w.Seconds > 86400 {
+				t.Fatalf("window %+v malformed from %q", w, spec)
+			}
+			prev = w.Seconds
+		}
+		// Accepted windows must construct a working engine.
+		e := New(Options{Windows: ws, MinEvalGap: -1})
+		e.SetEnabled(true)
+		e.Observe(Decision{T: 100, RequestedK: 5, AchievedK: 5, Generalized: true})
+		if e.DecisionsTotal() != 1 {
+			t.Fatalf("engine over %q dropped the decision", spec)
+		}
+	})
+}

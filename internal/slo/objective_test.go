@@ -1,0 +1,156 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseObjectivesValid(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Objective
+	}{
+		{"below_k<0.1%", []Objective{
+			{Signal: SignalBelowK, Budget: 0.001, WarnBurn: 2, PageBurn: 10, MinDecisions: 10},
+		}},
+		{" below_k < 5% ; warn=3 ; page=20 ; min=50 ", []Objective{
+			{Signal: SignalBelowK, Budget: 0.05, WarnBurn: 3, PageBurn: 20, MinDecisions: 50},
+		}},
+		{"below_k<0.1%,suppression<5%,degraded<1%;page=4;warn=4", []Objective{
+			{Signal: SignalBelowK, Budget: 0.001, WarnBurn: 2, PageBurn: 10, MinDecisions: 10},
+			{Signal: SignalSuppression, Budget: 0.05, WarnBurn: 2, PageBurn: 10, MinDecisions: 10},
+			{Signal: SignalDegraded, Budget: 0.01, WarnBurn: 4, PageBurn: 4, MinDecisions: 10},
+		}},
+		{"below_k<0.1%,", []Objective{ // trailing comma tolerated
+			{Signal: SignalBelowK, Budget: 0.001, WarnBurn: 2, PageBurn: 10, MinDecisions: 10},
+		}},
+	}
+	for _, c := range cases {
+		got, err := ParseObjectives(c.spec)
+		if err != nil {
+			t.Fatalf("ParseObjectives(%q): %v", c.spec, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("ParseObjectives(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ParseObjectives(%q)[%d] = %+v, want %+v", c.spec, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseObjectivesInvalid(t *testing.T) {
+	cases := []struct {
+		spec, wantErr string
+	}{
+		{"", "empty"},
+		{" , ", "empty"},
+		{"below_k", "want signal<budget"},
+		{"typo<1%", "unknown signal"},
+		{"below_k<1", "must end in %"},
+		{"below_k<x%", "bad budget"},
+		{"below_k<0%", "budget must be in"},
+		{"below_k<100%", "budget must be in"},
+		{"below_k<-3%", "budget must be in"},
+		{"below_k<1%;warn", "want key=value"},
+		{"below_k<1%;warn=0.5", "must be in [1, 1e6]"},
+		{"below_k<1%;page=nope", "bad page"},
+		{"below_k<1%;min=-1", "min must be"},
+		{"below_k<1%;min=x", "bad min"},
+		{"below_k<1%;zap=1", "unknown option"},
+		{"below_k<1%;warn=5;page=2", "page burn 2 below warn burn 5"},
+		{"below_k<1%,below_k<2%", "duplicate objective"},
+	}
+	for _, c := range cases {
+		_, err := ParseObjectives(c.spec)
+		if err == nil {
+			t.Fatalf("ParseObjectives(%q) accepted", c.spec)
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ParseObjectives(%q) err = %q, want substring %q", c.spec, err, c.wantErr)
+		}
+	}
+}
+
+func TestObjectiveSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{"below_k<0.1%", "suppression<5%;warn=3;page=12"} {
+		parsed, err := ParseObjectives(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseObjectives(parsed[0].Spec())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", parsed[0].Spec(), err)
+		}
+		// Spec() doesn't render min, so compare everything else.
+		a, b := parsed[0], again[0]
+		a.MinDecisions, b.MinDecisions = 0, 0
+		if a != b {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v", spec, parsed[0], parsed[0].Spec(), again[0])
+		}
+	}
+}
+
+func TestParseWindowsValid(t *testing.T) {
+	got, err := ParseWindows("30s, 1m,10m , 1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WindowSpec{{"30s", 30}, {"1m", 60}, {"10m", 600}, {"1h", 3600}}
+	if len(got) != len(want) {
+		t.Fatalf("ParseWindows = %+v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ParseWindows[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseWindowsInvalid(t *testing.T) {
+	cases := []struct {
+		spec, wantErr string
+	}{
+		{"", "empty"},
+		{"nope", "window"},
+		{"500ms", "whole number of seconds"},
+		{"-1m", "positive"},
+		{"0s", "positive"},
+		{"25h", "exceeds the 24h maximum"},
+		{"10m,1m", "strictly increasing"},
+		{"1m,1m", "strictly increasing"},
+	}
+	for _, c := range cases {
+		_, err := ParseWindows(c.spec)
+		if err == nil {
+			t.Fatalf("ParseWindows(%q) accepted", c.spec)
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("ParseWindows(%q) err = %q, want substring %q", c.spec, err, c.wantErr)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateOK.String() != "ok" || StateWarning.String() != "warning" || StatePage.String() != "page" {
+		t.Fatal("state strings")
+	}
+	if State(9).String() != "state(9)" {
+		t.Fatalf("out-of-range state = %q", State(9).String())
+	}
+}
+
+func TestHorizonWindows(t *testing.T) {
+	e := New(Options{Windows: []WindowSpec{{"1m", 60}}})
+	s, m, l := e.horizonWindows()
+	if s.Name != "1m" || m.Name != "1m" || l.Name != "1m" {
+		t.Fatalf("single-window horizons = %v %v %v", s, m, l)
+	}
+	e = New(Options{})
+	s, m, l = e.horizonWindows()
+	if s.Name != "1m" || m.Name != "10m" || l.Name != "1h" {
+		t.Fatalf("default horizons = %v %v %v", s, m, l)
+	}
+}

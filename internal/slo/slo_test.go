@@ -1,0 +1,286 @@
+package slo
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"histanon/internal/metrics"
+	"histanon/internal/obs"
+)
+
+// testEngine returns an engine with short windows, an aggressive test
+// objective (below_k < 10%, warn 2x, page 10x, min 5 decisions) and the
+// wall throttle disabled, so evaluation runs deterministically on every
+// bucket edge.
+func testEngine() *Engine {
+	e := New(Options{
+		Windows: []WindowSpec{{"5s", 5}, {"15s", 15}, {"60s", 60}},
+		Objectives: []Objective{{
+			Signal: SignalBelowK, Budget: 0.10,
+			WarnBurn: 2, PageBurn: 10, MinDecisions: 5,
+		}},
+		MinEvalGap: -1,
+	})
+	e.SetEnabled(true)
+	return e
+}
+
+func obsDecision(e *Engine, t int64, requested, achieved int) {
+	e.Observe(Decision{T: t, RequestedK: requested, AchievedK: achieved, Generalized: achieved > 0})
+}
+
+func TestObserveDisabledIsNoop(t *testing.T) {
+	e := New(Options{})
+	e.Observe(Decision{T: 10, RequestedK: 5, AchievedK: 2})
+	if e.DecisionsTotal() != 0 || e.Now() != -1 {
+		t.Fatalf("disabled engine recorded: decisions=%d now=%d", e.DecisionsTotal(), e.Now())
+	}
+}
+
+func TestWindowAggregation(t *testing.T) {
+	e := testEngine()
+	// 10 decisions at t=100..109: 3 below-k (achieved 3 < requested 5),
+	// 7 at k (achieved 5), plus one suppressed and one degraded marker.
+	for i := int64(0); i < 10; i++ {
+		achieved := 5
+		if i < 3 {
+			achieved = 3
+		}
+		obsDecision(e, 100+i, 5, achieved)
+	}
+	e.Observe(Decision{T: 109, Suppressed: true})
+	e.Observe(Decision{T: 109, Degraded: true, Suppressed: true})
+
+	now := e.Now()
+	if now != 109 {
+		t.Fatalf("Now() = %d, want 109", now)
+	}
+	s, ok := e.Snapshot("15s", now)
+	if !ok {
+		t.Fatalf("window 15s not found")
+	}
+	if s.Decisions != 12 || s.BelowK != 3 || s.Suppressed != 2 || s.Degraded != 1 {
+		t.Fatalf("15s window = %+v", s)
+	}
+	if got := s.BelowKRatio(); got != 3.0/12 {
+		t.Fatalf("BelowKRatio = %g, want %g", got, 3.0/12)
+	}
+	// The 5s window only reaches back to t=105: 5 at-k decisions plus
+	// the two suppressed markers.
+	s5, _ := e.Snapshot("5s", now)
+	if s5.Decisions != 7 || s5.BelowK != 0 {
+		t.Fatalf("5s window = %+v", s5)
+	}
+	// Quantiles: p50 over k-values {3,3,3,5,5,5,5,5,5,5} lands in the
+	// k=5 bucket (interpolated within (4,5]).
+	if p50 := s.KQuantile(0.50); p50 <= 4 || p50 > 5 {
+		t.Fatalf("KQuantile(0.5) = %g, want in (4,5]", p50)
+	}
+}
+
+func TestKSlotMatchesAchievedKBuckets(t *testing.T) {
+	// The engine's slot mapping must agree with a live histogram over
+	// obs.AchievedKBuckets for every k, including overflow.
+	for k := 1; k <= 30; k++ {
+		h := metrics.NewHistogram(obs.AchievedKBuckets())
+		h.Observe(float64(k))
+		counts := h.BucketCounts()
+		want := -1
+		for i, c := range counts {
+			if c == 1 {
+				want = i
+			}
+		}
+		if got := kSlot(k); got != want {
+			t.Fatalf("kSlot(%d) = %d, histogram bucket = %d", k, got, want)
+		}
+	}
+}
+
+func TestLateDecisionsDrop(t *testing.T) {
+	e := testEngine()
+	obsDecision(e, 10000, 5, 5)
+	// A full ring length behind: the late epoch maps to the same ring
+	// slot the newer epoch already claimed, so it must drop, not misfile.
+	late := int64(10000 - len(e.buckets))
+	obsDecision(e, late, 5, 5)
+	if e.DroppedLate() != 1 {
+		t.Fatalf("DroppedLate = %d, want 1", e.DroppedLate())
+	}
+	s, _ := e.Snapshot("60s", e.Now())
+	if s.Decisions != 1 {
+		t.Fatalf("60s window = %+v, want 1 decision", s)
+	}
+}
+
+func TestStaleBucketsExcluded(t *testing.T) {
+	e := testEngine()
+	obsDecision(e, 100, 5, 3) // below-k
+	// Advance far past every window: the old bucket's epoch no longer
+	// matches any queried epoch, so it contributes nothing.
+	obsDecision(e, 100+3600, 5, 5)
+	s, _ := e.Snapshot("60s", e.Now())
+	if s.Decisions != 1 || s.BelowK != 0 {
+		t.Fatalf("after advance window = %+v", s)
+	}
+	// Lifetime totals keep everything.
+	if e.DecisionsTotal() != 2 || e.BelowKTotal() != 1 {
+		t.Fatalf("totals = %d/%d", e.DecisionsTotal(), e.BelowKTotal())
+	}
+}
+
+func TestIntervalSnapshotBounds(t *testing.T) {
+	e := testEngine()
+	for i := int64(0); i < 10; i++ {
+		obsDecision(e, 100+i, 5, 5)
+	}
+	if _, ok := e.IntervalSnapshot(100, 100); ok {
+		t.Fatal("empty interval accepted")
+	}
+	s, ok := e.IntervalSnapshot(100, 105)
+	if !ok || s.Decisions != 5 {
+		t.Fatalf("interval [100,105) = %+v ok=%v, want 5 decisions", s, ok)
+	}
+}
+
+func TestBurnRateStateMachine(t *testing.T) {
+	e := testEngine()
+	var events []obs.Event
+	e.SetAudit(func(ev obs.Event) { events = append(events, ev) })
+
+	// Phase 0: healthy traffic fills every window at 0% below-k.
+	for i := int64(0); i < 60; i++ {
+		obsDecision(e, 1000+i, 5, 5)
+	}
+	res := e.Evaluate(e.Now())
+	if res.Objectives[0].State != StateOK {
+		t.Fatalf("healthy state = %v", res.Objectives[0].State)
+	}
+
+	// Phase 1: a mild burn — 25% below-k (burn 2.5: above warn, below
+	// page) sustained long enough to fill mid and long windows.
+	for i := int64(0); i < 60; i++ {
+		achieved := 5
+		if i%4 == 0 {
+			achieved = 3
+		}
+		obsDecision(e, 1060+i, 5, achieved)
+	}
+	res = e.Evaluate(e.Now())
+	if res.Objectives[0].State != StateWarning {
+		t.Fatalf("after mild burn state = %v, want warning", res.Objectives[0].State)
+	}
+
+	// Phase 2: a severe burn — 100% below-k (burn 10) in short and mid.
+	for i := int64(0); i < 20; i++ {
+		obsDecision(e, 1120+i, 5, 2)
+	}
+	res = e.Evaluate(e.Now())
+	if res.Objectives[0].State != StatePage {
+		t.Fatalf("after severe burn state = %v, want page", res.Objectives[0].State)
+	}
+
+	// Recovery: healthy traffic long enough to flush every window. The
+	// page de-escalates through warning (short/mid clear before long).
+	for i := int64(0); i < 120; i++ {
+		obsDecision(e, 1140+i, 5, 5)
+	}
+	res = e.Evaluate(e.Now())
+	if res.Objectives[0].State != StateOK {
+		t.Fatalf("after recovery state = %v, want ok", res.Objectives[0].State)
+	}
+
+	// The transition sequence must be audited in order with from-states.
+	var seq []string
+	for _, ev := range events {
+		if ev.Kind != obs.KindSLO {
+			t.Fatalf("unexpected audit kind %q", ev.Kind)
+		}
+		if ev.Objective != SignalBelowK {
+			t.Fatalf("audit objective = %q", ev.Objective)
+		}
+		seq = append(seq, ev.SLOFrom+">"+ev.SLOState)
+	}
+	want := []string{"ok>warning", "warning>page", "page>warning", "warning>ok"}
+	if strings.Join(seq, " ") != strings.Join(want, " ") {
+		t.Fatalf("transitions = %v, want %v", seq, want)
+	}
+	// The page transition carries the short window's burn at transition
+	// time, at or above the page threshold.
+	if events[1].BurnRate < 10 {
+		t.Fatalf("page transition burn rate = %g, want >= 10", events[1].BurnRate)
+	}
+	// Transition counters match the audited sequence.
+	tr := e.Transitions()
+	if tr.Get(SignalBelowK, "warning") != 2 || tr.Get(SignalBelowK, "page") != 1 || tr.Get(SignalBelowK, "ok") != 1 {
+		t.Fatalf("transition counters: warning=%d page=%d ok=%d",
+			tr.Get(SignalBelowK, "warning"), tr.Get(SignalBelowK, "page"), tr.Get(SignalBelowK, "ok"))
+	}
+}
+
+func TestMinDecisionsGuard(t *testing.T) {
+	e := testEngine()
+	// 3 decisions, all below-k: a 100% ratio but under the 5-decision
+	// evidence floor — must not alert.
+	for i := int64(0); i < 3; i++ {
+		obsDecision(e, 100+i, 5, 2)
+	}
+	res := e.Evaluate(e.Now())
+	if res.Objectives[0].State != StateOK {
+		t.Fatalf("state = %v with 3 decisions, want ok", res.Objectives[0].State)
+	}
+}
+
+func TestRegisterMetricsExposesFamilies(t *testing.T) {
+	e := testEngine()
+	r := metrics.NewRegistry()
+	e.RegisterMetrics(r)
+	obsDecision(e, 100, 5, 2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		obs.MetricSLODecisions, obs.MetricSLOBelowK, obs.MetricSLOBelowKRatio,
+		obs.MetricSLOAchievedKQuantile, obs.MetricSLOBurnRate, obs.MetricSLOState,
+		obs.MetricSLOCanaryLinkProb, obs.MetricSLOCanaryAge,
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("exposition lacks %s", name)
+		}
+	}
+	if !strings.Contains(out, obs.MetricSLODecisions+" 1\n") {
+		t.Fatalf("decisions counter not 1 in:\n%s", out)
+	}
+	// No canary wired: age reads -1.
+	if !strings.Contains(out, obs.MetricSLOCanaryAge+" -1\n") {
+		t.Fatalf("unwired canary age not -1")
+	}
+}
+
+func TestObserveConcurrent(t *testing.T) {
+	e := testEngine()
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// All within one 60s span so nothing is evicted or late.
+				t := int64(100000 + (w*per+i)%60)
+				obsDecision(e, t, 5, 3+(i%3))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.DecisionsTotal() != workers*per {
+		t.Fatalf("DecisionsTotal = %d, want %d", e.DecisionsTotal(), workers*per)
+	}
+	s, _ := e.Snapshot("60s", e.Now())
+	if s.Decisions != workers*per {
+		t.Fatalf("60s window holds %d, want %d", s.Decisions, workers*per)
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"histanon/internal/obs"
 	"histanon/internal/phl"
 	"histanon/internal/pseudonym"
+	"histanon/internal/slo"
 	"histanon/internal/stindex"
 	"histanon/internal/wire"
 )
@@ -243,6 +244,10 @@ type Config struct {
 	// transparent to Algorithm 1. The store must be empty or restored
 	// from its own durable state at configuration time.
 	Store phl.Storer
+	// SLO configures the privacy-SLO engine (windows, objectives, burn
+	// thresholds). The zero value gets the engine defaults; the engine
+	// starts disabled either way — enable with Server.SLO.SetEnabled.
+	SLO slo.Options
 }
 
 // Decision reports what the TS did with one request.
@@ -370,6 +375,12 @@ type Server struct {
 	// OBSERVABILITY.md for the operator-facing reference.
 	Obs *obs.Observer
 
+	// SLO is the privacy-SLO engine: windowed achieved-k aggregates,
+	// burn-rate objectives and the optional re-identification canary.
+	// Disabled by default (one atomic load per request); state
+	// transitions audit through Obs as KindSLO records.
+	SLO *slo.Engine
+
 	// Wire counts binary wire-protocol activity on the batch ingest
 	// channel. The counters live here (not in httpapi) so the wire
 	// families are always registered, whether or not /v1/batch is
@@ -448,8 +459,12 @@ func New(cfg Config, out Outbox) *Server {
 		AreaM2:    &metrics.Summary{},
 		IntervalS: &metrics.Summary{},
 		Obs:       obs.New(),
+		SLO:       slo.New(cfg.SLO),
 		Wire:      NewWireStats(),
 	}
+	// SLO state transitions audit through the observer's sink, so they
+	// land in the same log as the decisions that caused the burn.
+	s.SLO.SetAudit(func(e obs.Event) { s.Obs.Audit(e) })
 	s.fallible, _ = out.(FallibleOutbox)
 	s.traced, _ = out.(TracedOutbox)
 	s.faulty, _ = store.(FaultyStorage)
@@ -621,6 +636,11 @@ func (s *Server) MetricsRegistry() *metrics.Registry {
 			}
 		}
 		s.Wire.register(r)
+		// The SLO families follow the same always-present discipline: a
+		// disabled engine exposes zeros, and the canary gauges read
+		// through the engine's canary pointer at scrape time so wiring a
+		// canary later (lbserve does) needs no re-registration.
+		s.SLO.RegisterMetrics(r)
 		s.registry = r
 	})
 	return s.registry
@@ -1033,6 +1053,26 @@ func (s *Server) RequestTraced(u phl.UserID, p geo.STPoint, service string, data
 func (s *Server) finishRequest(collect, head bool, sp *obs.Span, tc obs.TraceContext,
 	u phl.UserID, p geo.STPoint, service string, dec *Decision, id wire.MsgID,
 	requestedK, achievedK int, tol generalize.Tolerance, ctx geo.STBox, zone string) {
+
+	// Every return path funnels through here, so this is the SLO feed
+	// point: one atomic load when the engine is off.
+	if s.SLO.Enabled() {
+		sd := slo.Decision{
+			T:           p.T,
+			RequestedK:  requestedK,
+			AchievedK:   achievedK,
+			Generalized: dec.Generalized,
+			Forwarded:   dec.Forwarded,
+			Suppressed:  dec.Suppressed,
+			Degraded:    dec.Degraded,
+			User:        int64(u),
+		}
+		if dec.Request != nil {
+			sd.Pseudonym = string(dec.Request.Pseudonym)
+			sd.Box = ctx
+		}
+		s.SLO.Observe(sd)
+	}
 
 	outcome := obs.OutcomeForwarded
 	if dec.Suppressed {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Prints the repository's performance trajectory: every checked-in
 # BENCH_*.json record (E11 concurrency, E-obs overhead, E-wire codec,
-# E-comp streaming, and future records) aggregated into one aligned
+# E-comp streaming, E-slo engine overhead, and future records)
+# aggregated into one aligned
 # table. CI runs this so a PR's review page shows the perf history
 # next to the code change.
 set -euo pipefail

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Asserts OBSERVABILITY.md documents the full observability surface:
-# every histanon_* metric family declared in internal/obs/obs.go, every
-# audit Event wire field declared in internal/obs/audit.go, every span
-# stage name, every span JSON field, and every tail-sampling keep
-# reason declared in internal/obs/trace.go. CI runs it in the docs job,
-# so adding a metric or field without documenting it fails the build.
+# every histanon_* metric family declared in internal/obs/obs.go
+# (including the histanon_slo_* SLO families), every audit Event wire
+# field declared in internal/obs/audit.go (including the kind="slo"
+# fields), every span stage name, every span JSON field, and every
+# tail-sampling keep reason declared in internal/obs/trace.go — plus
+# the privacy-SLO surface: every /v1/slo and /healthz-SLO JSON field
+# declared in internal/httpapi/slo.go and every canary probe field
+# declared in internal/slo/canary.go. CI runs it in the docs job, so
+# adding a metric or field without documenting it fails the build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,7 +54,28 @@ for reason in $(sed -n '/Tail-sampling keep reasons/,/^)/p' internal/obs/trace.g
     fi
 done
 
+# The SLO endpoint surface: /v1/slo response fields and the /healthz
+# SLO section (internal/httpapi/slo.go), and the canary probe result
+# fields (internal/slo/canary.go). "-" tags (excluded from the wire)
+# are skipped.
+for field in $(grep -o 'json:"[a-zA-Z0-9_]*' internal/httpapi/slo.go internal/slo/canary.go |
+               sed 's/.*json:"//' | sort -u); do
+    if ! grep -q "\`$field\`" "$doc"; then
+        echo "SLO field $field undocumented in $doc" >&2
+        fail=1
+    fi
+done
+
+# The burn-rate state machine's degraded reasons and audit kind must
+# keep their documented names.
+for token in 'slo_warning:' 'slo_page:' 'canary_stale' 'kind="slo"'; do
+    if ! grep -qF "$token" "$doc"; then
+        echo "SLO token $token undocumented in $doc" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" = 0 ]; then
-    echo "checkobsdocs: $doc covers all metrics, audit fields, stages, span fields and keep reasons"
+    echo "checkobsdocs: $doc covers all metrics, audit fields, stages, span fields, keep reasons and the SLO surface"
 fi
 exit "$fail"
